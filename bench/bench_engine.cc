@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks for the simulation engine's hot paths:
+// event queue churn, EWMA updates, histogram recording/percentiles, and
+// the memory-controller water-fill quantum.
+#include <benchmark/benchmark.h>
+
+#include "host/config.h"
+#include "host/memctrl.h"
+#include "sim/event_queue.h"
+#include "sim/ewma.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace {
+
+using namespace hostcc;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  int sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(sim::Time::picoseconds(t + (i * 37) % 1000), [&sink] { ++sink; });
+    }
+    while (!q.empty()) {
+      auto [when, fn] = q.pop();
+      benchmark::DoNotOptimize(when);
+      fn();
+    }
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_EventCancellation(benchmark::State& state) {
+  sim::EventQueue q;
+  for (auto _ : state) {
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      handles.push_back(q.push(sim::Time::nanoseconds(i), [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+    benchmark::DoNotOptimize(q.empty());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventCancellation);
+
+void BM_SimulatorTimerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 256; ++i) {
+      sim.after(sim::Time::nanoseconds(i * 3), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SimulatorTimerChurn);
+
+void BM_EwmaAdd(benchmark::State& state) {
+  sim::Ewma e(1.0 / 8.0);
+  double v = 0.0;
+  for (auto _ : state) {
+    e.add(v);
+    v += 1.25;
+    benchmark::DoNotOptimize(e.value());
+  }
+}
+BENCHMARK(BM_EwmaAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  sim::Histogram h;
+  std::int64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = (v * 1103515245 + 12345) & 0xFFFFFFF;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  sim::Histogram h;
+  for (std::int64_t i = 1; i < 100000; ++i) h.record(i * 7919 % 1000000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.percentile(0.99));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+class ConstantSource : public host::MemSource {
+ public:
+  explicit ConstantSource(double demand) : demand_(demand) {}
+  std::string name() const override { return "bench"; }
+  Offer mem_offer(sim::Time, sim::Time) override { return {demand_, demand_}; }
+  void mem_granted(sim::Time, double) override {}
+
+ private:
+  double demand_;
+};
+
+void BM_MemControllerQuantum(benchmark::State& state) {
+  sim::Simulator sim;
+  host::HostConfig cfg;
+  host::MemoryController mc(sim, cfg);
+  ConstantSource a(4000), b(8000), c(2000), d(1000);
+  mc.add_source(&a, true);
+  mc.add_source(&b, false);
+  mc.add_source(&c, true);
+  mc.add_source(&d, false);
+  sim::Time horizon = sim.now();
+  for (auto _ : state) {
+    horizon += cfg.mc_quantum;
+    sim.run_until(horizon);  // executes exactly one scheduling quantum
+    benchmark::DoNotOptimize(mc.utilization());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemControllerQuantum);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Figure 10 reproduction: DCTCP with and without hostCC across degrees of
+// host congestion (DDIO disabled). Paper: hostCC holds NetApp-T at the
+// target bandwidth B_T = 80Gbps even at 3x, cuts packet drops by orders of
+// magnitude, and stops MApp from monopolizing memory bandwidth — without
+// starving it when the network meets its target.
+#include <cstdio>
+#include <string>
+
+#include "exp/scenario.h"
+#include "exp/table.h"
+
+using namespace hostcc;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  std::printf("=== Figure 10: hostCC benefits (DDIO off, B_T=80Gbps, I_T=70) ===\n\n");
+
+  exp::Table t({"degree", "mode", "net_tput_gbps", "drop_rate_pct", "netapp_mem_util",
+                "mapp_mem_util", "avg_IS", "avg_BS_gbps", "host_marks"});
+  for (const double degree : {0.0, 1.0, 2.0, 3.0}) {
+    for (const bool hostcc : {false, true}) {
+      exp::ScenarioConfig cfg;
+      cfg.mapp_degree = degree;
+      cfg.hostcc_enabled = hostcc;
+      cfg.record_signals = true;
+      if (quick) {
+        cfg.warmup = sim::Time::milliseconds(60);
+        cfg.measure = sim::Time::milliseconds(60);
+      }
+      exp::Scenario s(cfg);
+      const auto r = s.run();
+      t.add_row({exp::fmt(degree, 0) + "x", hostcc ? "dctcp+hostcc" : "dctcp",
+                 exp::fmt(r.net_tput_gbps), exp::fmt_rate(r.host_drop_rate_pct),
+                 exp::fmt(r.net_mem_util), exp::fmt(r.mapp_mem_util),
+                 exp::fmt(r.avg_iio_occupancy, 1), exp::fmt(r.avg_pcie_gbps, 1),
+                 std::to_string(r.ecn_marked_pkts)});
+    }
+  }
+  t.print();
+
+  std::printf("\n(Paper: hostCC keeps NetApp-T at ~80Gbps for every degree >= 1x while\n"
+              " reducing drop rates by orders of magnitude; MApp no longer acquires a\n"
+              " growing share of memory bandwidth.)\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 14 reproduction: Figure 10 with DDIO enabled (I_T = 50, per §5.2:
+// idle IIO occupancy is lower with DDIO because of the shorter IIO->LLC
+// path, so the congestion threshold shifts down accordingly).
+#include <cstdio>
+#include <string>
+
+#include "exp/scenario.h"
+#include "exp/table.h"
+
+using namespace hostcc;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  std::printf("=== Figure 14: hostCC benefits with DDIO enabled (I_T=50, B_T=80) ===\n\n");
+
+  exp::Table t({"degree", "mode", "net_tput_gbps", "drop_rate_pct", "netapp_mem_util",
+                "mapp_mem_util", "avg_IS", "avg_BS_gbps"});
+  for (const double degree : {0.0, 1.0, 2.0, 3.0}) {
+    for (const bool hostcc : {false, true}) {
+      exp::ScenarioConfig cfg;
+      cfg.host.ddio_enabled = true;
+      cfg.mapp_degree = degree;
+      cfg.hostcc_enabled = hostcc;
+      cfg.hostcc.iio_threshold = 50.0;  // §5.2
+      cfg.record_signals = true;
+      if (quick) {
+        cfg.warmup = sim::Time::milliseconds(60);
+        cfg.measure = sim::Time::milliseconds(60);
+      }
+      exp::Scenario s(cfg);
+      const auto r = s.run();
+      t.add_row({exp::fmt(degree, 0) + "x", hostcc ? "dctcp+hostcc" : "dctcp",
+                 exp::fmt(r.net_tput_gbps), exp::fmt_rate(r.host_drop_rate_pct),
+                 exp::fmt(r.net_mem_util), exp::fmt(r.mapp_mem_util),
+                 exp::fmt(r.avg_iio_occupancy, 1), exp::fmt(r.avg_pcie_gbps, 1)});
+    }
+  }
+  t.print();
+
+  std::printf("\n(Paper: same trends as DDIO-off Fig. 10 — target bandwidth maintained,\n"
+              " drops cut (by ~37x at 3x), MApp keeps a somewhat larger share than in\n"
+              " the DDIO-off case because less backpressure is needed.)\n");
+  return 0;
+}

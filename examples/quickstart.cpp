@@ -1,0 +1,64 @@
+// Quickstart: build a two-server testbed, create host congestion, attach
+// hostCC, and watch it restore network throughput.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// This walks the library's three layers explicitly: (1) the host network
+// and fabric substrate, (2) the DCTCP transport and applications, (3) the
+// hostCC controller.
+#include <cstdio>
+
+#include "exp/scenario.h"
+
+using namespace hostcc;
+
+int main() {
+  // ---------------------------------------------------------------- setup
+  // The Scenario helper assembles the paper's testbed: sender + receiver
+  // behind a switch, 100Gbps links, a DCTCP stack per host, NetApp-T long
+  // flows, and an MApp generating CPU-to-memory traffic at the receiver.
+  exp::ScenarioConfig cfg;
+  cfg.mapp_degree = 3.0;       // 24 MApp cores: severe host congestion
+  cfg.hostcc_enabled = false;  // start with plain DCTCP
+  cfg.warmup = sim::Time::milliseconds(250);
+  cfg.measure = sim::Time::milliseconds(100);
+
+  std::printf("== plain DCTCP under 3x host congestion ==\n");
+  {
+    exp::Scenario s(cfg);
+    const exp::ScenarioResults r = s.run();
+    std::printf("  NetApp-T goodput : %6.2f Gbps\n", r.net_tput_gbps);
+    std::printf("  packet drop rate : %6.3f %%\n", r.host_drop_rate_pct);
+    std::printf("  IIO occupancy    : %6.1f cachelines (credit pool: 93)\n",
+                r.avg_iio_occupancy);
+    std::printf("  MApp memory share: %6.2f of DRAM capacity\n\n", r.mapp_mem_util);
+  }
+
+  // ------------------------------------------------------------- hostCC
+  // Same workload, now with the hostCC controller on the receiver: it
+  // samples the simulated IIO MSRs at sub-microsecond cadence, drives the
+  // MBA throttle with the four-regime host-local response, and echoes
+  // host congestion into DCTCP via receiver-side ECN marks.
+  cfg.hostcc_enabled = true;
+  cfg.hostcc.target_bandwidth = sim::Bandwidth::gbps(80.0);  // B_T
+  cfg.hostcc.iio_threshold = 70.0;                           // I_T
+
+  std::printf("== DCTCP + hostCC (B_T=80Gbps, I_T=70) ==\n");
+  {
+    exp::Scenario s(cfg);
+    const exp::ScenarioResults r = s.run();
+    std::printf("  NetApp-T goodput : %6.2f Gbps\n", r.net_tput_gbps);
+    std::printf("  packet drop rate : %6.3f %%\n", r.host_drop_rate_pct);
+    std::printf("  IIO occupancy    : %6.1f cachelines\n", r.avg_iio_occupancy);
+    std::printf("  MApp memory share: %6.2f of DRAM capacity\n", r.mapp_mem_util);
+    std::printf("  host ECN marks   : %llu packets\n",
+                static_cast<unsigned long long>(r.ecn_marked_pkts));
+    std::printf("  MBA level changes: %llu\n",
+                static_cast<unsigned long long>(s.receiver().mba().msr_writes_issued()));
+  }
+
+  std::printf("\nhostCC recovers the network's target bandwidth and eliminates host\n"
+              "drops by allocating host resources between the two traffic classes.\n");
+  return 0;
+}

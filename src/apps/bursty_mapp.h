@@ -1,0 +1,67 @@
+// Bursty host-local traffic driver: toggles an MApp between a low and a
+// high core count on a fixed period. §3.2's argument for the *sub-RTT*
+// host-local response is precisely that traffic from outside the network
+// "can change dramatically at sub-RTT granularity" — this driver creates
+// that workload so the claim can be tested (ext_bursty_mapp).
+#pragma once
+
+#include "apps/mem_app.h"
+#include "sim/simulator.h"
+
+namespace hostcc::apps {
+
+class BurstyMApp {
+ public:
+  // Alternates mapp between `high_cores` (for `duty` fraction of the
+  // period) and `low_cores`.
+  BurstyMApp(sim::Simulator& sim, MemApp& mapp, int low_cores, int high_cores,
+             sim::Time period, double duty = 0.5)
+      : sim_(sim),
+        mapp_(mapp),
+        low_(low_cores),
+        high_(high_cores),
+        period_(period),
+        duty_(duty) {}
+
+  ~BurstyMApp() { stop(); }  // never leave a pending event holding `this`
+
+  BurstyMApp(const BurstyMApp&) = delete;
+  BurstyMApp& operator=(const BurstyMApp&) = delete;
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    enter_high();
+  }
+
+  void stop() {
+    running_ = false;
+    handle_.cancel();
+  }
+
+  sim::Time period() const { return period_; }
+
+ private:
+  void enter_high() {
+    if (!running_) return;
+    mapp_.set_cores(high_);
+    handle_ = sim_.after(period_ * duty_, [this] { enter_low(); });
+  }
+
+  void enter_low() {
+    if (!running_) return;
+    mapp_.set_cores(low_);
+    handle_ = sim_.after(period_ * (1.0 - duty_), [this] { enter_high(); });
+  }
+
+  sim::Simulator& sim_;
+  MemApp& mapp_;
+  int low_;
+  int high_;
+  sim::Time period_;
+  double duty_;
+  sim::EventHandle handle_;
+  bool running_ = false;
+};
+
+}  // namespace hostcc::apps

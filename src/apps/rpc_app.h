@@ -1,0 +1,103 @@
+// NetApp-L: netperf-RR-style latency-sensitive RPCs (§2.2). A client
+// issues closed-loop request/response exchanges over one connection: a
+// small fixed-size request, a response of the configured size. The client
+// records end-to-end RPC latency (request send -> response fully
+// delivered), the quantity Fig. 4/12/15 report percentiles of.
+#pragma once
+
+#include <cassert>
+#include <functional>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "transport/stack.h"
+
+namespace hostcc::apps {
+
+inline constexpr sim::Bytes kRpcRequestBytes = 64;
+
+// Server half: responds to every complete request with `response_bytes`.
+class RpcServer {
+ public:
+  RpcServer(transport::Stack& stack, net::FlowId flow, net::HostId client_host,
+            sim::Bytes response_bytes)
+      : conn_(stack.connect(flow, client_host)), response_bytes_(response_bytes) {
+    conn_.set_on_delivered([this](sim::Bytes n) { on_request_bytes(n); });
+  }
+
+  transport::TcpConnection& connection() { return conn_; }
+
+ private:
+  void on_request_bytes(sim::Bytes n) {
+    pending_ += n;
+    while (pending_ >= kRpcRequestBytes) {
+      pending_ -= kRpcRequestBytes;
+      conn_.write(response_bytes_);
+    }
+  }
+
+  transport::TcpConnection& conn_;
+  sim::Bytes response_bytes_;
+  sim::Bytes pending_ = 0;
+};
+
+// Client half: closed loop with one outstanding RPC. A small exponential
+// think time between a response and the next request models client-side
+// scheduling noise; without it the perfectly periodic loop phase-locks
+// against other periodic processes in the simulation (e.g. queue-overflow
+// episodes), which no real host exhibits. Think time is excluded from the
+// measured RPC latency.
+class RpcClient {
+ public:
+  RpcClient(transport::Stack& stack, net::FlowId flow, net::HostId server_host,
+            sim::Bytes response_bytes,
+            sim::Time mean_think = sim::Time::microseconds(30))
+      : sim_(stack.simulator()),
+        conn_(stack.connect(flow, server_host)),
+        response_bytes_(response_bytes),
+        mean_think_(mean_think),
+        rng_(0x59c ^ flow) {
+    conn_.set_on_delivered([this](sim::Bytes n) { on_response_bytes(n); });
+  }
+
+  void start() { issue(); }
+
+  const sim::Histogram& latency() const { return latency_; }
+  void reset_latency() { latency_.reset(); }
+  std::uint64_t completed() const { return completed_; }
+  transport::TcpConnection& connection() { return conn_; }
+
+ private:
+  void issue() {
+    issued_at_ = sim_.now();
+    received_ = 0;
+    conn_.write(kRpcRequestBytes);
+  }
+
+  void on_response_bytes(sim::Bytes n) {
+    received_ += n;
+    assert(received_ <= response_bytes_ && "response overrun: framing bug");
+    if (received_ >= response_bytes_) {
+      latency_.record_time(sim_.now() - issued_at_);
+      ++completed_;
+      if (mean_think_ > sim::Time::zero()) {
+        sim_.after(rng_.exponential_time(mean_think_), [this] { issue(); });
+      } else {
+        issue();
+      }
+    }
+  }
+
+  sim::Simulator& sim_;
+  transport::TcpConnection& conn_;
+  sim::Bytes response_bytes_;
+  sim::Time mean_think_;
+  sim::Rng rng_;
+  sim::Time issued_at_;
+  sim::Bytes received_ = 0;
+  std::uint64_t completed_ = 0;
+  sim::Histogram latency_;
+};
+
+}  // namespace hostcc::apps

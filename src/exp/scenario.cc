@@ -1,0 +1,224 @@
+#include "exp/scenario.h"
+
+#include <cassert>
+
+namespace hostcc::exp {
+
+namespace {
+constexpr net::HostId kReceiverId = 0;
+
+host::HostConfig sender_host_config(const host::HostConfig& receiver_cfg) {
+  host::HostConfig cfg = receiver_cfg;
+  cfg.ddio_enabled = false;  // sender host is unloaded; datapath choice moot
+  cfg.seed ^= 0x5e4dULL;
+  return cfg;
+}
+}  // namespace
+
+Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) { build(); }
+Scenario::~Scenario() = default;
+
+void Scenario::build() {
+  assert(cfg_.senders >= 1);
+
+  fabric_ = std::make_unique<net::Switch>(sim_, cfg_.fabric);
+
+  // Receiver host + stack + downlink.
+  receiver_ = std::make_unique<host::HostModel>(sim_, cfg_.host, "receiver");
+  receiver_stack_ =
+      std::make_unique<transport::Stack>(sim_, *receiver_, kReceiverId, cfg_.transport);
+  {
+    auto up = std::make_unique<net::Link>(sim_, "rx-uplink", cfg_.link_rate, cfg_.link_delay);
+    up->set_sink([this](const net::Packet& p) { fabric_->ingress(p); });
+    up->set_on_dequeue([h = receiver_.get()](const net::Packet& p) { h->wire_dequeued(p); });
+    receiver_->set_egress([lnk = up.get()](const net::Packet& p) { lnk->send(p); });
+    links_.push_back(std::move(up));
+    const sim::Time delay = cfg_.link_delay;
+    fabric_->connect(kReceiverId, [this, delay](const net::Packet& p) {
+      sim_.after(delay, [this, p] { receiver_->receive_from_wire(p); });
+    });
+  }
+
+  // Sender hosts.
+  for (int s = 0; s < cfg_.senders; ++s) {
+    const net::HostId id = static_cast<net::HostId>(s + 1);
+    auto h = std::make_unique<host::HostModel>(sim_, sender_host_config(cfg_.host),
+                                               "sender" + std::to_string(s));
+    auto stack = std::make_unique<transport::Stack>(sim_, *h, id, cfg_.transport);
+    auto up = std::make_unique<net::Link>(sim_, "tx-uplink" + std::to_string(s),
+                                          cfg_.link_rate, cfg_.link_delay);
+    up->set_sink([this](const net::Packet& p) { fabric_->ingress(p); });
+    up->set_on_dequeue([hp = h.get()](const net::Packet& p) { hp->wire_dequeued(p); });
+    h->set_egress([lnk = up.get()](const net::Packet& p) { lnk->send(p); });
+    const sim::Time delay = cfg_.link_delay;
+    host::HostModel* hp = h.get();
+    fabric_->connect(id, [this, hp, delay](const net::Packet& p) {
+      sim_.after(delay, [hp, p] { hp->receive_from_wire(p); });
+    });
+    links_.push_back(std::move(up));
+    sender_hosts_.push_back(std::move(h));
+    sender_stacks_.push_back(std::move(stack));
+  }
+
+  // NetApp-T: long flows, round-robin across senders.
+  {
+    // ThroughputApp wants one sender stack; generalize by creating one app
+    // per sender with its share of the flows.
+    net::FlowId fid = 100;
+    int remaining = cfg_.netapp_flows;
+    std::vector<std::unique_ptr<apps::ThroughputApp>> apps;
+    for (int s = 0; s < cfg_.senders && remaining > 0; ++s) {
+      const int share = remaining / (cfg_.senders - s) +
+                        ((remaining % (cfg_.senders - s)) != 0 ? 1 : 0);
+      apps.push_back(std::make_unique<apps::ThroughputApp>(*sender_stacks_[s], *receiver_stack_,
+                                                           share, fid));
+      fid += static_cast<net::FlowId>(share);
+      remaining -= share;
+    }
+    tput_apps_ = std::move(apps);
+  }
+
+  // NetApp-L: one closed-loop RPC client per size, client on the receiver.
+  {
+    net::FlowId fid = 1000;
+    for (sim::Bytes size : cfg_.rpc_sizes) {
+      auto client = std::make_unique<apps::RpcClient>(*receiver_stack_, fid,
+                                                      /*server=*/1, size);
+      auto server = std::make_unique<apps::RpcServer>(*sender_stacks_[0], fid, kReceiverId, size);
+      client->start();
+      rpc_clients_.push_back(std::move(client));
+      rpc_servers_.push_back(std::move(server));
+      ++fid;
+    }
+  }
+
+  // MApp on the receiver.
+  mapp_ = std::make_unique<apps::MemApp>(*receiver_,
+                                         host::mapp_cores_for_degree(cfg_.mapp_degree));
+
+  // Optional sender-side host-local traffic + response (§3.2).
+  if (cfg_.sender_mapp_degree > 0.0) {
+    sender_mapp_ = std::make_unique<apps::MemApp>(
+        *sender_hosts_[0], host::mapp_cores_for_degree(cfg_.sender_mapp_degree));
+  }
+  if (cfg_.sender_local_response) {
+    sender_response_ = std::make_unique<core::SenderLocalResponse>(*sender_hosts_[0]);
+    sender_response_->start();
+  }
+
+  // hostCC or a passive signal tap.
+  if (cfg_.hostcc_enabled) {
+    controller_ = std::make_unique<core::HostCcController>(*receiver_, cfg_.hostcc);
+    if (cfg_.record_signals) controller_->set_telemetry(&ts_is_, &ts_bs_, &ts_level_);
+    controller_->start();
+  } else {
+    passive_sampler_ = std::make_unique<core::SignalSampler>(*receiver_, cfg_.hostcc.signals);
+    if (cfg_.record_signals) {
+      passive_sampler_->set_on_sample([this] {
+        const sim::Time now = sim_.now();
+        ts_is_.record(now, passive_sampler_->is_value());
+        ts_bs_.record(now, passive_sampler_->bs_value().as_gbps());
+        ts_level_.record(now, receiver_->mba().effective_level());
+      });
+    }
+    passive_sampler_->start();
+  }
+
+  if (cfg_.fixed_mba_level >= 0) receiver_->mba().request_level(cfg_.fixed_mba_level);
+}
+
+core::SignalSampler& Scenario::signals() {
+  return controller_ ? controller_->sampler() : *passive_sampler_;
+}
+
+void Scenario::run_for(sim::Time d) { sim_.run_until(sim_.now() + d); }
+
+void Scenario::run_warmup() {
+  run_for(cfg_.warmup);
+  mark_measurement_start();
+}
+
+void Scenario::mark_measurement_start() {
+  const sim::Time now = sim_.now();
+  base_nic_arrived_ = receiver_->nic().stats().arrived_pkts;
+  base_nic_dropped_ = receiver_->nic().stats().dropped_pkts;
+  base_switch_drops_ = fabric_->port_stats(kReceiverId).drops;
+  receiver_->memctrl().checkpoint(now);
+  mapp_->bandwidth_since_mark(now);
+  for (auto& app : tput_apps_) app->goodput_since_mark(now);
+  measure_start_ = now;
+  base_echo_marks_ = controller_ ? controller_->echo().packets_marked() : 0;
+  // RPC latency: measure only post-warmup samples.
+  for (auto& c : rpc_clients_) c->reset_latency();
+}
+
+ScenarioResults Scenario::run_measure() {
+  run_for(cfg_.measure);
+  const sim::Time now = sim_.now();
+
+  ScenarioResults r;
+  double tput = 0.0;
+  for (auto& app : tput_apps_) tput += app->goodput_since_mark(now).as_gbps();
+  r.net_tput_gbps = tput;
+
+  const auto& nic = receiver_->nic().stats();
+  const std::uint64_t arrived = nic.arrived_pkts - base_nic_arrived_;
+  const std::uint64_t dropped = nic.dropped_pkts - base_nic_dropped_;
+  const std::uint64_t sw_drops = fabric_->port_stats(kReceiverId).drops - base_switch_drops_;
+  r.host_drop_rate_pct = arrived > 0 ? 100.0 * static_cast<double>(dropped) /
+                                           static_cast<double>(arrived)
+                                     : 0.0;
+  const std::uint64_t offered = arrived + sw_drops;
+  r.fabric_drop_rate_pct =
+      offered > 0 ? 100.0 * static_cast<double>(sw_drops) / static_cast<double>(offered) : 0.0;
+  r.drop_rate_pct = offered > 0 ? 100.0 * static_cast<double>(dropped + sw_drops) /
+                                      static_cast<double>(offered)
+                                : 0.0;
+
+  // Memory bandwidth breakdown: sources on the receiver MC are
+  // [iio_dma, net_copy, tx_dma, (mapp if present)].
+  auto rates = receiver_->memctrl().checkpoint(now);
+  double net_bps = 0.0, mapp_bps = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const std::string name = receiver_->memctrl().source_name(i);
+    if (name == "mapp") {
+      mapp_bps += rates[i].bits_per_sec();
+    } else {
+      net_bps += rates[i].bits_per_sec();
+    }
+  }
+  r.net_mem_gbps = net_bps * 1e-9;
+  r.mapp_mem_gbps = mapp_bps * 1e-9;
+  const double cap = receiver_->memctrl().capacity().bits_per_sec();
+  r.net_mem_util = net_bps / cap;
+  r.mapp_mem_util = mapp_bps / cap;
+  r.mem_util = (net_bps + mapp_bps) / cap;
+
+  for (auto& c : rpc_clients_) r.rpc_latency.push_back(sim::summarize(c->latency()));
+
+  for (auto& app : tput_apps_) {
+    const auto s = app->sender_stats();
+    r.sender_timeouts += s.timeouts;
+    r.sender_fast_retransmits += s.fast_retransmits;
+  }
+  if (controller_) {
+    r.ecn_marked_pkts = controller_->echo().packets_marked() - base_echo_marks_;
+  }
+
+  // Signal averages over the measurement window.
+  if (cfg_.record_signals) {
+    r.avg_iio_occupancy = ts_is_.mean_over(measure_start_, now);
+    r.avg_pcie_gbps = ts_bs_.mean_over(measure_start_, now);
+  } else {
+    r.avg_iio_occupancy = signals().is_value();
+    r.avg_pcie_gbps = signals().bs_value().as_gbps();
+  }
+  return r;
+}
+
+ScenarioResults Scenario::run() {
+  run_warmup();
+  return run_measure();
+}
+
+}  // namespace hostcc::exp

@@ -1,0 +1,156 @@
+// Scenario builder: assembles the paper's testbed topologies — N sender
+// hosts and one receiver host behind a single switch (§2.2, §5.1) — with
+// NetApp-T long flows, optional NetApp-L RPCs (client on the congested
+// receiver, server across the fabric, so responses traverse the congested
+// datapath), an MApp on the receiver, and optionally hostCC. Used by every
+// bench binary, the examples, and the integration tests.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/mem_app.h"
+#include "apps/rpc_app.h"
+#include "apps/throughput_app.h"
+#include "host/host.h"
+#include "hostcc/controller.h"
+#include "hostcc/sender_response.h"
+#include "hostcc/signals.h"
+#include "net/link.h"
+#include "net/switch.h"
+#include "sim/simulator.h"
+#include "sim/timeseries.h"
+#include "transport/stack.h"
+
+namespace hostcc::exp {
+
+struct ScenarioConfig {
+  host::HostConfig host;                  // receiver-host configuration
+  transport::TransportConfig transport;   // MTU, CC choice, RTO/TLP
+  net::SwitchConfig fabric;
+
+  sim::Bandwidth link_rate = sim::Bandwidth::gbps(100.0);
+  sim::Time link_delay = sim::Time::microseconds(6);
+
+  int senders = 1;
+  int netapp_flows = 4;                   // total long flows (split across senders)
+  double mapp_degree = 0.0;               // 0..3 "degree of host congestion"
+  // Host-local traffic at sender 0 (sender-side host congestion, §3.2).
+  double sender_mapp_degree = 0.0;
+  bool sender_local_response = false;     // sender-side hostCC response
+  std::vector<sim::Bytes> rpc_sizes;      // one NetApp-L client per size
+
+  bool hostcc_enabled = false;
+  core::HostCcConfig hostcc;
+  int fixed_mba_level = -1;               // >=0: hard-code the level (Fig. 9)
+
+  sim::Time warmup = sim::Time::milliseconds(250);
+  sim::Time measure = sim::Time::milliseconds(150);
+
+  bool record_signals = false;            // capture I_S/B_S/level series
+};
+
+struct ScenarioResults {
+  double net_tput_gbps = 0.0;          // NetApp-T aggregate goodput
+  double host_drop_rate_pct = 0.0;     // drops at the receiver NIC
+  double fabric_drop_rate_pct = 0.0;   // drops at the switch
+  double drop_rate_pct = 0.0;          // combined
+
+  double mapp_mem_gbps = 0.0;          // MApp DRAM bandwidth
+  double net_mem_gbps = 0.0;           // network-path DRAM bandwidth (DMA+copy+TX)
+  double mem_util = 0.0;               // total / capacity
+  double mapp_mem_util = 0.0;
+  double net_mem_util = 0.0;
+
+  double avg_iio_occupancy = 0.0;      // mean I_S over the measure window
+  double avg_pcie_gbps = 0.0;          // mean B_S over the measure window
+
+  std::vector<sim::LatencySummary> rpc_latency;  // parallel to rpc_sizes
+
+  std::uint64_t sender_timeouts = 0;
+  std::uint64_t sender_fast_retransmits = 0;
+  std::uint64_t ecn_marked_pkts = 0;   // by hostCC echo at the receiver
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  // Runs warmup then the measurement window and collects results.
+  ScenarioResults run();
+
+  // Finer-grained control (integration tests, time-series figures).
+  void run_warmup();
+  ScenarioResults run_measure();
+  void run_for(sim::Time d);
+
+  sim::Simulator& simulator() { return sim_; }
+  host::HostModel& receiver() { return *receiver_; }
+  host::HostModel& sender(int i = 0) { return *sender_hosts_.at(i); }
+  // One ThroughputApp per sender host that carries NetApp-T flows.
+  apps::ThroughputApp& netapp_t(int i = 0) { return *tput_apps_.at(i); }
+  int netapp_t_count() const { return static_cast<int>(tput_apps_.size()); }
+  apps::RpcClient& rpc_client(int i = 0) { return *rpc_clients_.at(i); }
+  apps::MemApp& mapp() { return *mapp_; }
+  apps::MemApp* sender_mapp() { return sender_mapp_.get(); }
+  core::SenderLocalResponse* sender_response() { return sender_response_.get(); }
+  core::SignalSampler& signals();
+  core::HostCcController* controller() { return controller_.get(); }
+  transport::Stack& receiver_stack() { return *receiver_stack_; }
+  transport::Stack& sender_stack(int i = 0) { return *sender_stacks_.at(i); }
+
+  // Populated when cfg.record_signals is set.
+  const sim::TimeSeries& is_series() const { return ts_is_; }
+  const sim::TimeSeries& bs_series() const { return ts_bs_; }
+  const sim::TimeSeries& level_series() const { return ts_level_; }
+
+  const ScenarioConfig& config() const { return cfg_; }
+
+  // Uplink 0 is the receiver's, 1..N the senders'.
+  net::Link& uplink(int i) { return *links_.at(i); }
+  net::Switch& fabric() { return *fabric_; }
+
+ private:
+  void build();
+  void mark_measurement_start();
+
+  ScenarioConfig cfg_;
+  sim::Simulator sim_;
+
+  std::unique_ptr<net::Switch> fabric_;
+  std::unique_ptr<host::HostModel> receiver_;
+  std::vector<std::unique_ptr<host::HostModel>> sender_hosts_;
+  std::vector<std::unique_ptr<net::Link>> links_;  // host -> switch uplinks
+
+  std::unique_ptr<transport::Stack> receiver_stack_;
+  std::vector<std::unique_ptr<transport::Stack>> sender_stacks_;
+
+  std::vector<std::unique_ptr<apps::ThroughputApp>> tput_apps_;
+  std::unique_ptr<apps::MemApp> mapp_;
+  std::unique_ptr<apps::MemApp> sender_mapp_;
+  std::unique_ptr<core::SenderLocalResponse> sender_response_;
+  std::vector<std::unique_ptr<apps::RpcClient>> rpc_clients_;
+  std::vector<std::unique_ptr<apps::RpcServer>> rpc_servers_;
+
+  std::unique_ptr<core::HostCcController> controller_;
+  std::unique_ptr<core::SignalSampler> passive_sampler_;
+
+  sim::TimeSeries ts_is_{"iio_occupancy"};
+  sim::TimeSeries ts_bs_{"pcie_gbps"};
+  sim::TimeSeries ts_level_{"mba_level"};
+
+  // Measurement-window baselines.
+  std::uint64_t base_nic_arrived_ = 0;
+  std::uint64_t base_nic_dropped_ = 0;
+  std::uint64_t base_switch_drops_ = 0;
+  std::uint64_t base_echo_marks_ = 0;
+  sim::Time measure_start_;
+};
+
+}  // namespace hostcc::exp

@@ -1,0 +1,70 @@
+// Minimal fixed-width table printer for the bench binaries, so every
+// figure reproduction prints the same rows/series the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hostcc::exp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> w(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < w.size(); ++c) {
+        if (row[c].size() > w[c]) w[c] = row[c].size();
+      }
+    }
+    print_row(out, headers_, w);
+    std::string sep;
+    for (std::size_t c = 0; c < w.size(); ++c) {
+      sep += std::string(w[c] + 2, '-');
+      if (c + 1 < w.size()) sep += "+";
+    }
+    std::fprintf(out, "%s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(out, row, w);
+  }
+
+ private:
+  static void print_row(std::FILE* out, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& w) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, " %-*s ", static_cast<int>(w[c]), row[c].c_str());
+      if (c + 1 < row.size()) std::fprintf(out, "|");
+    }
+    std::fprintf(out, "\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+// Scientific-ish formatting for drop rates spanning decades (log axes).
+inline std::string fmt_rate(double pct) {
+  char buf[64];
+  if (pct <= 0.0) {
+    return "<1e-5";
+  }
+  if (pct < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.1e", pct);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", pct);
+  }
+  return buf;
+}
+
+}  // namespace hostcc::exp

@@ -1,0 +1,105 @@
+// Receive-path CPU model: N cores process delivered packets (protocol work
+// + copy to user). Processing cost per byte grows with the observed memory
+// access latency, which is how host congestion turns into a compute
+// bottleneck (§2.2, the 1x regime). Processing generates copy memory
+// traffic (a MemSource), returns Rx descriptors to the NIC, and finally
+// hands packets to the transport, optionally through an ingress filter —
+// the hook hostCC's ECN echo uses (the NetFilter ip_recv analogue, §4.3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "host/config.h"
+#include "host/ddio.h"
+#include "host/memctrl.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace hostcc::host {
+
+class NicRx;
+
+class CpuComplex : public MemSource {
+ public:
+  using StackRxFn = std::function<void(net::Packet)>;
+  // May mutate the packet (e.g. set CE) before it reaches the transport.
+  using IngressFilter = std::function<void(net::Packet&)>;
+
+  CpuComplex(sim::Simulator& sim, const HostConfig& cfg, MemoryController& mc, LlcDdio& ddio);
+
+  void set_stack_rx(StackRxFn fn) { stack_rx_ = std::move(fn); }
+  void set_ingress_filter(IngressFilter fn) { ingress_ = std::move(fn); }
+  void set_nic(NicRx* nic) { nic_ = nic; }
+
+  // Called by the IIO when a packet lands in host memory / LLC.
+  void deliver(const net::Packet& p, bool from_llc);
+
+  // Unprocessed backlog for `flow` (drives the advertised receive window).
+  sim::Bytes backlog_bytes(net::FlowId flow) const {
+    auto it = flow_backlog_.find(flow);
+    return it != flow_backlog_.end() ? it->second : 0;
+  }
+  sim::Bytes total_backlog() const { return total_backlog_; }
+
+  // MemSource: copy traffic of the receive path.
+  std::string name() const override { return "net_copy"; }
+  Offer mem_offer(sim::Time now, sim::Time quantum) override;
+  void mem_granted(sim::Time now, double bytes) override;
+
+  std::uint64_t packets_processed() const { return processed_pkts_; }
+  sim::Bytes bytes_processed() const { return processed_bytes_; }
+  sim::Time total_busy() const { return total_busy_; }  // summed across cores
+
+  // Direct queue inspection (diagnostics / invariant tests).
+  sim::Bytes queued_payload_bytes() const {
+    sim::Bytes n = 0;
+    for (const auto& c : cores_) {
+      for (const auto& w : c.q) n += w.pkt.payload;
+    }
+    return n;
+  }
+  int busy_count() const {
+    int n = 0;
+    for (const auto& c : cores_) n += c.busy ? 1 : 0;
+    return n;
+  }
+
+ private:
+  struct Work {
+    net::Packet pkt;
+    bool from_llc = false;
+  };
+  struct Core {
+    std::deque<Work> q;
+    bool busy = false;
+  };
+
+  void maybe_start(std::size_t core_idx);
+  void finish(std::size_t core_idx, Work w);
+  sim::Time processing_time(const Work& w) const;
+
+  sim::Simulator& sim_;
+  const HostConfig& cfg_;
+  MemoryController& mc_;
+  LlcDdio& ddio_;
+  NicRx* nic_ = nullptr;
+  StackRxFn stack_rx_;
+  IngressFilter ingress_;
+
+  std::vector<Core> cores_;
+  std::unordered_map<net::FlowId, sim::Bytes> flow_backlog_;
+  sim::Bytes total_backlog_ = 0;
+
+  double copy_backlog_ = 0.0;  // copy bytes generated, not yet served by MC
+  double busy_cores_ = 0.0;
+
+  std::uint64_t processed_pkts_ = 0;
+  sim::Bytes processed_bytes_ = 0;
+  sim::Time total_busy_;
+};
+
+}  // namespace hostcc::host

@@ -1,0 +1,60 @@
+// Direct cache access (Intel DDIO) model, per §2.1/§2.2.
+//
+// With DDIO enabled, inbound DMA lands in a small set of LLC ways. A write
+// that finds room and is consumed by the CPU before eviction never touches
+// DRAM and completes faster; a write that triggers an eviction costs a full
+// cacheline of memory write bandwidth *plus* extra latency (the write must
+// wait for the eviction). The eviction probability grows with cache
+// pollution (MApp pressure on the shared LLC) and with the backlog of
+// unconsumed network data relative to the DDIO way capacity — which is how
+// larger MTUs and more flows hurt the DDIO-enabled case (Fig. 3).
+#pragma once
+
+#include <algorithm>
+
+#include "host/config.h"
+#include "sim/random.h"
+#include "sim/units.h"
+
+namespace hostcc::host {
+
+class LlcDdio {
+ public:
+  LlcDdio(const HostConfig& cfg, sim::Rng rng) : cfg_(cfg), rng_(rng) {}
+
+  struct Placement {
+    bool to_memory = true;       // true: behaves like the DDIO-disabled path
+    bool eviction = false;       // to_memory due to an eviction (adds latency)
+  };
+
+  // Decides where an inbound DMA'd packet lands. `pollution` in [0,1] is
+  // the share of DRAM pressure from non-network initiators (MApp et al.).
+  Placement place(sim::Bytes payload, double pollution) {
+    if (!cfg_.ddio_enabled) return {.to_memory = true, .eviction = false};
+    const double e = eviction_probability(pollution);
+    if (rng_.bernoulli(e)) return {.to_memory = true, .eviction = true};
+    unconsumed_ += payload;
+    return {.to_memory = false, .eviction = false};
+  }
+
+  double eviction_probability(double pollution) const {
+    const double overflow =
+        static_cast<double>(unconsumed_) / static_cast<double>(cfg_.ddio_way_bytes);
+    return std::clamp(cfg_.ddio_evict_base + cfg_.ddio_evict_pollution * pollution +
+                          cfg_.ddio_evict_overflow * overflow,
+                      0.0, 1.0);
+  }
+
+  // The CPU consumed an LLC-resident packet (frees DDIO way space).
+  void consumed(sim::Bytes payload) { unconsumed_ = std::max<sim::Bytes>(0, unconsumed_ - payload); }
+
+  sim::Bytes unconsumed() const { return unconsumed_; }
+  bool enabled() const { return cfg_.ddio_enabled; }
+
+ private:
+  const HostConfig& cfg_;
+  sim::Rng rng_;
+  sim::Bytes unconsumed_ = 0;
+};
+
+}  // namespace hostcc::host

@@ -1,0 +1,29 @@
+#include "host/host.h"
+
+#include "sim/random.h"
+
+namespace hostcc::host {
+
+HostModel::HostModel(sim::Simulator& sim, HostConfig cfg, std::string name)
+    : sim_(sim), cfg_(cfg), name_(std::move(name)) {
+  mc_ = std::make_unique<MemoryController>(sim_, cfg_);
+  msrs_ = std::make_unique<MsrBank>(sim_, cfg_);
+  mba_ = std::make_unique<MbaThrottle>(sim_, cfg_);
+  ddio_ = std::make_unique<LlcDdio>(cfg_, sim::Rng(cfg_.seed ^ 0xdd10ULL));
+  pcie_ = std::make_unique<PcieLink>(sim_, cfg_);
+  iio_ = std::make_unique<IioBuffer>(sim_, cfg_, *msrs_, *pcie_);
+  nic_ = std::make_unique<NicRx>(sim_, cfg_, *pcie_, *iio_, *ddio_,
+                                 [this] { return mc_->host_local_share(); });
+  cpu_ = std::make_unique<CpuComplex>(sim_, cfg_, *mc_, *ddio_);
+  tx_ = std::make_unique<TxPath>(cfg_);
+
+  iio_->set_deliver([this](const net::Packet& p, bool from_llc) { cpu_->deliver(p, from_llc); });
+  iio_->set_memctrl(mc_.get());
+  cpu_->set_nic(nic_.get());
+
+  mc_->add_source(iio_.get(), /*network_path=*/true);
+  mc_->add_source(cpu_.get(), /*network_path=*/true);
+  mc_->add_source(tx_.get(), /*network_path=*/true);
+}
+
+}  // namespace hostcc::host

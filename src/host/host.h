@@ -1,0 +1,121 @@
+// HostModel: the complete host network of one server (Fig. 1), assembled.
+//
+//   wire -> NicRx -> PcieLink -> IioBuffer -> MemoryController/LLC
+//        -> CpuComplex -> [ingress filter] -> transport stack
+//
+// plus the actuation/observation surfaces hostCC uses: MsrBank (ROCC/RINS/
+// TSC) and MbaThrottle, and the shared MemoryController that MApp-style
+// host-local traffic contends on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "host/config.h"
+#include "host/cpu.h"
+#include "host/ddio.h"
+#include "host/iio.h"
+#include "host/mba.h"
+#include "host/memctrl.h"
+#include "host/msr.h"
+#include "host/nic.h"
+#include "host/pcie.h"
+#include "host/tx.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace hostcc::host {
+
+class HostModel {
+ public:
+  HostModel(sim::Simulator& sim, HostConfig cfg, std::string name);
+
+  HostModel(const HostModel&) = delete;
+  HostModel& operator=(const HostModel&) = delete;
+
+  const std::string& name() const { return name_; }
+  const HostConfig& config() const { return cfg_; }
+
+  // --- fabric side ---
+  void receive_from_wire(const net::Packet& p) { nic_->packet_from_wire(p); }
+  void set_egress(TxPath::EgressFn fn) { tx_->set_egress(std::move(fn)); }
+  void send(const net::Packet& p) {
+    tx_queued_[p.flow] += p.size;
+    tx_->send(p);
+  }
+
+  // --- TSQ-style egress accounting ---
+  // The fabric notifies the host when a packet leaves the local NIC queue
+  // (finished serialization on the uplink).
+  void wire_dequeued(const net::Packet& p) {
+    auto it = tx_queued_.find(p.flow);
+    if (it != tx_queued_.end()) {
+      it->second -= p.size;
+      if (it->second <= 0) tx_queued_.erase(it);
+    }
+    if (on_tx_drained_) on_tx_drained_(p.flow);
+  }
+  sim::Bytes tx_path_queued() const { return tx_->queued_packets(); }
+  sim::Bytes tx_queued_bytes(net::FlowId flow) const {
+    auto it = tx_queued_.find(flow);
+    return it != tx_queued_.end() ? it->second : 0;
+  }
+  void set_on_tx_drained(std::function<void(net::FlowId)> fn) {
+    on_tx_drained_ = std::move(fn);
+  }
+
+  // --- stack side ---
+  void set_stack_rx(CpuComplex::StackRxFn fn) { cpu_->set_stack_rx(std::move(fn)); }
+  // hostCC's receiver-ingress hook (NetFilter ip_recv analogue).
+  void set_ingress_filter(CpuComplex::IngressFilter fn) {
+    cpu_->set_ingress_filter(std::move(fn));
+  }
+
+  // Advertised receive window for `flow`: socket buffer minus the
+  // unprocessed receive backlog attributable to the flow.
+  sim::Bytes rwnd_for(net::FlowId flow) const {
+    const sim::Bytes free = cfg_.socket_buffer_bytes - cpu_->backlog_bytes(flow);
+    return free > 0 ? free : 0;
+  }
+
+  // --- host-local traffic (MApp etc.) ---
+  void add_host_local_source(MemSource* src) { mc_->add_source(src, /*network_path=*/false); }
+
+  // --- component access (hostCC, telemetry, tests) ---
+  MemoryController& memctrl() { return *mc_; }
+  const MemoryController& memctrl() const { return *mc_; }
+  MsrBank& msrs() { return *msrs_; }
+  MbaThrottle& mba() { return *mba_; }
+  NicRx& nic() { return *nic_; }
+  const NicRx& nic() const { return *nic_; }
+  IioBuffer& iio() { return *iio_; }
+  const IioBuffer& iio() const { return *iio_; }
+  LlcDdio& ddio() { return *ddio_; }
+  CpuComplex& cpu() { return *cpu_; }
+  const CpuComplex& cpu() const { return *cpu_; }
+  PcieLink& pcie() { return *pcie_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  HostConfig cfg_;
+  std::string name_;
+
+  // Order matters: constructed top-down, used bottom-up.
+  std::unique_ptr<MemoryController> mc_;
+  std::unique_ptr<MsrBank> msrs_;
+  std::unique_ptr<MbaThrottle> mba_;
+  std::unique_ptr<LlcDdio> ddio_;
+  std::unique_ptr<PcieLink> pcie_;
+  std::unique_ptr<IioBuffer> iio_;
+  std::unique_ptr<NicRx> nic_;
+  std::unique_ptr<CpuComplex> cpu_;
+  std::unique_ptr<TxPath> tx_;
+
+  std::unordered_map<net::FlowId, sim::Bytes> tx_queued_;
+  std::function<void(net::FlowId)> on_tx_drained_;
+};
+
+}  // namespace hostcc::host

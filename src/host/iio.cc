@@ -1,0 +1,104 @@
+#include "host/iio.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hostcc::host {
+
+sim::Time IioBuffer::congestion_extra() const {
+  if (mc_ == nullptr) return sim::Time::zero();
+  const auto& curve = HostConfig::kIioAdmitCurve;
+  constexpr int n = HostConfig::kIioAdmitCurvePoints;
+  const double x = std::clamp(mc_->overload(), curve[0].overload, curve[n - 1].overload);
+  double extra = curve[n - 1].extra_ns;
+  for (int i = 1; i < n; ++i) {
+    if (x <= curve[i].overload) {
+      const double f = (x - curve[i - 1].overload) / (curve[i].overload - curve[i - 1].overload);
+      extra = curve[i - 1].extra_ns + f * (curve[i].extra_ns - curve[i - 1].extra_ns);
+      break;
+    }
+  }
+  return sim::Time::nanoseconds(extra);
+}
+
+// IOMMU extension (§6): an IOTLB miss stalls the write for a page walk,
+// regardless of memory-controller load — host congestion can originate in
+// the memory-protection hardware alone.
+sim::Time IioBuffer::iommu_extra() {
+  if (!cfg_.iommu_enabled) return sim::Time::zero();
+  return rng_.bernoulli(cfg_.iotlb_miss_rate) ? cfg_.iotlb_miss_penalty : sim::Time::zero();
+}
+
+void IioBuffer::insert(const net::Packet& pkt, sim::Bytes credit_bytes, bool to_memory,
+                       bool eviction, bool last_chunk) {
+  assert(credit_bytes > 0);
+  msrs_.count_insertions(static_cast<double>(credit_bytes) /
+                         static_cast<double>(sim::kCacheline));
+  total_inserted_ += credit_bytes;
+
+  const sim::Time now = sim_.now();
+  if (to_memory) {
+    Entry e;
+    if (last_chunk) e.pkt = pkt;
+    e.remaining = credit_bytes;
+    e.admit_after = now + cfg_.iio_admit_latency + congestion_extra() + iommu_extra() +
+                    (eviction ? cfg_.ddio_eviction_penalty : sim::Time::zero());
+    e.eviction = eviction;
+    e.last = last_chunk;
+    change_occupancy(credit_bytes, 0);
+    memq_.push_back(std::move(e));
+    return;
+  }
+
+  // DDIO hit: the write goes straight to the LLC after the short IIO->LLC
+  // latency, without consuming DRAM bandwidth.
+  change_occupancy(0, credit_bytes);
+  // Copy what completion needs; the packet itself only if this is the tail.
+  net::Packet done = last_chunk ? pkt : net::Packet{};
+  sim_.after(cfg_.iio_ddio_hit_latency, [this, done, credit_bytes, last_chunk] {
+    change_occupancy(0, -credit_bytes);
+    total_admitted_ += credit_bytes;
+    pcie_.release(credit_bytes);
+    if (last_chunk && deliver_) deliver_(done, /*from_llc=*/true);
+  });
+}
+
+MemSource::Offer IioBuffer::mem_offer(sim::Time now, sim::Time /*quantum*/) {
+  sim::Bytes eligible = 0;
+  for (const auto& e : memq_) {
+    if (e.admit_after > now) break;  // FIFO with uniform latency: monotone
+    eligible += e.remaining;
+  }
+  const sim::Bytes pressure_cap =
+      static_cast<sim::Bytes>(cfg_.iio_mc_inflight_lines) * sim::kCacheline;
+  return {.demand_bytes = static_cast<double>(eligible),
+          .pressure_bytes = static_cast<double>(std::min(mem_bytes_, pressure_cap))};
+}
+
+void IioBuffer::mem_granted(sim::Time now, double bytes) {
+  grant_carry_ += bytes;
+  auto budget = static_cast<sim::Bytes>(grant_carry_);
+  grant_carry_ -= static_cast<double>(budget);
+
+  while (budget > 0 && !memq_.empty()) {
+    Entry& head = memq_.front();
+    if (head.admit_after > now) break;
+    const sim::Bytes take = std::min(budget, head.remaining);
+    head.remaining -= take;
+    budget -= take;
+    change_occupancy(-take, 0);
+    total_admitted_ += take;
+    pcie_.release(take);
+    if (head.remaining == 0) {
+      const bool was_last = head.last;
+      const net::Packet done = head.pkt;
+      memq_.pop_front();
+      if (was_last && deliver_) deliver_(done, /*from_llc=*/false);
+    }
+  }
+  // Any unused budget (entries not yet eligible) is forfeited: DRAM slots
+  // are not bankable across quanta.
+  grant_carry_ = std::min(grant_carry_, 63.0);
+}
+
+}  // namespace hostcc::host

@@ -1,0 +1,96 @@
+// The Integrated IO controller buffer (§2.1): the lossless staging queue
+// between PCIe and the memory subsystem, and the location of hostCC's host
+// congestion signal. Writes wait here until the memory controller grants
+// them bandwidth (memory path) or until the LLC accepts them (DDIO hits);
+// PCIe credits are replenished only when a write is issued onward, so a
+// congested memory controller starves PCIe through this buffer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "host/config.h"
+#include "host/memctrl.h"
+#include "host/msr.h"
+#include "host/pcie.h"
+#include "net/packet.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace hostcc::host {
+
+class IioBuffer : public MemSource {
+ public:
+  // Fires when the last byte of a packet has been issued toward memory/LLC
+  // (the packet is now "in host memory" and visible to the CPU).
+  using DeliverFn = std::function<void(const net::Packet&, bool from_llc)>;
+
+  IioBuffer(sim::Simulator& sim, const HostConfig& cfg, MsrBank& msrs, PcieLink& pcie)
+      : sim_(sim), cfg_(cfg), msrs_(msrs), pcie_(pcie), rng_(cfg.seed ^ 0x110ULL) {}
+
+  // Wires the memory controller whose overload inflates the write-queue
+  // admission wait (the l_m inflation of §2.1's domino effect).
+  void set_memctrl(const MemoryController* mc) { mc_ = mc; }
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  // A DMA chunk arrived over PCIe. `credit_bytes` is the PCIe credit the
+  // chunk holds (returned on admission). `last_chunk` marks completion of
+  // `pkt`. Placement was decided at DMA start (see LlcDdio).
+  void insert(const net::Packet& pkt, sim::Bytes credit_bytes, bool to_memory, bool eviction,
+              bool last_chunk);
+
+  // Instantaneous occupancy in cachelines — the physical quantity behind
+  // the ROCC register and hostCC's I_S signal.
+  double occupancy_lines() const {
+    return static_cast<double>(mem_bytes_ + llc_bytes_) / static_cast<double>(sim::kCacheline);
+  }
+  sim::Bytes occupancy_bytes() const { return mem_bytes_ + llc_bytes_; }
+
+  // MemSource (the IIO's write stream competing for DRAM bandwidth).
+  std::string name() const override { return "iio_dma"; }
+  Offer mem_offer(sim::Time now, sim::Time quantum) override;
+  void mem_granted(sim::Time now, double bytes) override;
+
+  // Lifetime counters for invariant checks.
+  sim::Bytes total_inserted() const { return total_inserted_; }
+  sim::Bytes total_admitted() const { return total_admitted_; }
+
+ private:
+  struct Entry {
+    net::Packet pkt;  // meaningful only when `last` is set
+    sim::Bytes remaining = 0;
+    sim::Time admit_after;
+    bool eviction = false;
+    bool last = false;
+  };
+
+  void change_occupancy(sim::Bytes mem_delta, sim::Bytes llc_delta) {
+    msrs_.integrate_occupancy(sim_.now(), occupancy_lines());
+    mem_bytes_ += mem_delta;
+    llc_bytes_ += llc_delta;
+  }
+
+  sim::Time congestion_extra() const;
+
+  sim::Time iommu_extra();
+
+  sim::Simulator& sim_;
+  const HostConfig& cfg_;
+  MsrBank& msrs_;
+  PcieLink& pcie_;
+  sim::Rng rng_;
+  const MemoryController* mc_ = nullptr;
+  DeliverFn deliver_;
+
+  std::deque<Entry> memq_;
+  sim::Bytes mem_bytes_ = 0;  // occupancy attributable to the memory path
+  sim::Bytes llc_bytes_ = 0;  // occupancy attributable to in-flight DDIO hits
+  double grant_carry_ = 0.0;  // sub-byte grant remainder across quanta
+
+  sim::Bytes total_inserted_ = 0;
+  sim::Bytes total_admitted_ = 0;
+};
+
+}  // namespace hostcc::host

@@ -1,0 +1,80 @@
+// Model of Intel Memory Bandwidth Allocation (MBA) as hostCC uses it
+// (§4.2): a per-class-of-service throttle that injects extra latency into
+// every memory access of the throttled cores. Externally observable
+// properties reproduced here:
+//   - 5 response levels 0..4; higher = more backpressure; level 4 pauses
+//     the class entirely (the paper emulates it with SIGSTOP/SIGCONT);
+//   - the latency-vs-level curve is coarse and non-linear (Fig. 9, [37]);
+//   - a level change takes effect only ~22us after it is requested, the
+//     measured MBA MSR write latency (§4.2/§6), and writes are serialized.
+#pragma once
+
+#include <cassert>
+#include <functional>
+
+#include "host/config.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace hostcc::host {
+
+class MbaThrottle {
+ public:
+  static constexpr int kMinLevel = 0;
+  static constexpr int kMaxLevel = HostConfig::kMbaPauseLevel;  // 4
+
+  MbaThrottle(sim::Simulator& sim, const HostConfig& cfg) : sim_(sim), cfg_(cfg) {}
+
+  // Requests a level change (a single MSR write). Takes effect after the
+  // MSR write latency; if a write is already in flight, the most recent
+  // request is applied when the in-flight write completes.
+  void request_level(int level) {
+    assert(level >= kMinLevel && level <= kMaxLevel);
+    requested_ = level;
+    if (!write_in_flight_) issue_write();
+  }
+
+  // The level currently in force (what the cores actually experience).
+  int effective_level() const { return effective_; }
+  // The most recently requested level (what the controller asked for).
+  int requested_level() const { return requested_; }
+
+  // True when the throttled class is fully paused (level 4).
+  bool paused() const { return effective_ == kMaxLevel; }
+
+  // Extra per-access latency imposed on throttled cores at the current
+  // effective level. Meaningless while paused.
+  sim::Time added_latency() const {
+    if (paused()) return sim::Time::zero();
+    return sim::Time::nanoseconds(cfg_.mba_level_latency_ns[effective_]);
+  }
+
+  std::int64_t msr_writes_issued() const { return msr_writes_; }
+
+  // Observer for telemetry (fires when a level takes effect).
+  void set_on_level_change(std::function<void(int)> fn) { on_change_ = std::move(fn); }
+
+ private:
+  void issue_write() {
+    write_in_flight_ = true;
+    writing_ = requested_;
+    ++msr_writes_;
+    sim_.after(cfg_.mba_msr_write_latency, [this] {
+      effective_ = writing_;
+      write_in_flight_ = false;
+      if (on_change_) on_change_(effective_);
+      if (requested_ != effective_) issue_write();  // apply latest request
+    });
+  }
+
+  sim::Simulator& sim_;
+  const HostConfig& cfg_;
+  int effective_ = 0;
+  int requested_ = 0;
+  int writing_ = 0;
+  bool write_in_flight_ = false;
+  std::int64_t msr_writes_ = 0;
+  std::function<void(int)> on_change_;
+};
+
+}  // namespace hostcc::host

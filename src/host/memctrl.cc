@@ -1,0 +1,86 @@
+#include "host/memctrl.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hostcc::host {
+
+void MemoryController::quantum() {
+  const sim::Time now = sim_.now();
+  const double cap = cfg_.dram_bandwidth.bytes_per_sec() * cfg_.mc_quantum.sec();
+
+  const std::size_t n = sources_.size();
+  offers_.resize(n);
+  grants_.assign(n, 0.0);
+
+  double total_demand = 0.0;
+  double total_pressure = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    offers_[i] = sources_[i]->mem_offer(now, cfg_.mc_quantum);
+    assert(offers_[i].demand_bytes >= 0.0 && offers_[i].pressure_bytes >= 0.0);
+    // A source with demand always has at least a cacheline of pressure.
+    if (offers_[i].demand_bytes > 0.0) {
+      offers_[i].pressure_bytes =
+          std::max(offers_[i].pressure_bytes, static_cast<double>(sim::kCacheline));
+    }
+    total_demand += offers_[i].demand_bytes;
+    total_pressure += offers_[i].pressure_bytes;
+  }
+
+  // Water-fill: proportional to pressure among unsatisfied sources, with
+  // unused share redistributed. Converges in a handful of rounds.
+  double cap_left = std::min(cap, total_demand);
+  for (int round = 0; round < 8 && cap_left > 1.0; ++round) {
+    double active_pressure = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (grants_[i] < offers_[i].demand_bytes) active_pressure += offers_[i].pressure_bytes;
+    }
+    if (active_pressure <= 0.0) break;
+    double distributed = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double want = offers_[i].demand_bytes - grants_[i];
+      if (want <= 0.0) continue;
+      const double share = cap_left * offers_[i].pressure_bytes / active_pressure;
+      const double take = std::min(want, share);
+      grants_[i] += take;
+      distributed += take;
+    }
+    cap_left -= distributed;
+    if (distributed < 1.0) break;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (grants_[i] > 0.0) {
+      sources_[i]->mem_granted(now, grants_[i]);
+      granted_[i].total_bytes += static_cast<sim::Bytes>(grants_[i] + 0.5);
+    }
+    rate_ewma_[i].add(grants_[i] * 8.0 / cfg_.mc_quantum.sec());
+    pressure_ewma_[i].add(offers_[i].pressure_bytes);
+  }
+
+  // Latency model: device load latency from smoothed utilization (service
+  // plus a bounded backlog penalty when demand persistently exceeds
+  // capacity) and a contention wait from resident request bytes (Little).
+  double served = 0.0;
+  for (std::size_t i = 0; i < n; ++i) served += grants_[i];
+  const double backlog_penalty =
+      cap > 0.0 ? std::min((total_demand - served) / cap, 0.3) : 0.0;
+  const double rho = cap > 0.0 ? served / cap + std::max(backlog_penalty, 0.0) : 0.0;
+  util_ewma_.add(rho);
+
+  const auto& curve = HostConfig::kDramExtraCurve;
+  constexpr std::size_t kPoints = std::size(curve);
+  const double u = std::clamp(util_ewma_.value(), curve[0].util, curve[kPoints - 1].util);
+  double extra_ns = curve[kPoints - 1].extra_ns;
+  for (std::size_t i = 1; i < kPoints; ++i) {
+    if (u <= curve[i].util) {
+      const double f = (u - curve[i - 1].util) / (curve[i].util - curve[i - 1].util);
+      extra_ns = curve[i - 1].extra_ns + f * (curve[i].extra_ns - curve[i - 1].extra_ns);
+      break;
+    }
+  }
+  extra_latency_ = sim::Time::nanoseconds(extra_ns);
+  queue_wait_ = sim::Time::seconds(total_pressure / cfg_.dram_bandwidth.bytes_per_sec());
+}
+
+}  // namespace hostcc::host

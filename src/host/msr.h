@@ -1,0 +1,72 @@
+// Simulated model-specific registers (MSRs) for the uncore IIO performance
+// counters hostCC reads (§4.1):
+//   ROCC — cumulative IIO occupancy, integrated at the IIO clock frequency
+//   RINS — cumulative IIO insertions (one per cacheline entering the IIO)
+// plus the TSC. Reads cost realistic latency (~600ns for MSRs, ~2ns TSC)
+// but are off the NIC-to-memory datapath: they never contend for DRAM
+// bandwidth, which is the property §3.1 highlights (Fig. 7).
+#pragma once
+
+#include <cstdint>
+
+#include "host/config.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace hostcc::host {
+
+class MsrBank {
+ public:
+  MsrBank(sim::Simulator& sim, const HostConfig& cfg)
+      : sim_(sim), cfg_(cfg), rng_(cfg.seed ^ 0x4d5352ULL), iio_clock_hz_(cfg.iio_clock_hz) {}
+
+  // --- update side (driven by the IIO model) ---
+
+  // Integrates occupancy-time. Called whenever the IIO occupancy changes:
+  // `lines` held over the elapsed interval since the previous call.
+  void integrate_occupancy(sim::Time now, double lines) {
+    rocc_ += lines * (now - last_integrate_).sec() * iio_clock_hz_;
+    last_integrate_ = now;
+  }
+
+  void count_insertions(double lines) { rins_ += lines; }
+
+  // --- read side (hostCC sampler) ---
+
+  struct Read {
+    double value = 0.0;     // register contents at sampling instant
+    sim::Time latency;      // how long the read took (simulated)
+  };
+
+  // Reading an MSR is slow (§4.1: "<~600ns per MSR read call").
+  Read read_rocc() { return {rocc_, msr_latency()} ; }
+  Read read_rins() { return {rins_, msr_latency()}; }
+
+  // Reading the TSC is nearly free (§4.1: "<2ns").
+  Read read_tsc() {
+    return {static_cast<double>(sim_.now().ps()), cfg_.tsc_read_latency};
+  }
+
+  double iio_clock_hz() const { return iio_clock_hz_; }
+
+  // Raw accessors for tests.
+  double rocc_raw() const { return rocc_; }
+  double rins_raw() const { return rins_; }
+
+ private:
+  sim::Time msr_latency() {
+    return sim::Time::nanoseconds(rng_.normal_nonneg(
+        cfg_.msr_read_latency_mean.ns(), cfg_.msr_read_latency_stddev.ns()));
+  }
+
+  sim::Simulator& sim_;
+  const HostConfig& cfg_;
+  sim::Rng rng_;
+  double iio_clock_hz_;
+  double rocc_ = 0.0;
+  double rins_ = 0.0;
+  sim::Time last_integrate_ = sim::Time::zero();
+};
+
+}  // namespace hostcc::host

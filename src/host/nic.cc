@@ -1,0 +1,112 @@
+#include "host/nic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace hostcc::host {
+
+NicRx::NicRx(sim::Simulator& sim, const HostConfig& cfg, PcieLink& pcie, IioBuffer& iio,
+             LlcDdio& ddio, std::function<double()> pollution_fn)
+    : sim_(sim),
+      cfg_(cfg),
+      pcie_(pcie),
+      iio_(iio),
+      ddio_(ddio),
+      pollution_fn_(std::move(pollution_fn)),
+      descriptors_(cfg.rx_descriptors) {
+  pcie_.set_on_credit([this] { try_start_dma(); });
+  pcie_.set_on_idle([this] { try_start_dma(); });
+}
+
+sim::Bytes NicRx::pcie_credits_available() const {
+  const sim::Bytes used = iio_.occupancy_bytes();
+  return used < pcie_.credit_pool() ? pcie_.credit_pool() - used : 0;
+}
+
+double NicRx::overhead_fraction(sim::Bytes pkt_size) const {
+  return cfg_.tlp_overhead_base + cfg_.tlp_overhead_per_packet_bytes / static_cast<double>(pkt_size);
+}
+
+void NicRx::packet_from_wire(const net::Packet& p) {
+  ++stats_.arrived_pkts;
+  stats_.arrived_bytes += p.size;
+  // Admission reserves headroom for a maximum-size frame (hardware FIFOs
+  // commonly do), so small packets share the same drop fate as large ones
+  // when the buffer is effectively full.
+  constexpr sim::Bytes kMaxFrame = 9216;
+  const sim::Bytes needed = std::max(p.size, kMaxFrame);
+  if (q_bytes_ + needed > cfg_.nic_rx_buffer_bytes) {
+    ++stats_.dropped_pkts;
+    stats_.dropped_bytes += p.size;
+    if (on_drop_) on_drop_(p);
+    return;
+  }
+  q_.push_back({p, sim_.now()});
+  q_bytes_ += p.size;
+  try_start_dma();
+}
+
+void NicRx::descriptor_returned() {
+  ++descriptors_;
+  assert(descriptors_ <= cfg_.rx_descriptors);
+  try_start_dma();
+}
+
+void NicRx::try_start_dma() {
+  // Pick up the next packet if no DMA is in progress.
+  if (!dma_active_) {
+    if (q_.empty()) return;
+    if (descriptors_ == 0) {
+      ++stats_.descriptor_stalls;
+      return;  // retried from descriptor_returned()
+    }
+    const Queued& head = q_.front();
+    dma_pkt_ = head.pkt;
+    dma_sent_ = 0;
+    dma_place_ = ddio_.place(head.pkt.payload, pollution_fn_());
+    queue_delay_hist_.record_time(sim_.now() - head.arrived);
+    // "The packet can be safely removed from the NIC buffer as soon as DMA
+    // is initiated" (§2.1): buffer space frees at DMA start.
+    q_bytes_ -= head.pkt.size;
+    q_.pop_front();
+    --descriptors_;
+    dma_active_ = true;
+  }
+  start_next_chunk();
+}
+
+void NicRx::start_next_chunk() {
+  if (!dma_active_ || pcie_.busy()) return;
+
+  const sim::Bytes wire_left = dma_pkt_.size - dma_sent_;
+  assert(wire_left > 0);
+  const sim::Bytes wire_chunk = std::min(cfg_.dma_chunk_bytes, wire_left);
+  const auto credit_chunk = static_cast<sim::Bytes>(
+      static_cast<double>(wire_chunk) * (1.0 + overhead_fraction(dma_pkt_.size)) + 0.5);
+
+  // PCIe credits bound the bytes resident in the IIO buffer: I_S saturates
+  // at the pool size under congestion (Fig. 8), and uncongested drain is
+  // P/l_m — the paper's max(l_p, l_m) formulation, where the serialized
+  // PCIe transfer pipelines ahead of residence. A single in-flight chunk
+  // may transiently overshoot the pool by one chunk.
+  if (iio_.occupancy_bytes() + credit_chunk > pcie_.credit_pool()) {
+    ++stats_.credit_stalls;
+    return;  // retried from PcieLink::release()
+  }
+
+  dma_sent_ += wire_chunk;
+  const bool last = dma_sent_ == dma_pkt_.size;
+  const net::Packet pkt = dma_pkt_;
+  const LlcDdio::Placement place = dma_place_;
+  if (last) dma_active_ = false;
+
+  in_transit_ += credit_chunk;
+  pcie_.transfer(credit_chunk, [this, pkt, credit_chunk, place, last] {
+    in_transit_ -= credit_chunk;
+    iio_.insert(pkt, credit_chunk, place.to_memory, place.eviction, last);
+  });
+  // The channel-idle callback advances to the next chunk (or next packet).
+}
+
+}  // namespace hostcc::host

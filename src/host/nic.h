@@ -1,0 +1,98 @@
+// Receive-side NIC model (§2.1): a small SRAM packet buffer (the only lossy
+// element of the host network — drops happen *here*, away from the actual
+// congestion point), an Rx descriptor ring replenished by the driver as the
+// CPU processes packets, and a DMA engine that moves packets to the IIO in
+// chunks, gated by PCIe credits.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "host/config.h"
+#include "host/ddio.h"
+#include "host/iio.h"
+#include "host/pcie.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace hostcc::net {
+class Packet;
+}
+
+namespace hostcc::host {
+
+class NicRx {
+ public:
+  // `pollution_fn` supplies the LLC pollution estimate for DDIO placement.
+  NicRx(sim::Simulator& sim, const HostConfig& cfg, PcieLink& pcie, IioBuffer& iio,
+        LlcDdio& ddio, std::function<double()> pollution_fn);
+
+  // A packet arrived from the wire. Enqueued, or dropped if the buffer is
+  // full (the paper's host-congestion packet drops).
+  void packet_from_wire(const net::Packet& p);
+
+  // The driver returns a descriptor after the CPU processed a packet.
+  void descriptor_returned();
+
+  // Observer invoked on every tail-drop (tests/telemetry).
+  void set_on_drop(std::function<void(const net::Packet&)> fn) { on_drop_ = std::move(fn); }
+
+  // --- statistics ---
+  struct Stats {
+    std::uint64_t arrived_pkts = 0;
+    std::uint64_t dropped_pkts = 0;
+    sim::Bytes arrived_bytes = 0;
+    sim::Bytes dropped_bytes = 0;
+    std::uint64_t descriptor_stalls = 0;  // DMA waits due to empty ring
+    std::uint64_t credit_stalls = 0;      // DMA waits due to PCIe credits
+  };
+  const Stats& stats() const { return stats_; }
+  double drop_rate() const {
+    return stats_.arrived_pkts > 0
+               ? static_cast<double>(stats_.dropped_pkts) / static_cast<double>(stats_.arrived_pkts)
+               : 0.0;
+  }
+  sim::Bytes queued_bytes() const { return q_bytes_; }
+  int free_descriptors() const { return descriptors_; }
+  // Credit headroom: pool minus IIO residence minus in-transit DMA bytes.
+  sim::Bytes pcie_credits_available() const;
+  sim::Bytes in_transit_bytes() const { return in_transit_; }
+
+  // Queueing delay tap (time from arrival to DMA start), for Fig. 4 analysis.
+  const sim::Histogram& queueing_delay() const { return queue_delay_hist_; }
+
+ private:
+  void try_start_dma();
+  void start_next_chunk();
+  double overhead_fraction(sim::Bytes pkt_size) const;
+
+  sim::Simulator& sim_;
+  const HostConfig& cfg_;
+  PcieLink& pcie_;
+  IioBuffer& iio_;
+  LlcDdio& ddio_;
+  std::function<double()> pollution_fn_;
+
+  struct Queued {
+    net::Packet pkt;
+    sim::Time arrived;
+  };
+  std::deque<Queued> q_;
+  sim::Bytes q_bytes_ = 0;
+  int descriptors_;
+
+  // In-progress DMA state.
+  bool dma_active_ = false;
+  net::Packet dma_pkt_;
+  sim::Bytes dma_sent_ = 0;        // wire bytes already chunked out
+  sim::Bytes in_transit_ = 0;      // credit bytes on the PCIe wire
+  LlcDdio::Placement dma_place_;
+
+  Stats stats_;
+  sim::Histogram queue_delay_hist_;
+  std::function<void(const net::Packet&)> on_drop_;
+};
+
+}  // namespace hostcc::host

@@ -1,0 +1,63 @@
+// PCIe interconnect between NIC and IIO (§2.1): a lossless, serialized
+// channel governed by credit-based flow control. Credits are consumed when
+// a DMA chunk starts and replenished only when the IIO has issued the
+// corresponding write toward memory/LLC — exactly the mechanism whose
+// starvation produces the paper's "domino effect".
+#pragma once
+
+#include <cassert>
+#include <functional>
+
+#include "host/config.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "sim/units.h"
+
+namespace hostcc::host {
+
+class PcieLink {
+ public:
+  PcieLink(sim::Simulator& sim, const HostConfig& cfg) : sim_(sim), cfg_(cfg) {}
+
+  sim::Bytes credit_pool() const { return cfg_.pcie_credit_bytes; }
+
+  // Credit replenishment notification (called by the IIO on write issue).
+  // Credit arithmetic itself lives with the NIC's DMA engine, which gates
+  // transfers on (IIO occupancy + in-transit bytes) <= pool, matching the
+  // paper's model where the pool bounds IIO residence (I_S saturates at
+  // the credit limit, §3.1/Fig. 8).
+  void release(sim::Bytes /*b*/) {
+    if (on_credit_) on_credit_();
+  }
+
+  // Serialized transfer of one DMA chunk. `on_delivered` fires when the
+  // chunk reaches the IIO (transfer time at the raw link rate plus the
+  // NIC-to-IIO propagation latency). Requires the channel to be idle.
+  void transfer(sim::Bytes chunk_bytes, sim::EventFn on_delivered) {
+    assert(!busy_ && "PCIe channel is serialized");
+    busy_ = true;
+    const sim::Time tx = cfg_.pcie_raw.transfer_time(chunk_bytes);
+    sim_.after(tx, [this, on_delivered = std::move(on_delivered)]() mutable {
+      busy_ = false;
+      // Chunk is on the wire to the IIO; the channel can start the next
+      // transfer while this one propagates.
+      sim_.after(cfg_.pcie_latency, std::move(on_delivered));
+      if (on_idle_) on_idle_();
+    });
+  }
+
+  bool busy() const { return busy_; }
+
+  // NIC hooks: retry DMA on credit replenishment / channel idle.
+  void set_on_credit(sim::EventFn fn) { on_credit_ = std::move(fn); }
+  void set_on_idle(sim::EventFn fn) { on_idle_ = std::move(fn); }
+
+ private:
+  sim::Simulator& sim_;
+  const HostConfig& cfg_;
+  bool busy_ = false;
+  sim::EventFn on_credit_;
+  sim::EventFn on_idle_;
+};
+
+}  // namespace hostcc::host

@@ -1,0 +1,86 @@
+// HostCcController: the end-to-end hostCC module (§4) — the analogue of
+// the paper's ~800-LOC loadable kernel module. Wires together, on one
+// host, the three ideas:
+//   1. signal collection (SignalSampler over the simulated MSRs),
+//   2. sub-RTT host-local congestion response (HostLocalResponse -> MBA),
+//   3. host-signal echo into the unmodified network CC (EcnEcho at the
+//      receiver ingress hook).
+// Either mechanism can be disabled independently (the Fig. 18 ablation),
+// and the policy producing B_T is pluggable.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "host/host.h"
+#include "hostcc/ecn_echo.h"
+#include "hostcc/policy.h"
+#include "hostcc/response.h"
+#include "hostcc/signals.h"
+#include "sim/timeseries.h"
+
+namespace hostcc::core {
+
+struct HostCcConfig {
+  double iio_threshold = 70.0;  // I_T (the paper uses 50 when DDIO is on)
+  sim::Bandwidth target_bandwidth = sim::Bandwidth::gbps(80.0);  // B_T
+  SignalConfig signals;
+  bool local_response_enabled = true;  // idea 2 (Fig. 18: "host-local")
+  bool echo_enabled = true;            // idea 3 (Fig. 18: "echo")
+};
+
+class HostCcController {
+ public:
+  // If `policy` is null a FixedTargetPolicy(cfg.target_bandwidth) is used.
+  HostCcController(host::HostModel& host, HostCcConfig cfg,
+                   std::unique_ptr<AllocationPolicy> policy = nullptr)
+      : host_(host),
+        cfg_(cfg),
+        policy_(policy ? std::move(policy)
+                       : std::make_unique<FixedTargetPolicy>(cfg.target_bandwidth)),
+        sampler_(host, cfg.signals),
+        response_(host.mba(), sampler_, *policy_,
+                  {.iio_threshold = cfg.iio_threshold, .enabled = cfg.local_response_enabled}),
+        echo_(sampler_, {.iio_threshold = cfg.iio_threshold, .enabled = cfg.echo_enabled}) {
+    host_.set_ingress_filter([this](net::Packet& p) { echo_.filter(p); });
+    sampler_.set_on_sample([this] { on_sample(); });
+  }
+
+  void start() { sampler_.start(); }
+  void stop() { sampler_.stop(); }
+
+  SignalSampler& sampler() { return sampler_; }
+  HostLocalResponse& response() { return response_; }
+  EcnEcho& echo() { return echo_; }
+  AllocationPolicy& policy() { return *policy_; }
+  const HostCcConfig& config() const { return cfg_; }
+
+  // Optional telemetry: record (I_S, B_S, level) on every sample into the
+  // provided series (Fig. 8/18/19). Pass nullptr to disable.
+  void set_telemetry(sim::TimeSeries* is, sim::TimeSeries* bs, sim::TimeSeries* level) {
+    ts_is_ = is;
+    ts_bs_ = bs;
+    ts_level_ = level;
+  }
+
+ private:
+  void on_sample() {
+    const sim::Time now = host_.simulator().now();
+    response_.evaluate(now);
+    if (ts_is_) ts_is_->record(now, sampler_.is_value());
+    if (ts_bs_) ts_bs_->record(now, sampler_.bs_value().as_gbps());
+    if (ts_level_) ts_level_->record(now, host_.mba().effective_level());
+  }
+
+  host::HostModel& host_;
+  HostCcConfig cfg_;
+  std::unique_ptr<AllocationPolicy> policy_;
+  SignalSampler sampler_;
+  HostLocalResponse response_;
+  EcnEcho echo_;
+  sim::TimeSeries* ts_is_ = nullptr;
+  sim::TimeSeries* ts_bs_ = nullptr;
+  sim::TimeSeries* ts_level_ = nullptr;
+};
+
+}  // namespace hostcc::core

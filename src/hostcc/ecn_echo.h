@@ -1,0 +1,52 @@
+// Network resource allocation via host congestion signals (§3.3/§4.3).
+//
+// hostCC does not modify the congestion control protocol. At the receiver
+// ingress (the NetFilter ip_recv hook analogue), it rewrites ECT(0) -> CE
+// on incoming data packets whenever the smoothed IIO occupancy exceeds
+// I_T; packets the switch already marked are left alone. The unmodified
+// transport then echoes the mark to the sender exactly as it would a
+// switch mark, and the sender's AIMD reduces R toward B_T at RTT
+// granularity.
+#pragma once
+
+#include <cstdint>
+
+#include "hostcc/signals.h"
+#include "net/packet.h"
+
+namespace hostcc::core {
+
+struct EchoConfig {
+  double iio_threshold = 70.0;  // I_T (same threshold as the response)
+  bool enabled = true;
+};
+
+class EcnEcho {
+ public:
+  EcnEcho(const SignalSampler& signals, EchoConfig cfg) : signals_(signals), cfg_(cfg) {}
+
+  // Ingress filter body; install via HostModel::set_ingress_filter.
+  void filter(net::Packet& p) {
+    if (!cfg_.enabled || p.payload == 0) return;
+    ++seen_;
+    if (p.ecn == net::Ecn::kEct0 && signals_.is_value() > cfg_.iio_threshold) {
+      p.ecn = net::Ecn::kCe;
+      ++marked_;
+    }
+  }
+
+  void set_threshold(double it) { cfg_.iio_threshold = it; }
+  std::uint64_t packets_seen() const { return seen_; }
+  std::uint64_t packets_marked() const { return marked_; }
+  double mark_fraction() const {
+    return seen_ > 0 ? static_cast<double>(marked_) / static_cast<double>(seen_) : 0.0;
+  }
+
+ private:
+  const SignalSampler& signals_;
+  EchoConfig cfg_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t marked_ = 0;
+};
+
+}  // namespace hostcc::core

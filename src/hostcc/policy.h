@@ -1,0 +1,37 @@
+// Host resource allocation policy (§3.2): "hostCC architecture does not
+// dictate the precise resource allocation policy" — the policy's job is to
+// periodically produce the target network bandwidth B_T that the host-local
+// congestion response defends. The default is the paper's fixed target
+// (B_T = 80Gbps in the evaluation); custom policies can, e.g., track demand
+// or implement weighted sharing (see examples/custom_policy.cc).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/time.h"
+#include "sim/units.h"
+
+namespace hostcc::core {
+
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+  virtual std::string name() const = 0;
+  // Current target network bandwidth, re-evaluated on every sampler tick.
+  virtual sim::Bandwidth target_bandwidth(sim::Time now) = 0;
+};
+
+class FixedTargetPolicy : public AllocationPolicy {
+ public:
+  explicit FixedTargetPolicy(sim::Bandwidth target) : target_(target) {}
+  std::string name() const override { return "fixed-target"; }
+  sim::Bandwidth target_bandwidth(sim::Time /*now*/) override { return target_; }
+
+  void set_target(sim::Bandwidth t) { target_ = t; }
+
+ private:
+  sim::Bandwidth target_;
+};
+
+}  // namespace hostcc::core

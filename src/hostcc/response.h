@@ -1,0 +1,76 @@
+// Host-local congestion response at sub-RTT granularity (§3.2/§4.2).
+//
+// Evaluated on every signal sample against the four regimes of Fig. 6
+// (I_S vs. threshold I_T, B_S vs. target B_T):
+//   regime 1 (no host congestion, target met):      throttle host-local
+//            traffic *less* — step the MBA level down;
+//   regime 2 (host congestion, target met):         leave host-local
+//            traffic alone; the ECN echo handles the network traffic;
+//   regime 3 (host congestion, target not met):     throttle host-local
+//            traffic *more* — step the MBA level up (and the echo also
+//            fires, since R may still exceed B_T);
+//   regime 4 (no host congestion, target not met):  hold (conservative).
+//
+// Steps are one level at a time and gated on the previous MBA MSR write
+// having taken effect (~22us), which produces the level-3/level-4
+// oscillation of Fig. 19.
+#pragma once
+
+#include <cstdint>
+
+#include "host/mba.h"
+#include "hostcc/policy.h"
+#include "hostcc/signals.h"
+
+namespace hostcc::core {
+
+struct ResponseConfig {
+  double iio_threshold = 70.0;  // I_T, cachelines (50 when DDIO is on, §5.2)
+  bool enabled = true;
+};
+
+class HostLocalResponse {
+ public:
+  HostLocalResponse(host::MbaThrottle& mba, const SignalSampler& signals,
+                    AllocationPolicy& policy, ResponseConfig cfg)
+      : mba_(mba), signals_(signals), policy_(policy), cfg_(cfg) {}
+
+  // Called on every sampler tick.
+  void evaluate(sim::Time now) {
+    if (!cfg_.enabled) return;
+    const bool host_congested = signals_.is_value() > cfg_.iio_threshold;
+    const bool target_met = signals_.bs_value() >= policy_.target_bandwidth(now);
+
+    // One step per effective MSR write: if the previous request has not
+    // taken effect yet, requesting again would silently skip levels.
+    if (mba_.requested_level() != mba_.effective_level()) return;
+
+    if (host_congested && !target_met) {
+      if (mba_.effective_level() < host::MbaThrottle::kMaxLevel) {
+        mba_.request_level(mba_.effective_level() + 1);
+        ++level_ups_;
+      }
+    } else if (!host_congested && target_met) {
+      if (mba_.effective_level() > host::MbaThrottle::kMinLevel) {
+        mba_.request_level(mba_.effective_level() - 1);
+        ++level_downs_;
+      }
+    }
+    // Regimes 2 and 4: hold.
+  }
+
+  const ResponseConfig& config() const { return cfg_; }
+  void set_threshold(double it) { cfg_.iio_threshold = it; }
+  std::uint64_t level_ups() const { return level_ups_; }
+  std::uint64_t level_downs() const { return level_downs_; }
+
+ private:
+  host::MbaThrottle& mba_;
+  const SignalSampler& signals_;
+  AllocationPolicy& policy_;
+  ResponseConfig cfg_;
+  std::uint64_t level_ups_ = 0;
+  std::uint64_t level_downs_ = 0;
+};
+
+}  // namespace hostcc::core

@@ -1,0 +1,72 @@
+// Sender-side host-local congestion response (§3.2): "at the sender,
+// hostCC uses host-local congestion response to ensure that network
+// traffic is not starved, even at sub-RTT granularity."
+//
+// On the transmit path the starvation signal is the TX DMA-read stream
+// failing to get memory bandwidth: outbound packets pile up in the TX
+// queue while the memory controller is overloaded by host-local traffic.
+// The response is the same actuator as the receive side — step the MBA
+// level against the host-local class until the TX queue drains.
+#pragma once
+
+#include <cstdint>
+
+#include "host/host.h"
+#include "sim/simulator.h"
+
+namespace hostcc::core {
+
+struct SenderResponseConfig {
+  // TX backlog (packets) that counts as starvation.
+  std::int64_t tx_queue_threshold = 4;
+  // Memory-controller overload gate: only throttle when host-local load
+  // is actually the cause.
+  double overload_threshold = 0.95;
+  sim::Time sample_period = sim::Time::microseconds(2);
+  bool enabled = true;
+};
+
+class SenderLocalResponse {
+ public:
+  SenderLocalResponse(host::HostModel& host, SenderResponseConfig cfg = {})
+      : host_(host),
+        cfg_(cfg),
+        timer_(host.simulator(), cfg.sample_period, [this] { evaluate(); }) {}
+
+  void start() {
+    if (cfg_.enabled) timer_.start();
+  }
+  void stop() { timer_.stop(); }
+
+  std::uint64_t level_ups() const { return level_ups_; }
+  std::uint64_t level_downs() const { return level_downs_; }
+
+ private:
+  void evaluate() {
+    auto& mba = host_.mba();
+    if (mba.requested_level() != mba.effective_level()) return;  // write in flight
+
+    const bool starved = host_.tx_path_queued() >= cfg_.tx_queue_threshold;
+    const bool overloaded = host_.memctrl().overload() >= cfg_.overload_threshold;
+
+    if (starved && overloaded) {
+      if (mba.effective_level() < host::MbaThrottle::kMaxLevel) {
+        mba.request_level(mba.effective_level() + 1);
+        ++level_ups_;
+      }
+    } else if (!starved && host_.tx_path_queued() == 0) {
+      if (mba.effective_level() > host::MbaThrottle::kMinLevel) {
+        mba.request_level(mba.effective_level() - 1);
+        ++level_downs_;
+      }
+    }
+  }
+
+  host::HostModel& host_;
+  SenderResponseConfig cfg_;
+  sim::PeriodicTimer timer_;
+  std::uint64_t level_ups_ = 0;
+  std::uint64_t level_downs_ = 0;
+};
+
+}  // namespace hostcc::core

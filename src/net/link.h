@@ -1,0 +1,71 @@
+// A unidirectional link: serialization at a fixed rate plus propagation
+// delay, with an unbounded FIFO (senders self-limit via TCP; the bounded,
+// ECN-marking queue lives in the switch).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/units.h"
+
+namespace hostcc::net {
+
+class Link {
+ public:
+  using SinkFn = std::function<void(const Packet&)>;
+
+  Link(sim::Simulator& sim, std::string name, sim::Bandwidth rate, sim::Time propagation)
+      : sim_(sim), name_(std::move(name)), rate_(rate), prop_(propagation) {}
+
+  void set_sink(SinkFn fn) { sink_ = std::move(fn); }
+  // Fires when a packet finishes serialization (leaves the local queue);
+  // used for TSQ-style egress backpressure at the sending host.
+  void set_on_dequeue(SinkFn fn) { on_dequeue_ = std::move(fn); }
+
+  void send(const Packet& p) {
+    meter_.add(p.size);
+    q_.push_back(p);
+    if (!busy_) transmit_next();
+  }
+
+  const std::string& name() const { return name_; }
+  sim::Bandwidth rate() const { return rate_; }
+  sim::Time propagation() const { return prop_; }
+  sim::IntervalMeter& meter() { return meter_; }
+  std::size_t queue_len() const { return q_.size(); }
+
+ private:
+  void transmit_next() {
+    if (q_.empty()) {
+      busy_ = false;
+      return;
+    }
+    busy_ = true;
+    const Packet p = q_.front();
+    q_.pop_front();
+    sim_.after(rate_.transfer_time(p.size), [this, p] {
+      sim_.after(prop_, [this, p] {
+        if (sink_) sink_(p);
+      });
+      if (on_dequeue_) on_dequeue_(p);
+      transmit_next();
+    });
+  }
+
+  sim::Simulator& sim_;
+  std::string name_;
+  sim::Bandwidth rate_;
+  sim::Time prop_;
+  SinkFn sink_;
+  SinkFn on_dequeue_;
+  std::deque<Packet> q_;
+  bool busy_ = false;
+  sim::IntervalMeter meter_;
+};
+
+}  // namespace hostcc::net

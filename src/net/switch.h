@@ -1,0 +1,119 @@
+// Output-queued switch with DCTCP-style ECN marking (mark on enqueue when
+// the output queue exceeds threshold K) and drop-tail queues. This is the
+// locus of *network fabric* congestion; host congestion lives in host/.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "net/packet.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+
+namespace hostcc::net {
+
+struct SwitchConfig {
+  sim::Bandwidth port_rate = sim::Bandwidth::gbps(100.0);
+  sim::Bytes port_buffer = 512 * sim::kKiB;
+  // DCTCP marking threshold. The DCTCP paper's guidance K ~= C*RTT/7 is
+  // ~70KB at 100Gbps/40us; default rounded up.
+  sim::Bytes ecn_threshold = 80 * sim::kKiB;
+  sim::Time forward_latency = sim::Time::nanoseconds(600);
+  // Per-packet forwarding jitter (uniform [0, max]): real switch pipelines
+  // are not perfectly deterministic, and the jitter prevents artificial
+  // phase locks between closed-loop flows and queue-overflow episodes.
+  sim::Time forward_jitter_max = sim::Time::microseconds(2);
+  std::uint64_t seed = 0x5317c4;
+};
+
+class Switch {
+ public:
+  using PortSink = std::function<void(const Packet&)>;
+
+  Switch(sim::Simulator& sim, SwitchConfig cfg) : sim_(sim), cfg_(cfg), rng_(cfg.seed) {}
+
+  // Routes packets destined to `host` into a dedicated output port.
+  void connect(HostId host, PortSink sink) {
+    Port port;
+    port.sink = std::move(sink);
+    ports_.emplace(host, std::move(port));
+  }
+
+  // Packet arriving on any input port.
+  void ingress(const Packet& p) {
+    auto it = ports_.find(p.dst);
+    if (it == ports_.end()) return;  // no route: drop silently
+    Port& port = it->second;
+
+    if (port.q_bytes + p.size > cfg_.port_buffer) {
+      ++port.drops;
+      return;
+    }
+    Packet q = p;
+    if (port.q_bytes >= cfg_.ecn_threshold && q.ecn == Ecn::kEct0) {
+      q.ecn = Ecn::kCe;
+      ++port.marks;
+    }
+    port.q.push_back(q);
+    port.q_bytes += q.size;
+    if (!port.busy) transmit_next(port);
+  }
+
+  struct PortStats {
+    std::uint64_t drops = 0;
+    std::uint64_t marks = 0;
+    sim::Bytes queue_bytes = 0;
+  };
+  PortStats port_stats(HostId host) const {
+    auto it = ports_.find(host);
+    if (it == ports_.end()) return {};
+    return {it->second.drops, it->second.marks, it->second.q_bytes};
+  }
+
+ private:
+  struct Port {
+    PortSink sink;
+    std::deque<Packet> q;
+    sim::Bytes q_bytes = 0;
+    bool busy = false;
+    std::uint64_t drops = 0;
+    std::uint64_t marks = 0;
+    sim::Time last_out;
+  };
+
+  void transmit_next(Port& port) {
+    if (port.q.empty()) {
+      port.busy = false;
+      return;
+    }
+    port.busy = true;
+    const Packet p = port.q.front();
+    port.q.pop_front();
+    port.q_bytes -= p.size;
+    sim_.after(cfg_.port_rate.transfer_time(p.size), [this, &port, p] {
+      const sim::Time jitter =
+          cfg_.forward_jitter_max > sim::Time::zero()
+              ? sim::Time::nanoseconds(rng_.uniform(0.0, cfg_.forward_jitter_max.ns()))
+              : sim::Time::zero();
+      // Jittered but FIFO: delivery times are non-decreasing per port, so
+      // jitter never reorders packets (which would fake loss signals).
+      sim::Time out = sim_.now() + cfg_.forward_latency + jitter;
+      if (out < port.last_out) out = port.last_out;
+      port.last_out = out;
+      sim_.at(out, [&port, p] { port.sink(p); });
+      transmit_next(port);
+    });
+  }
+
+  sim::Simulator& sim_;
+  SwitchConfig cfg_;
+  sim::Rng rng_;
+  std::unordered_map<HostId, Port> ports_;
+};
+
+}  // namespace hostcc::net

@@ -1,0 +1,92 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary min-heap ordered by (time, insertion sequence) so that events
+// scheduled for the same instant fire in FIFO order, which keeps runs
+// deterministic. Cancellation is supported through shared tombstone flags:
+// cancelled entries are dropped lazily when they reach the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hostcc::sim {
+
+using EventFn = std::function<void()>;
+
+// Handle to a scheduled event; allows cancellation. Copies share state.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if the event is still pending (not fired, not cancelled).
+  bool pending() const { return state_ && !*state_; }
+
+  // Cancels the event if still pending. Safe to call repeatedly.
+  void cancel() {
+    if (state_) *state_ = true;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  std::shared_ptr<bool> state_;  // true => cancelled or fired
+};
+
+class EventQueue {
+ public:
+  EventHandle push(Time when, EventFn fn) {
+    auto state = std::make_shared<bool>(false);
+    heap_.push(Entry{when, next_seq_++, std::move(fn), state});
+    return EventHandle{std::move(state)};
+  }
+
+  bool empty() const { return live_size() == 0; }
+  std::size_t size() const { return live_size(); }
+
+  Time next_time() const {
+    drop_cancelled();
+    return heap_.empty() ? Time::max() : heap_.top().when;
+  }
+
+  // Removes and returns the earliest live event. Requires !empty().
+  std::pair<Time, EventFn> pop() {
+    drop_cancelled();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    *top.state = true;  // mark fired so handles report !pending()
+    return {top.when, std::move(top.fn)};
+  }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq = 0;
+    EventFn fn;
+    std::shared_ptr<bool> state;
+
+    bool operator>(const Entry& rhs) const {
+      if (when != rhs.when) return when > rhs.when;
+      return seq > rhs.seq;
+    }
+  };
+
+  void drop_cancelled() const {
+    while (!heap_.empty() && *heap_.top().state) heap_.pop();
+  }
+
+  std::size_t live_size() const {
+    drop_cancelled();
+    return heap_.size();
+  }
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hostcc::sim

@@ -1,0 +1,56 @@
+// Deterministic per-component random source.
+//
+// Every stochastic component owns an Rng seeded from the experiment config,
+// so results are reproducible and components do not perturb each other's
+// streams when one of them changes how much randomness it consumes.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "sim/time.h"
+
+namespace hostcc::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  // Exponential with the given mean (for Poisson inter-arrivals).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  Time exponential_time(Time mean) { return Time::seconds(exponential(mean.sec())); }
+
+  // Normal, truncated at zero (latency jitter must be non-negative).
+  double normal_nonneg(double mean, double stddev) {
+    double v = std::normal_distribution<double>(mean, stddev)(engine_);
+    return v < 0.0 ? 0.0 : v;
+  }
+
+  // Derives an independent child stream (e.g. one per flow).
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hostcc::sim

@@ -1,0 +1,94 @@
+// The discrete-event simulator: a clock plus a pending-event set.
+//
+// Components hold a Simulator& and schedule callbacks with at()/after().
+// A run is fully deterministic given the scheduled events and RNG seeds.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace hostcc::sim {
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  // Schedules `fn` at absolute time `when` (must not be in the past).
+  EventHandle at(Time when, EventFn fn) {
+    assert(when >= now_ && "cannot schedule into the past");
+    return queue_.push(when, std::move(fn));
+  }
+
+  // Schedules `fn` after a relative delay.
+  EventHandle after(Time delay, EventFn fn) { return at(now_ + delay, std::move(fn)); }
+
+  // Runs events until the queue is empty or the clock would pass `deadline`.
+  // The clock is left at min(deadline, time of last event).
+  void run_until(Time deadline) {
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+      auto [when, fn] = queue_.pop();
+      now_ = when;
+      ++events_executed_;
+      fn();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  // Runs until no events remain.
+  void run() { run_until(Time::max()); }
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  Time now_ = Time::zero();
+  EventQueue queue_;
+  std::uint64_t events_executed_ = 0;
+};
+
+// A repeating timer: fires `fn` every `period` until stopped or destroyed.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Time period, EventFn fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    arm();
+  }
+
+  void stop() {
+    running_ = false;
+    pending_.cancel();
+  }
+
+  bool running() const { return running_; }
+  Time period() const { return period_; }
+  void set_period(Time period) { period_ = period; }
+
+ private:
+  void arm() {
+    pending_ = sim_.after(period_, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) arm();
+    });
+  }
+
+  Simulator& sim_;
+  Time period_;
+  EventFn fn_;
+  EventHandle pending_;
+  bool running_ = false;
+};
+
+}  // namespace hostcc::sim

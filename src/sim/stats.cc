@@ -1,0 +1,77 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace hostcc::sim {
+
+std::size_t Histogram::bucket_of(std::int64_t v) {
+  assert(v >= 0);
+  const auto u = static_cast<std::uint64_t>(v);
+  if (u < (1ULL << kSubBits)) return static_cast<std::size_t>(u);  // exact small values
+  const int major = 63 - std::countl_zero(u);
+  const auto minor =
+      static_cast<std::size_t>((u >> (major - kSubBits)) & ((1ULL << kSubBits) - 1));
+  return (static_cast<std::size_t>(major) << kSubBits) + minor;
+}
+
+std::int64_t Histogram::bucket_upper(std::size_t b) {
+  if (b < (1ULL << kSubBits)) return static_cast<std::int64_t>(b);
+  const int major = static_cast<int>(b >> kSubBits);
+  const std::uint64_t minor = b & ((1ULL << kSubBits) - 1);
+  const std::uint64_t base = 1ULL << major;
+  const std::uint64_t step = base >> kSubBits;
+  return static_cast<std::int64_t>(base + (minor + 1) * step - 1);
+}
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  ++counts_[bucket_of(value)];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= target) return std::min(bucket_upper(b), max_);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    sum_ += other.sum_;
+    count_ += other.count_;
+  }
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+LatencySummary summarize(const Histogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  s.p50 = h.percentile_time(0.50);
+  s.p90 = h.percentile_time(0.90);
+  s.p99 = h.percentile_time(0.99);
+  s.p999 = h.percentile_time(0.999);
+  s.p9999 = h.percentile_time(0.9999);
+  s.max = Time::picoseconds(h.max());
+  return s;
+}
+
+}  // namespace hostcc::sim

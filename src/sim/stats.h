@@ -1,0 +1,88 @@
+// Measurement primitives: log-bucketed percentile histogram, counters, and
+// interval rate accounting. Used for RPC latency percentiles (Fig. 4/12/15),
+// drop rates, and throughput/bandwidth reporting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "sim/units.h"
+
+namespace hostcc::sim {
+
+// Histogram over non-negative int64 values with bounded relative error.
+// Buckets are (major = floor(log2 v), minor = next `kSubBits` bits), i.e. an
+// HdrHistogram-style layout with ~1.5% worst-case relative error.
+class Histogram {
+ public:
+  void record(std::int64_t value);
+  void record_time(Time t) { record(t.ps()); }
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const { return count_ ? min_ : 0; }
+  std::int64_t max() const { return count_ ? max_ : 0; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+
+  // Value at quantile q in [0,1]; e.g. q=0.99 for P99. Returns the upper
+  // edge of the containing bucket (0 if empty).
+  std::int64_t percentile(double q) const;
+  Time percentile_time(double q) const { return Time::picoseconds(percentile(q)); }
+
+  void merge(const Histogram& other);
+  void reset();
+
+ private:
+  static constexpr int kSubBits = 5;  // 32 sub-buckets per power of two
+  static constexpr int kMajors = 64;
+  static constexpr std::size_t kBuckets = static_cast<std::size_t>(kMajors) << kSubBits;
+
+  static std::size_t bucket_of(std::int64_t v);
+  static std::int64_t bucket_upper(std::size_t b);
+
+  std::vector<std::uint64_t> counts_ = std::vector<std::uint64_t>(kBuckets, 0);
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+// Byte/packet accounting over an interval, for throughput and drop rates.
+// `checkpoint(now)` returns the rate since the previous checkpoint.
+class IntervalMeter {
+ public:
+  void add(Bytes n) {
+    bytes_ += n;
+    ++ops_;
+  }
+
+  Bytes total_bytes() const { return bytes_; }
+  std::uint64_t total_ops() const { return ops_; }
+
+  Bandwidth checkpoint(Time now) {
+    const Bandwidth r = Bandwidth::over(bytes_ - mark_bytes_, now - mark_time_);
+    mark_bytes_ = bytes_;
+    mark_time_ = now;
+    return r;
+  }
+
+  Bytes bytes_since_mark() const { return bytes_ - mark_bytes_; }
+
+ private:
+  Bytes bytes_ = 0;
+  std::uint64_t ops_ = 0;
+  Bytes mark_bytes_ = 0;
+  Time mark_time_ = Time::zero();
+};
+
+// The standard latency percentile set the paper reports (Fig. 4).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  Time p50, p90, p99, p999, p9999, max;
+};
+
+LatencySummary summarize(const Histogram& h);
+
+}  // namespace hostcc::sim

@@ -1,0 +1,78 @@
+// Time-series capture for the paper's time-domain figures (Fig. 8, 18, 19):
+// (time, value) samples with optional CSV export and window statistics.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hostcc::sim {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void record(Time t, double value) { samples_.push_back({t, value}); }
+
+  struct Sample {
+    Time t;
+    double value;
+  };
+
+  const std::string& name() const { return name_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  // Mean of samples with t in [from, to).
+  double mean_over(Time from, Time to) const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& s : samples_) {
+      if (s.t >= from && s.t < to) {
+        sum += s.value;
+        ++n;
+      }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  }
+
+  double max_over(Time from, Time to) const {
+    double m = 0.0;
+    bool any = false;
+    for (const auto& s : samples_) {
+      if (s.t >= from && s.t < to && (!any || s.value > m)) {
+        m = s.value;
+        any = true;
+      }
+    }
+    return m;
+  }
+
+  // Fraction of samples in [from, to) with value above `threshold`.
+  double fraction_above(Time from, Time to, double threshold) const {
+    std::size_t n = 0, hits = 0;
+    for (const auto& s : samples_) {
+      if (s.t >= from && s.t < to) {
+        ++n;
+        if (s.value > threshold) ++hits;
+      }
+    }
+    return n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+
+  // Writes "time_us,<name>" rows.
+  void write_csv(std::ostream& os) const {
+    os << "time_us," << name_ << "\n";
+    for (const auto& s : samples_) os << s.t.us() << "," << s.value << "\n";
+  }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace hostcc::sim

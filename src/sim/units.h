@@ -1,0 +1,58 @@
+// Bandwidth and byte-count helpers used across the host and network models.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hostcc::sim {
+
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kCacheline = 64;
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * 1024;
+
+// A transmission/service rate. Stored as bits per second (double: rates are
+// physical quantities, not counters, so exactness is not required).
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  static constexpr Bandwidth bits_per_sec(double bps) { return Bandwidth{bps}; }
+  static constexpr Bandwidth gbps(double g) { return Bandwidth{g * 1e9}; }
+  static constexpr Bandwidth gigabytes_per_sec(double gBps) { return Bandwidth{gBps * 8e9}; }
+  static constexpr Bandwidth zero() { return Bandwidth{0.0}; }
+
+  constexpr double as_gbps() const { return bps_ * 1e-9; }
+  constexpr double as_gigabytes_per_sec() const { return bps_ / 8e9; }
+  constexpr double bits_per_sec() const { return bps_; }
+  constexpr double bytes_per_sec() const { return bps_ / 8.0; }
+
+  constexpr bool is_zero() const { return bps_ <= 0.0; }
+
+  // Time to move `n` bytes at this rate. Requires a non-zero rate.
+  constexpr Time transfer_time(Bytes n) const {
+    return Time::seconds(static_cast<double>(n) * 8.0 / bps_);
+  }
+
+  // Bytes moved in duration `d` at this rate.
+  constexpr double bytes_in(Time d) const { return d.sec() * bps_ / 8.0; }
+
+  constexpr Bandwidth operator+(Bandwidth rhs) const { return Bandwidth{bps_ + rhs.bps_}; }
+  constexpr Bandwidth operator-(Bandwidth rhs) const { return Bandwidth{bps_ - rhs.bps_}; }
+  constexpr Bandwidth operator*(double k) const { return Bandwidth{bps_ * k}; }
+  constexpr double operator/(Bandwidth rhs) const { return bps_ / rhs.bps_; }
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+
+  // Average rate for `n` bytes over duration `d`.
+  static constexpr Bandwidth over(Bytes n, Time d) {
+    return Bandwidth{d.ps() > 0 ? static_cast<double>(n) * 8.0 / d.sec() : 0.0};
+  }
+
+ private:
+  constexpr explicit Bandwidth(double bps) : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+}  // namespace hostcc::sim

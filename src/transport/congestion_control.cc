@@ -1,0 +1,19 @@
+#include "transport/congestion_control.h"
+
+#include "transport/swift.h"
+
+namespace hostcc::transport {
+
+std::unique_ptr<CongestionControl> make_cc(CcKind kind, const CcConfig& cfg) {
+  switch (kind) {
+    case CcKind::kDctcp:
+      return std::make_unique<DctcpCc>(cfg);
+    case CcKind::kReno:
+      return std::make_unique<RenoCc>(cfg);
+    case CcKind::kSwift:
+      return std::make_unique<SwiftCc>(cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace hostcc::transport

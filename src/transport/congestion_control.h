@@ -1,0 +1,171 @@
+// Pluggable congestion control, the integration point §3.3/§4.3 of the
+// paper relies on: hostCC does not modify the protocol — it only feeds it
+// additional (host) ECN marks. Any ECN-capable controller works unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/time.h"
+#include "sim/units.h"
+
+namespace hostcc::transport {
+
+struct CcConfig {
+  sim::Bytes mss = 4030;                 // payload bytes per segment
+  sim::Bytes init_cwnd_segments = 10;
+  double dctcp_g = 1.0 / 16.0;           // DCTCP alpha gain [4]
+  sim::Bytes max_cwnd = 16 * sim::kMiB;  // socket-memory cap
+};
+
+class CongestionControl {
+ public:
+  explicit CongestionControl(const CcConfig& cfg)
+      : cfg_(cfg), cwnd_(static_cast<double>(cfg.mss * cfg.init_cwnd_segments)) {}
+  virtual ~CongestionControl() = default;
+
+  virtual std::string name() const = 0;
+  // Whether data packets should carry ECT(0) (ECN-capable transport).
+  virtual bool ecn_capable() const = 0;
+
+  // Called for every cumulative ACK advancing snd_una. `in_recovery`
+  // suppresses window growth (loss recovery in progress) while still
+  // letting mark accounting (e.g. DCTCP's alpha) proceed.
+  virtual void on_ack(sim::Bytes newly_acked, bool ece, sim::Time rtt, bool in_recovery) = 0;
+  // Fast-retransmit loss (at most once per window of data).
+  virtual void on_loss() = 0;
+  // Retransmission timeout.
+  virtual void on_timeout() = 0;
+
+  sim::Bytes cwnd() const { return static_cast<sim::Bytes>(cwnd_); }
+
+ protected:
+  void clamp_cwnd() {
+    const auto lo = static_cast<double>(cfg_.mss);
+    const auto hi = static_cast<double>(cfg_.max_cwnd);
+    if (cwnd_ < lo) cwnd_ = lo;
+    if (cwnd_ > hi) cwnd_ = hi;
+  }
+
+  CcConfig cfg_;
+  double cwnd_;
+};
+
+// TCP Reno/NewReno-style AIMD without ECN: the non-ECN baseline.
+class RenoCc : public CongestionControl {
+ public:
+  explicit RenoCc(const CcConfig& cfg) : CongestionControl(cfg) {}
+
+  std::string name() const override { return "reno"; }
+  bool ecn_capable() const override { return false; }
+
+  void on_ack(sim::Bytes newly_acked, bool /*ece*/, sim::Time /*rtt*/,
+              bool in_recovery) override {
+    if (in_recovery) return;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += static_cast<double>(newly_acked);  // slow start
+    } else {
+      cwnd_ += static_cast<double>(cfg_.mss) * static_cast<double>(newly_acked) / cwnd_;
+    }
+    clamp_cwnd();
+  }
+
+  void on_loss() override {
+    ssthresh_ = cwnd_ / 2.0;
+    cwnd_ = ssthresh_;
+    clamp_cwnd();
+  }
+
+  void on_timeout() override {
+    ssthresh_ = cwnd_ / 2.0;
+    cwnd_ = static_cast<double>(cfg_.mss);
+  }
+
+ protected:
+  double ssthresh_ = 1e18;
+};
+
+// DCTCP [4]: EWMA of the marked-byte fraction, window scaled by alpha/2
+// once per window of data. Falls back to Reno behaviour on loss.
+class DctcpCc : public CongestionControl {
+ public:
+  explicit DctcpCc(const CcConfig& cfg) : CongestionControl(cfg) {}
+
+  std::string name() const override { return "dctcp"; }
+  bool ecn_capable() const override { return true; }
+
+  void on_ack(sim::Bytes newly_acked, bool ece, sim::Time /*rtt*/, bool in_recovery) override {
+    if (ece && cwnd_ < ssthresh_) ssthresh_ = cwnd_;  // marks end slow start
+    acked_bytes_ += newly_acked;
+    if (ece) marked_bytes_ += newly_acked;
+
+    // End of observation window: one cwnd of data has been acknowledged.
+    window_left_ -= newly_acked;
+    if (window_left_ <= 0) {
+      const double f = acked_bytes_ > 0 ? static_cast<double>(marked_bytes_) /
+                                              static_cast<double>(acked_bytes_)
+                                        : 0.0;
+      alpha_ = (1.0 - cfg_.dctcp_g) * alpha_ + cfg_.dctcp_g * f;
+      if (marked_bytes_ > 0 && cwnd_ >= ssthresh_) {
+        cwnd_ *= (1.0 - alpha_ / 2.0);
+        clamp_cwnd();
+      }
+      acked_bytes_ = 0;
+      marked_bytes_ = 0;
+      window_left_ = cwnd();
+    }
+
+    if (in_recovery || ece) {
+      clamp_cwnd();
+      return;  // no growth on marked ACKs or during loss recovery
+    }
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += static_cast<double>(newly_acked);
+    } else {
+      cwnd_ += static_cast<double>(cfg_.mss) * static_cast<double>(newly_acked) / cwnd_;
+    }
+    clamp_cwnd();
+  }
+
+  void on_loss() override {
+    ssthresh_ = cwnd_ / 2.0;
+    cwnd_ = ssthresh_;
+    clamp_cwnd();
+    window_left_ = cwnd();
+  }
+
+  void on_timeout() override {
+    ssthresh_ = cwnd_ / 2.0;
+    cwnd_ = static_cast<double>(cfg_.mss);
+    acked_bytes_ = marked_bytes_ = 0;
+    window_left_ = cwnd();
+  }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_ = 1.0;  // conservative start, per the Linux implementation
+  double ssthresh_ = 1e18;
+  sim::Bytes acked_bytes_ = 0;
+  sim::Bytes marked_bytes_ = 0;
+  sim::Bytes window_left_ = cwnd();
+};
+
+enum class CcKind { kDctcp, kReno, kSwift };
+
+// Factory defined in congestion_control.cc (SwiftCc lives in swift.h).
+std::unique_ptr<CongestionControl> make_cc(CcKind kind, const CcConfig& cfg);
+
+inline const char* cc_kind_name(CcKind k) {
+  switch (k) {
+    case CcKind::kDctcp:
+      return "dctcp";
+    case CcKind::kReno:
+      return "reno";
+    case CcKind::kSwift:
+      return "swift";
+  }
+  return "?";
+}
+
+}  // namespace hostcc::transport

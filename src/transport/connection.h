@@ -1,0 +1,170 @@
+// A TCP connection endpoint: byte-stream sender and receiver with
+//   - pluggable congestion control (DCTCP by default),
+//   - per-packet ACKs carrying exact ECN feedback (DCTCP-style),
+//   - receive-window backpressure from the host's processing backlog,
+//   - NewReno-style dup-ACK fast retransmit + partial-ACK retransmission,
+//   - RTO with exponential backoff and go-back-N on expiry (min 200ms, the
+//     Linux default the paper's P99.9 latencies are dominated by),
+//   - Tail Loss Probe armed when more than one packet is in flight (§2.2:
+//     "TLP is effective when there is more than one in-flight packet").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "transport/congestion_control.h"
+
+namespace hostcc::transport {
+
+struct TransportConfig {
+  CcKind cc = CcKind::kDctcp;
+  sim::Bytes mtu = 4096;  // wire MTU; MSS = mtu - headers
+  sim::Bytes init_cwnd_segments = 10;
+  sim::Time min_rto = sim::Time::milliseconds(200);  // Linux default
+  bool tlp_enabled = true;
+  sim::Time tlp_min = sim::Time::milliseconds(10);
+  sim::Bytes tsq_limit_packets = 2;  // Linux TCP Small Queues default
+  sim::Bytes max_cwnd = 16 * sim::kMiB;
+  double dctcp_g = 1.0 / 16.0;
+
+  sim::Bytes mss() const { return mtu - net::kHeaderBytes; }
+  CcConfig cc_config() const {
+    return {.mss = mss(),
+            .init_cwnd_segments = init_cwnd_segments,
+            .dctcp_g = dctcp_g,
+            .max_cwnd = max_cwnd};
+  }
+};
+
+class Stack;
+
+class TcpConnection {
+ public:
+  TcpConnection(sim::Simulator& sim, Stack& stack, net::FlowId flow, net::HostId self,
+                net::HostId peer, const TransportConfig& cfg);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // --- application interface ---
+  void write(sim::Bytes n);              // append n bytes to the stream
+  void set_infinite_source(bool on);     // NetApp-T style: always more data
+  // In-order delivery notification at the receiver.
+  void set_on_delivered(std::function<void(sim::Bytes)> fn) { on_delivered_ = std::move(fn); }
+
+  // --- stack interface ---
+  void on_packet(const net::Packet& p);
+  // TSQ wakeup: egress queue for this flow drained below the limit.
+  void on_tx_drained() { try_send(); }
+
+  // --- introspection ---
+  net::FlowId flow() const { return flow_; }
+  sim::Bytes cwnd() const { return cc_->cwnd(); }
+  const CongestionControl& cc() const { return *cc_; }
+  sim::Time srtt() const { return srtt_; }
+  sim::Bytes in_flight() const { return snd_nxt_ - snd_una_; }
+  sim::Bytes delivered_bytes() const { return delivered_bytes_; }
+
+  // Diagnostic views (tests/tools).
+  net::SeqNum snd_una() const { return snd_una_; }
+  net::SeqNum snd_nxt() const { return snd_nxt_; }
+  net::SeqNum rcv_nxt() const { return rcv_nxt_; }
+  std::vector<std::pair<net::SeqNum, net::SeqNum>> ooo_ranges() const {
+    return {ooo_.begin(), ooo_.end()};
+  }
+  std::vector<std::pair<net::SeqNum, bool>> segment_sack_map() const {
+    std::vector<std::pair<net::SeqNum, bool>> v;
+    for (const auto& [seq, seg] : segs_) v.emplace_back(seq, seg.sacked);
+    return v;
+  }
+  bool in_recovery() const { return in_recovery_; }
+
+  struct Stats {
+    std::uint64_t data_packets_sent = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t fast_retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t tlp_probes = 0;
+    std::uint64_t ce_received = 0;    // CE-marked data packets seen
+    std::uint64_t ece_received = 0;   // ECE-flagged ACKs processed
+    sim::Bytes retransmitted_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Segment {
+    sim::Bytes len = 0;
+    sim::Time sent_at;
+    bool retransmitted = false;
+    bool sacked = false;
+    std::uint32_t retx_epoch = 0;  // recovery epoch this segment was resent in
+  };
+
+  // send side
+  void try_send();
+  void send_segment(net::SeqNum seq, sim::Bytes len, bool is_retx, bool is_tlp);
+  void apply_sack(const net::Packet& p);
+  sim::Bytes sacked_bytes_above_una() const;
+  void enter_recovery();
+  void retransmit_next_hole();
+  sim::Time rack_window() const;
+  void arm_rack_timer();
+  void process_ack(const net::Packet& p);
+  void arm_timers();
+  void cancel_timers();
+  void on_rto();
+  void on_tlp();
+  sim::Bytes send_window() const;
+  std::uint64_t inflight_packets() const { return segs_.size(); }
+
+  // receive side
+  void receive_data(const net::Packet& p);
+  void send_ack(const net::Packet& trigger);
+
+  sim::Simulator& sim_;
+  Stack& stack_;
+  net::FlowId flow_;
+  net::HostId self_;
+  net::HostId peer_;
+  TransportConfig cfg_;
+  std::unique_ptr<CongestionControl> cc_;
+
+  // --- sender state ---
+  net::SeqNum snd_una_ = 0;
+  net::SeqNum snd_nxt_ = 0;
+  net::SeqNum write_limit_ = 0;  // last byte the app has produced
+  bool infinite_source_ = false;
+  sim::Bytes peer_rwnd_;
+  std::map<net::SeqNum, Segment> segs_;  // in-flight segments by seq
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  net::SeqNum recovery_point_ = 0;
+  std::uint32_t recovery_epoch_ = 0;
+
+  sim::Time srtt_ = sim::Time::zero();
+  sim::Time rttvar_ = sim::Time::zero();
+  sim::Time rto_;
+  int rto_backoff_ = 1;
+  sim::EventHandle rto_timer_;
+  sim::EventHandle tlp_timer_;
+  sim::EventHandle rack_timer_;  // recovery self-clock (RFC 8985-style)
+
+  // --- receiver state ---
+  net::SeqNum rcv_nxt_ = 0;
+  std::map<net::SeqNum, net::SeqNum> ooo_;  // disjoint [begin,end) intervals
+  sim::Bytes ooo_bytes_ = 0;
+  sim::Bytes delivered_bytes_ = 0;
+
+  std::function<void(sim::Bytes)> on_delivered_;
+  Stats stats_;
+};
+
+}  // namespace hostcc::transport

@@ -1,0 +1,74 @@
+// Per-host transport stack: owns connections, dispatches packets coming up
+// from the host datapath, and injects outbound packets into the host's TX
+// path. Also answers receive-window queries against the host's processing
+// backlog (socket-buffer accounting).
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+
+#include "host/host.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "transport/connection.h"
+
+namespace hostcc::transport {
+
+class Stack {
+ public:
+  Stack(sim::Simulator& sim, host::HostModel& host, net::HostId id, TransportConfig cfg)
+      : sim_(sim), host_(host), id_(id), cfg_(cfg) {
+    host_.set_stack_rx([this](net::Packet p) { dispatch(p); });
+    host_.set_on_tx_drained([this](net::FlowId f) {
+      auto it = conns_.find(f);
+      if (it != conns_.end()) it->second->on_tx_drained();
+    });
+  }
+
+  // Creates this endpoint of connection `flow` to `peer`. Both endpoints
+  // must be created (one per host) with the same flow id.
+  TcpConnection& connect(net::FlowId flow, net::HostId peer) {
+    auto conn = std::make_unique<TcpConnection>(sim_, *this, flow, id_, peer, cfg_);
+    auto [it, inserted] = conns_.emplace(flow, std::move(conn));
+    assert(inserted && "duplicate flow id on this host");
+    return *it->second;
+  }
+
+  TcpConnection& connection(net::FlowId flow) { return *conns_.at(flow); }
+  bool has_connection(net::FlowId flow) const { return conns_.count(flow) > 0; }
+
+  net::HostId id() const { return id_; }
+  const TransportConfig& config() const { return cfg_; }
+  sim::Simulator& simulator() { return sim_; }
+  host::HostModel& host() { return host_; }
+
+  // --- used by TcpConnection ---
+  void output(const net::Packet& p) { host_.send(p); }
+  std::uint64_t next_packet_id() { return (static_cast<std::uint64_t>(id_) << 40) | ++pkt_seq_; }
+  sim::Bytes advertised_window(net::FlowId flow, sim::Bytes ooo_bytes) const {
+    const sim::Bytes w = host_.rwnd_for(flow) - ooo_bytes;
+    return w > 0 ? w : 0;
+  }
+  // TSQ: allow more data into the local egress queue only while this
+  // flow's queued bytes stay under the limit (Linux TCP Small Queues).
+  bool tx_queue_ok(net::FlowId flow) const {
+    return host_.tx_queued_bytes(flow) < cfg_.tsq_limit_packets * cfg_.mtu;
+  }
+
+ private:
+  void dispatch(const net::Packet& p) {
+    if (p.dst != id_) return;  // mis-delivered; fabric bug guard
+    auto it = conns_.find(p.flow);
+    if (it != conns_.end()) it->second->on_packet(p);
+  }
+
+  sim::Simulator& sim_;
+  host::HostModel& host_;
+  net::HostId id_;
+  TransportConfig cfg_;
+  std::unordered_map<net::FlowId, std::unique_ptr<TcpConnection>> conns_;
+  std::uint64_t pkt_seq_ = 0;
+};
+
+}  // namespace hostcc::transport

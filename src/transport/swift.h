@@ -1,0 +1,78 @@
+// Swift-style delay-based congestion control (Kumar et al., SIGCOMM 2020
+// — the protocol Google's host-congestion study [1] ran under). §6 of the
+// hostCC paper discusses extending hostCC to delay-based protocols: Swift
+// reacts to end-to-end RTT, which *includes* NIC-buffer queueing delay at
+// a congested host, so it backs off before drops even without ECN —
+// hostCC's host-local response then supplies the host resource allocation
+// that no transport-level reaction can.
+//
+// Faithful-lite implementation: target delay; additive increase below
+// target; multiplicative decrease proportional to the excess above target
+// (at most once per RTT); loss halves; timeout collapses.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "transport/congestion_control.h"
+
+namespace hostcc::transport {
+
+struct SwiftParams {
+  sim::Time target_delay = sim::Time::microseconds(60);
+  double beta = 0.8;        // MD scaling on (delay - target)/delay
+  double max_mdf = 0.5;     // max multiplicative decrease factor
+  double ai = 1.0;          // additive increase, MSS per RTT
+};
+
+class SwiftCc : public CongestionControl {
+ public:
+  SwiftCc(const CcConfig& cfg, const SwiftParams& p = {}) : CongestionControl(cfg), p_(p) {}
+
+  std::string name() const override { return "swift"; }
+  bool ecn_capable() const override { return false; }  // delay is the signal
+
+  void on_ack(sim::Bytes newly_acked, bool /*ece*/, sim::Time rtt, bool in_recovery) override {
+    if (rtt > sim::Time::zero()) last_delay_ = rtt;
+    if (in_recovery) return;
+
+    decrease_window_left_ -= newly_acked;
+    const bool can_decrease = decrease_window_left_ <= 0;
+
+    if (last_delay_ > p_.target_delay) {
+      if (can_decrease) {
+        const double excess =
+            (last_delay_ - p_.target_delay).sec() / std::max(last_delay_.sec(), 1e-9);
+        const double mdf = std::min(p_.beta * excess, p_.max_mdf);
+        cwnd_ *= (1.0 - mdf);
+        decrease_window_left_ = cwnd();  // at most one decrease per RTT
+        clamp_cwnd();
+      }
+      return;
+    }
+    // Below target: additive increase of `ai` MSS per RTT, per-ACK scaled.
+    cwnd_ += p_.ai * static_cast<double>(cfg_.mss) * static_cast<double>(newly_acked) / cwnd_;
+    clamp_cwnd();
+  }
+
+  void on_loss() override {
+    cwnd_ *= (1.0 - p_.max_mdf);
+    decrease_window_left_ = cwnd();
+    clamp_cwnd();
+  }
+
+  void on_timeout() override {
+    cwnd_ = static_cast<double>(cfg_.mss);
+    decrease_window_left_ = cwnd();
+  }
+
+  sim::Time last_delay() const { return last_delay_; }
+  const SwiftParams& params() const { return p_; }
+
+ private:
+  SwiftParams p_;
+  sim::Time last_delay_;
+  sim::Bytes decrease_window_left_ = 0;
+};
+
+}  // namespace hostcc::transport

@@ -1,0 +1,143 @@
+// Tests for the application layer: MemApp dynamics, RPC framing and
+// closed-loop behaviour, ThroughputApp accounting.
+#include <gtest/gtest.h>
+
+#include "apps/mem_app.h"
+#include "apps/rpc_app.h"
+#include "apps/throughput_app.h"
+#include "testbed.h"
+
+namespace hostcc::apps {
+namespace {
+
+using hostcc::testing::Testbed;
+
+TEST(MemAppTest, BandwidthScalesWithCores) {
+  auto run_cores = [](int cores) {
+    sim::Simulator sim;
+    host::HostModel host(sim, {}, "h");
+    MemApp mapp(host, cores);
+    sim.run_until(sim::Time::milliseconds(2));
+    mapp.bandwidth_since_mark(sim.now());
+    sim.run_until(sim::Time::milliseconds(8));
+    return mapp.bandwidth_since_mark(sim.now()).as_gigabytes_per_sec();
+  };
+  const double b8 = run_cores(8);
+  const double b16 = run_cores(16);
+  const double b24 = run_cores(24);
+  EXPECT_GT(b16, b8 * 1.3);   // grows with cores...
+  EXPECT_GT(b24, b16 * 1.05);
+  EXPECT_LT(b24, b16 * 1.6);  // ...sublinearly near saturation
+}
+
+TEST(MemAppTest, PausedByMbaLevel4) {
+  sim::Simulator sim;
+  host::HostModel host(sim, {}, "h");
+  MemApp mapp(host, 16);
+  sim.run_until(sim::Time::milliseconds(2));
+  host.mba().request_level(host::MbaThrottle::kMaxLevel);
+  sim.run_until(sim::Time::milliseconds(3));  // level effective at +22us
+  mapp.bandwidth_since_mark(sim.now());
+  sim.run_until(sim::Time::milliseconds(5));
+  EXPECT_NEAR(mapp.bandwidth_since_mark(sim.now()).as_gigabytes_per_sec(), 0.0, 1e-6);
+  // And resumes on release.
+  host.mba().request_level(0);
+  sim.run_until(sim::Time::milliseconds(6));
+  mapp.bandwidth_since_mark(sim.now());
+  sim.run_until(sim::Time::milliseconds(10));
+  EXPECT_GT(mapp.bandwidth_since_mark(sim.now()).as_gigabytes_per_sec(), 10.0);
+}
+
+TEST(MemAppTest, ThrottledMonotonicallyByLevel) {
+  double prev = 1e18;
+  for (int level = 0; level <= 3; ++level) {
+    sim::Simulator sim;
+    host::HostModel host(sim, {}, "h");
+    MemApp mapp(host, 24);
+    host.mba().request_level(level);
+    sim.run_until(sim::Time::milliseconds(2));
+    mapp.bandwidth_since_mark(sim.now());
+    sim.run_until(sim::Time::milliseconds(10));
+    const double gBps = mapp.bandwidth_since_mark(sim.now()).as_gigabytes_per_sec();
+    EXPECT_LT(gBps, prev) << "level " << level;
+    prev = gBps;
+  }
+}
+
+TEST(MemAppTest, DynamicCoreChangeTakesEffect) {
+  sim::Simulator sim;
+  host::HostModel host(sim, {}, "h");
+  MemApp mapp(host, 8);
+  sim.run_until(sim::Time::milliseconds(4));
+  mapp.bandwidth_since_mark(sim.now());
+  sim.run_until(sim::Time::milliseconds(8));
+  const double before = mapp.bandwidth_since_mark(sim.now()).as_gigabytes_per_sec();
+  mapp.set_cores(24);
+  sim.run_until(sim::Time::milliseconds(12));
+  mapp.bandwidth_since_mark(sim.now());
+  sim.run_until(sim::Time::milliseconds(18));
+  const double after = mapp.bandwidth_since_mark(sim.now()).as_gigabytes_per_sec();
+  EXPECT_GT(after, before * 1.5);
+}
+
+TEST(RpcTest, ClosedLoopCompletesSequentially) {
+  Testbed tb;
+  RpcClient client(*tb.a, 5, 1, 2048);
+  RpcServer server(*tb.b, 5, 0, 2048);
+  client.start();
+  tb.run_for(sim::Time::milliseconds(50));
+  EXPECT_GT(client.completed(), 100u);
+  EXPECT_EQ(client.latency().count(), client.completed());
+}
+
+TEST(RpcTest, LatencyScalesWithResponseSize) {
+  auto median_latency = [](sim::Bytes size) {
+    Testbed tb;
+    RpcClient client(*tb.a, 5, 1, size);
+    RpcServer server(*tb.b, 5, 0, size);
+    client.start();
+    tb.run_for(sim::Time::milliseconds(60));
+    return client.latency().percentile_time(0.5);
+  };
+  const sim::Time small = median_latency(128);
+  const sim::Time large = median_latency(32768);
+  EXPECT_GT(large, small);
+  // Both are dominated by the RTT, so the gap is bounded.
+  EXPECT_LT(large.us(), small.us() * 6);
+}
+
+TEST(RpcTest, MultipleClientsIndependentFraming) {
+  Testbed tb;
+  RpcClient c1(*tb.a, 5, 1, 128);
+  RpcServer s1(*tb.b, 5, 0, 128);
+  RpcClient c2(*tb.a, 6, 1, 8192);
+  RpcServer s2(*tb.b, 6, 0, 8192);
+  c1.start();
+  c2.start();
+  tb.run_for(sim::Time::milliseconds(50));
+  EXPECT_GT(c1.completed(), 100u);
+  EXPECT_GT(c2.completed(), 100u);
+}
+
+TEST(ThroughputAppTest, AggregatesDeliveredBytes) {
+  Testbed tb;
+  ThroughputApp app(*tb.a, *tb.b, 2, 100, sim::Time::zero());
+  tb.run_for(sim::Time::milliseconds(30));
+  EXPECT_GT(app.delivered_bytes(), 10'000'000);
+  EXPECT_EQ(app.flow_count(), 2);
+  const auto st = app.sender_stats();
+  EXPECT_GT(st.data_packets_sent, 2000u);
+}
+
+TEST(ThroughputAppTest, StaggeredStartDelaysLaterFlows) {
+  Testbed tb;
+  ThroughputApp app(*tb.a, *tb.b, 2, 100, sim::Time::milliseconds(5));
+  tb.run_for(sim::Time::milliseconds(3));
+  EXPECT_GT(app.receiver_conn(0).delivered_bytes(), 0);
+  EXPECT_EQ(app.receiver_conn(1).delivered_bytes(), 0);  // not started yet
+  tb.run_for(sim::Time::milliseconds(10));
+  EXPECT_GT(app.receiver_conn(1).delivered_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace hostcc::apps

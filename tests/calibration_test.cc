@@ -1,0 +1,127 @@
+// Calibration pins: the host model must reproduce the paper's measured
+// baseline numbers (§2.2, §4.1, Fig. 8) within tolerance. If one of these
+// fails after a model change, re-derive the constants in HostConfig (see
+// DESIGN.md §3) rather than loosening the tolerance.
+#include <gtest/gtest.h>
+
+#include "apps/mem_app.h"
+#include "exp/scenario.h"
+
+namespace hostcc {
+namespace {
+
+// Stand-alone MApp bandwidth at 1x/2x/3x: paper measures 16.0/28.7/34.8
+// GBps ("in the absence of any other source of memory traffic").
+class MappStandalone : public ::testing::TestWithParam<std::pair<int, double>> {};
+
+TEST_P(MappStandalone, MatchesPaperBandwidth) {
+  const auto [cores, expected_gBps] = GetParam();
+  sim::Simulator sim;
+  host::HostModel host(sim, {}, "h");
+  apps::MemApp mapp(host, cores);
+  sim.run_until(sim::Time::milliseconds(2));  // warm the latency estimate
+  mapp.bandwidth_since_mark(sim.now());
+  sim.run_until(sim::Time::milliseconds(12));
+  const double gBps = mapp.bandwidth_since_mark(sim.now()).as_gigabytes_per_sec();
+  EXPECT_NEAR(gBps, expected_gBps, 0.15 * expected_gBps) << cores << " cores";
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, MappStandalone,
+                         ::testing::Values(std::make_pair(8, 16.0),
+                                           std::make_pair(16, 28.7),
+                                           std::make_pair(24, 34.8)));
+
+TEST(Calibration, UncongestedLineRateAndSignals) {
+  exp::ScenarioConfig cfg;
+  cfg.warmup = sim::Time::milliseconds(40);
+  cfg.measure = sim::Time::milliseconds(40);
+  cfg.record_signals = true;
+  exp::Scenario s(cfg);
+  const auto r = s.run();
+  // Fig. 2/8: ~100Gbps app goodput, B_S ~103-105 (PCIe overheads at 4K
+  // MTU), I_S ~65 cachelines, no drops.
+  EXPECT_GT(r.net_tput_gbps, 95.0);
+  EXPECT_NEAR(r.avg_pcie_gbps, 104.0, 3.0);
+  EXPECT_NEAR(r.avg_iio_occupancy, 65.0, 5.0);
+  EXPECT_LT(r.host_drop_rate_pct, 0.001);
+}
+
+TEST(Calibration, ThreeXCongestionCollapse) {
+  exp::ScenarioConfig cfg;
+  cfg.mapp_degree = 3.0;
+  cfg.warmup = sim::Time::milliseconds(250);
+  cfg.measure = sim::Time::milliseconds(100);
+  cfg.record_signals = true;
+  exp::Scenario s(cfg);
+  const auto r = s.run();
+  // Fig. 2/8 at 3x: throughput ~43Gbps (35-55% degradation), B_S ~45,
+  // I_S approaching the 93-line credit pool, drops in the 0.01-1% band.
+  EXPECT_NEAR(r.net_tput_gbps, 43.0, 8.0);
+  EXPECT_NEAR(r.avg_pcie_gbps, 45.0, 8.0);
+  EXPECT_GT(r.avg_iio_occupancy, 75.0);
+  EXPECT_LE(r.avg_iio_occupancy, 93.5);
+  EXPECT_GT(r.host_drop_rate_pct, 0.01);
+  EXPECT_LT(r.host_drop_rate_pct, 1.0);
+  // Fig. 2 right: MApp acquires the dominant share of memory bandwidth.
+  EXPECT_GT(r.mapp_mem_util, 0.6);
+  EXPECT_LT(r.net_mem_util, 0.35);
+}
+
+TEST(Calibration, DdioIdleOccupancyLower) {
+  // §5.2: with DDIO the no-congestion IIO occupancy is ~45 (vs ~65),
+  // motivating I_T = 50.
+  exp::ScenarioConfig cfg;
+  cfg.host.ddio_enabled = true;
+  cfg.warmup = sim::Time::milliseconds(40);
+  cfg.measure = sim::Time::milliseconds(40);
+  cfg.record_signals = true;
+  exp::Scenario s(cfg);
+  const auto r = s.run();
+  EXPECT_NEAR(r.avg_iio_occupancy, 45.0, 7.0);
+  EXPECT_GT(r.net_tput_gbps, 95.0);
+}
+
+TEST(Calibration, NetworkMemoryAmplification) {
+  // §4.2: NetApp-T uses ~2.1x memory bandwidth per unit app throughput
+  // (DMA + copy) with DDIO off.
+  exp::ScenarioConfig cfg;
+  cfg.warmup = sim::Time::milliseconds(40);
+  cfg.measure = sim::Time::milliseconds(40);
+  exp::Scenario s(cfg);
+  const auto r = s.run();
+  const double amplification = r.net_mem_gbps / r.net_tput_gbps;
+  EXPECT_NEAR(amplification, 2.1, 0.35);
+}
+
+TEST(Calibration, MsrReadLatencySubMicrosecond) {
+  // §4.1: each MSR read <~600ns; overall signal measurement 0.4-1.2us.
+  exp::ScenarioConfig cfg;
+  cfg.hostcc_enabled = true;
+  cfg.warmup = sim::Time::milliseconds(5);
+  cfg.measure = sim::Time::milliseconds(10);
+  exp::Scenario s(cfg);
+  s.run();
+  const auto& h = s.signals().is_read_latency();
+  EXPECT_GT(h.percentile_time(0.5).ns(), 300.0);
+  EXPECT_LT(h.percentile_time(0.99).ns(), 1300.0);
+}
+
+TEST(Calibration, MbaLevelThroughputLadder) {
+  // Fig. 9 (DDIO off): level 0 -> ~43Gbps, level 3 -> ~77Gbps, level 4
+  // (pause) -> line rate.
+  auto run_level = [](int level) {
+    exp::ScenarioConfig cfg;
+    cfg.mapp_degree = 3.0;
+    cfg.fixed_mba_level = level;
+    cfg.warmup = sim::Time::milliseconds(250);
+    cfg.measure = sim::Time::milliseconds(60);
+    exp::Scenario s(cfg);
+    return s.run().net_tput_gbps;
+  };
+  EXPECT_NEAR(run_level(0), 43.0, 8.0);
+  EXPECT_NEAR(run_level(3), 77.0, 8.0);
+  EXPECT_GT(run_level(4), 95.0);
+}
+
+}  // namespace
+}  // namespace hostcc

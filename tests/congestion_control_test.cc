@@ -1,0 +1,146 @@
+// Unit tests for the congestion-control algorithms in isolation.
+#include "transport/congestion_control.h"
+
+#include <gtest/gtest.h>
+
+namespace hostcc::transport {
+namespace {
+
+CcConfig cfg() {
+  CcConfig c;
+  c.mss = 4030;
+  c.init_cwnd_segments = 10;
+  return c;
+}
+
+TEST(RenoTest, SlowStartDoublesPerRtt) {
+  RenoCc cc(cfg());
+  const sim::Bytes w0 = cc.cwnd();
+  // ACK a full window: cwnd should double.
+  cc.on_ack(w0, false, sim::Time::microseconds(50), false);
+  EXPECT_EQ(cc.cwnd(), 2 * w0);
+}
+
+TEST(RenoTest, LossHalvesWindow) {
+  RenoCc cc(cfg());
+  cc.on_ack(cc.cwnd(), false, sim::Time::zero(), false);
+  const sim::Bytes before = cc.cwnd();
+  cc.on_loss();
+  EXPECT_NEAR(static_cast<double>(cc.cwnd()), before / 2.0, 1.0);
+}
+
+TEST(RenoTest, TimeoutCollapsesToOneMss) {
+  RenoCc cc(cfg());
+  cc.on_timeout();
+  EXPECT_EQ(cc.cwnd(), cfg().mss);
+}
+
+TEST(RenoTest, CongestionAvoidanceGrowsOneMssPerWindow) {
+  RenoCc cc(cfg());
+  cc.on_loss();  // exit slow start (ssthresh = cwnd/2, cwnd = ssthresh)
+  const sim::Bytes w = cc.cwnd();
+  // ACK one full window in MSS-sized chunks.
+  sim::Bytes acked = 0;
+  while (acked < w) {
+    cc.on_ack(cfg().mss, false, sim::Time::zero(), false);
+    acked += cfg().mss;
+  }
+  EXPECT_NEAR(static_cast<double>(cc.cwnd()), static_cast<double>(w + cfg().mss),
+              static_cast<double>(cfg().mss) / 2.0);
+}
+
+TEST(RenoTest, NoGrowthDuringRecovery) {
+  RenoCc cc(cfg());
+  const sim::Bytes w = cc.cwnd();
+  cc.on_ack(cfg().mss, false, sim::Time::zero(), true);
+  EXPECT_EQ(cc.cwnd(), w);
+}
+
+TEST(RenoTest, NeverBelowOneMss) {
+  RenoCc cc(cfg());
+  for (int i = 0; i < 20; ++i) cc.on_loss();
+  EXPECT_GE(cc.cwnd(), cfg().mss);
+}
+
+TEST(DctcpTest, AlphaStartsHighAndDecaysWithoutMarks) {
+  DctcpCc cc(cfg());
+  EXPECT_DOUBLE_EQ(cc.alpha(), 1.0);  // Linux initial alpha
+  // Several unmarked windows: alpha decays by (1-g) per window.
+  for (int i = 0; i < 16; ++i) cc.on_ack(cc.cwnd(), false, sim::Time::zero(), false);
+  EXPECT_LT(cc.alpha(), 0.45);
+}
+
+TEST(DctcpTest, AlphaTracksMarkedFraction) {
+  DctcpCc cc(cfg());
+  // Steady state with every window fully marked: alpha -> 1.
+  for (int i = 0; i < 100; ++i) cc.on_ack(cc.cwnd(), true, sim::Time::zero(), false);
+  EXPECT_NEAR(cc.alpha(), 1.0, 0.01);
+}
+
+TEST(DctcpTest, FullyMarkedWindowHalvesLikeReno) {
+  DctcpCc cc(cfg());
+  // alpha ~= 1: each fully marked window cuts cwnd by alpha/2 = 50%.
+  const sim::Bytes before = cc.cwnd();
+  cc.on_ack(before, true, sim::Time::zero(), false);
+  EXPECT_LT(cc.cwnd(), before);
+  EXPECT_GT(cc.cwnd(), before / 3);
+}
+
+TEST(DctcpTest, LightMarkingCutsGently) {
+  DctcpCc cc(cfg());
+  // Drive alpha down with many unmarked windows first.
+  for (int i = 0; i < 60; ++i) cc.on_ack(cc.cwnd(), false, sim::Time::zero(), false);
+  cc.on_loss();  // pin ssthresh so growth is additive
+  const double alpha_low = cc.alpha();
+  ASSERT_LT(alpha_low, 0.05);
+  const sim::Bytes before = cc.cwnd();
+  // One window with ~10% marked bytes.
+  const sim::Bytes w = before;
+  sim::Bytes acked = 0;
+  while (acked < w) {
+    const bool mark = acked < w / 10;
+    cc.on_ack(cfg().mss, mark, sim::Time::zero(), false);
+    acked += cfg().mss;
+  }
+  // Cut is at most alpha/2 (a few percent), far from a Reno halving.
+  EXPECT_GT(cc.cwnd(), static_cast<sim::Bytes>(0.85 * static_cast<double>(before)));
+}
+
+TEST(DctcpTest, AlphaStaysInUnitRange) {
+  DctcpCc cc(cfg());
+  for (int i = 0; i < 500; ++i) {
+    cc.on_ack(cfg().mss, (i % 3) == 0, sim::Time::zero(), false);
+    EXPECT_GE(cc.alpha(), 0.0);
+    EXPECT_LE(cc.alpha(), 1.0);
+  }
+}
+
+TEST(DctcpTest, EcnCapableFlagsDiffer) {
+  DctcpCc d(cfg());
+  RenoCc r(cfg());
+  EXPECT_TRUE(d.ecn_capable());
+  EXPECT_FALSE(r.ecn_capable());
+}
+
+TEST(DctcpTest, TimeoutResetsWindowAccounting) {
+  DctcpCc cc(cfg());
+  cc.on_ack(1000, true, sim::Time::zero(), false);
+  cc.on_timeout();
+  EXPECT_EQ(cc.cwnd(), cfg().mss);
+}
+
+TEST(CcFactoryTest, MakesRequestedKind) {
+  EXPECT_EQ(make_cc(CcKind::kDctcp, cfg())->name(), "dctcp");
+  EXPECT_EQ(make_cc(CcKind::kReno, cfg())->name(), "reno");
+}
+
+TEST(CcTest, MaxCwndClamped) {
+  CcConfig c = cfg();
+  c.max_cwnd = 100 * c.mss;
+  RenoCc cc(c);
+  for (int i = 0; i < 60; ++i) cc.on_ack(cc.cwnd(), false, sim::Time::zero(), false);
+  EXPECT_LE(cc.cwnd(), c.max_cwnd);
+}
+
+}  // namespace
+}  // namespace hostcc::transport

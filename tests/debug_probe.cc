@@ -1,0 +1,67 @@
+// Temporary diagnostic (not a test): prints transport/host state evolution.
+#include <cstdlib>
+#include <cstdio>
+
+#include "exp/scenario.h"
+
+using namespace hostcc;
+
+int main(int argc, char** argv) {
+  exp::ScenarioConfig cfg;
+  cfg.warmup = sim::Time::milliseconds(0.1);
+  cfg.measure = sim::Time::milliseconds(1);
+  if (argc > 1) cfg.mapp_degree = std::atof(argv[1]);
+  if (argc > 2) cfg.host.ddio_enabled = std::atoi(argv[2]) != 0;
+  exp::Scenario s(cfg);
+
+  for (int i = 0; i < 30; ++i) {
+    s.run_for(sim::Time::milliseconds(i < 15 ? 0.2 : 1));
+    auto& c0 = s.netapp_t().sender_conn(0);
+    auto& r0 = s.netapp_t().receiver_conn(0);
+    const auto& st = c0.stats();
+    const auto& nic = s.receiver().nic().stats();
+    std::printf(
+        "t=%5.1fms cwnd=%7lld inflight=%7lld srtt=%6.1fus to=%llu fr=%llu tlp=%llu "
+        "ece=%llu ce=%llu acks=%llu dataTx=%llu delivered=%lld nicDrop=%llu credStall=%llu "
+        "iioOcc=%.0f mcLat=%.0fns util=%.2f cpuBacklog=%lld\n",
+        s.simulator().now().ms(), static_cast<long long>(c0.cwnd()),
+        static_cast<long long>(c0.in_flight()), c0.srtt().us(),
+        (unsigned long long)st.timeouts, (unsigned long long)st.fast_retransmits,
+        (unsigned long long)st.tlp_probes, (unsigned long long)st.ece_received,
+        (unsigned long long)r0.stats().ce_received, (unsigned long long)r0.stats().acks_sent,
+        (unsigned long long)st.data_packets_sent, static_cast<long long>(r0.delivered_bytes()),
+        (unsigned long long)nic.dropped_pkts, (unsigned long long)nic.credit_stalls,
+        s.receiver().iio().occupancy_lines(), s.receiver().memctrl().access_latency().ns(),
+        s.receiver().memctrl().utilization(),
+        static_cast<long long>(s.receiver().cpu().total_backlog()));
+    std::printf(
+        "      retxB=%lld sndTxq=%lld rcvTxq=%lld sndTxPathQ=%lld rcvTxPathQ=%lld "
+        "rcvDeliv0=%lld rxDesc=%d\n",
+        static_cast<long long>(c0.stats().retransmitted_bytes),
+        static_cast<long long>(s.sender().tx_queued_bytes(100)),
+        static_cast<long long>(s.receiver().tx_queued_bytes(100)),
+        static_cast<long long>(s.sender().tx_path_queued()),
+        static_cast<long long>(s.receiver().tx_path_queued()),
+        static_cast<long long>(r0.delivered_bytes()), s.receiver().nic().free_descriptors());
+    std::printf(
+        "      rxArr=%llu rxQueuedB=%lld cpuProc=%llu iioOccB=%lld credits=%lld descStall=%llu\n",
+        (unsigned long long)s.receiver().nic().stats().arrived_pkts,
+        static_cast<long long>(s.receiver().nic().queued_bytes()),
+        (unsigned long long)s.receiver().cpu().packets_processed(),
+        static_cast<long long>(s.receiver().iio().occupancy_bytes()),
+        static_cast<long long>(s.receiver().nic().pcie_credits_available()),
+        (unsigned long long)s.receiver().nic().stats().descriptor_stalls);
+    std::printf("      realCpuQ=%lld busyCores=%d\n",
+                static_cast<long long>(s.receiver().cpu().queued_payload_bytes()),
+                s.receiver().cpu().busy_count());
+    std::printf("      cpuBusyMs=%.2f avgProcNs=%.0f\n", s.receiver().cpu().total_busy().ms(),
+                s.receiver().cpu().total_busy().ns() /
+                    std::max<double>(1.0, s.receiver().cpu().packets_processed()));
+    std::printf("      sndLinkB=%lld sndLinkOps=%llu swDropsToRx=%llu swMarks=%llu\n",
+                static_cast<long long>(s.uplink(1).meter().total_bytes()),
+                (unsigned long long)s.uplink(1).meter().total_ops(),
+                (unsigned long long)s.fabric().port_stats(0).drops,
+                (unsigned long long)s.fabric().port_stats(0).marks);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Diagnostic: detect flows wedged in RTO-wait after long runs.
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/scenario.h"
+
+using namespace hostcc;
+
+int main(int argc, char** argv) {
+  exp::ScenarioConfig cfg;
+  if (argc > 1) cfg.mapp_degree = std::atof(argv[1]);
+  if (argc > 2) cfg.host.ddio_enabled = std::atoi(argv[2]) != 0;
+  cfg.warmup = sim::Time::milliseconds(250);
+  cfg.measure = sim::Time::milliseconds(150);
+
+  exp::Scenario s(cfg);
+  s.run_warmup();
+  auto print_state = [&](const char* tag) {
+    std::printf("-- %s t=%.1fms --\n", tag, s.simulator().now().ms());
+    for (int i = 0; i < s.netapp_t().flow_count(); ++i) {
+      auto& tx = s.netapp_t().sender_conn(i);
+      auto& rx = s.netapp_t().receiver_conn(i);
+      std::printf(
+          "flow %d: delivered=%lldMB cwnd=%lld inflight=%lld srtt=%.0fus to=%llu fr=%llu "
+          "tlp=%llu retxB=%lld\n",
+          i, static_cast<long long>(rx.delivered_bytes() >> 20),
+          static_cast<long long>(tx.cwnd()), static_cast<long long>(tx.in_flight()),
+          tx.srtt().us(), (unsigned long long)tx.stats().timeouts,
+          (unsigned long long)tx.stats().fast_retransmits,
+          (unsigned long long)tx.stats().tlp_probes,
+          static_cast<long long>(tx.stats().retransmitted_bytes));
+    }
+  };
+  print_state("after warmup");
+  std::vector<sim::Bytes> base(4);
+  for (int i = 0; i < 4; ++i) base[i] = s.netapp_t().receiver_conn(i).delivered_bytes();
+  for (int step = 0; step < 3; ++step) {
+    s.run_for(sim::Time::milliseconds(50));
+    std::printf("t=%.0fms rates:", s.simulator().now().ms());
+    for (int i = 0; i < 4; ++i) {
+      const sim::Bytes d = s.netapp_t().receiver_conn(i).delivered_bytes();
+      std::printf(" %5.1fG", static_cast<double>(d - base[i]) * 8.0 / 50e6 / 1000.0 * 1000.0);
+      base[i] = d;
+    }
+    std::printf("\n");
+  }
+  print_state("after measure");
+  return 0;
+}

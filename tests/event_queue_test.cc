@@ -1,0 +1,123 @@
+// Unit tests for the discrete-event queue and simulator.
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hostcc::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(Time::nanoseconds(30), [&] { order.push_back(3); });
+  q.push(Time::nanoseconds(10), [&] { order.push_back(1); });
+  q.push(Time::nanoseconds(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.push(Time::nanoseconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelledEventsNeverFire) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.push(Time::nanoseconds(1), [&] { ++fired; });
+  q.push(Time::nanoseconds(2), [&] { ++fired; });
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, SizeSkipsCancelled) {
+  EventQueue q;
+  EventHandle a = q.push(Time::nanoseconds(1), [] {});
+  q.push(Time::nanoseconds(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  a.cancel();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, HandleReportsFiredAsNotPending) {
+  EventQueue q;
+  EventHandle h = q.push(Time::nanoseconds(1), [] {});
+  EXPECT_TRUE(h.pending());
+  q.pop().second();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueueTest, NextTimeOfEmptyIsMax) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), Time::max());
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.after(Time::microseconds(3), [&] { times.push_back(sim.now().us()); });
+  sim.after(Time::microseconds(1), [&] { times.push_back(sim.now().us()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(Time::microseconds(1), [&] { ++fired; });
+  sim.after(Time::microseconds(10), [&] { ++fired; });
+  sim.run_until(Time::microseconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Time::microseconds(5));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.after(Time::nanoseconds(1), recurse);
+  };
+  sim.after(Time::nanoseconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(PeriodicTimerTest, FiresAtPeriodUntilStopped) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer t(sim, Time::microseconds(10), [&] { ++fired; });
+  t.start();
+  sim.run_until(Time::microseconds(35));
+  EXPECT_EQ(fired, 3);
+  t.stop();
+  sim.run_until(Time::microseconds(100));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTimerTest, StopInsideCallbackIsSafe) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer* tp = nullptr;
+  PeriodicTimer t(sim, Time::microseconds(1), [&] {
+    if (++fired == 2) tp->stop();
+  });
+  tp = &t;
+  t.start();
+  sim.run_until(Time::milliseconds(1));
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace hostcc::sim

@@ -1,0 +1,270 @@
+// Unit tests for individual host-substrate components: MBA throttle, MSR
+// bank, memory controller, DDIO model.
+#include <gtest/gtest.h>
+
+#include "apps/mem_app.h"
+#include "host/config.h"
+#include "host/ddio.h"
+#include "host/host.h"
+#include "host/mba.h"
+#include "host/memctrl.h"
+#include "host/msr.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace hostcc::host {
+namespace {
+
+// ------------------------------------------------------------------- MBA
+
+TEST(MbaTest, LevelChangeTakesEffectAfterMsrWriteLatency) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MbaThrottle mba(sim, cfg);
+  mba.request_level(2);
+  EXPECT_EQ(mba.effective_level(), 0);
+  sim.run_until(sim::Time::microseconds(21));
+  EXPECT_EQ(mba.effective_level(), 0);  // still in flight
+  sim.run_until(sim::Time::microseconds(23));
+  EXPECT_EQ(mba.effective_level(), 2);
+}
+
+TEST(MbaTest, ConcurrentRequestsCoalesceToLatest) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MbaThrottle mba(sim, cfg);
+  mba.request_level(1);
+  mba.request_level(3);  // while the first write is in flight
+  sim.run_until(sim::Time::microseconds(23));
+  EXPECT_EQ(mba.effective_level(), 1);  // first write lands first
+  sim.run_until(sim::Time::microseconds(45));
+  EXPECT_EQ(mba.effective_level(), 3);  // follow-up write applies the latest
+  EXPECT_EQ(mba.msr_writes_issued(), 2);
+}
+
+TEST(MbaTest, PauseLevelHasNoAddedLatencyButPauses) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MbaThrottle mba(sim, cfg);
+  mba.request_level(MbaThrottle::kMaxLevel);
+  sim.run_until(sim::Time::microseconds(25));
+  EXPECT_TRUE(mba.paused());
+  EXPECT_EQ(mba.added_latency(), sim::Time::zero());
+}
+
+TEST(MbaTest, LatencyMonotoneInLevel) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MbaThrottle mba(sim, cfg);
+  sim::Time prev = sim::Time::zero();
+  for (int l = 0; l <= 3; ++l) {
+    mba.request_level(l);
+    sim.run_until(sim.now() + sim::Time::microseconds(25));
+    EXPECT_GE(mba.added_latency(), prev) << "level " << l;
+    prev = mba.added_latency();
+  }
+}
+
+TEST(MbaTest, ObserverFiresOnEffectiveChange) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MbaThrottle mba(sim, cfg);
+  int observed = -1;
+  mba.set_on_level_change([&](int l) { observed = l; });
+  mba.request_level(2);
+  sim.run();
+  EXPECT_EQ(observed, 2);
+}
+
+// ------------------------------------------------------------------- MSR
+
+TEST(MsrTest, OccupancyIntegratesOverTime) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MsrBank msrs(sim, cfg);
+  // 80 lines held for 2us at 500MHz: ROCC += 80 * 2e-6 * 5e8 = 80000.
+  sim.after(sim::Time::microseconds(2), [&] { msrs.integrate_occupancy(sim.now(), 80.0); });
+  sim.run();
+  EXPECT_NEAR(msrs.rocc_raw(), 80000.0, 1.0);
+}
+
+TEST(MsrTest, ReadLatenciesMatchConfig) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MsrBank msrs(sim, cfg);
+  double total = 0.0;
+  for (int i = 0; i < 1000; ++i) total += msrs.read_rocc().latency.ns();
+  EXPECT_NEAR(total / 1000.0, cfg.msr_read_latency_mean.ns(), 30.0);
+  EXPECT_EQ(msrs.read_tsc().latency, cfg.tsc_read_latency);
+}
+
+TEST(MsrTest, InsertionsAccumulate) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MsrBank msrs(sim, cfg);
+  msrs.count_insertions(10.0);
+  msrs.count_insertions(5.5);
+  EXPECT_DOUBLE_EQ(msrs.rins_raw(), 15.5);
+}
+
+// ------------------------------------------------- memory controller
+
+class FixedSource : public MemSource {
+ public:
+  FixedSource(std::string name, double demand_per_quantum, double pressure)
+      : name_(std::move(name)), demand_(demand_per_quantum), pressure_(pressure) {}
+  std::string name() const override { return name_; }
+  Offer mem_offer(sim::Time, sim::Time) override { return {demand_, pressure_}; }
+  void mem_granted(sim::Time, double b) override { granted += b; }
+  double granted = 0.0;
+
+ private:
+  std::string name_;
+  double demand_;
+  double pressure_;
+};
+
+TEST(MemControllerTest, UnderloadedGrantsAllDemands) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MemoryController mc(sim, cfg);
+  // Capacity per 100ns quantum = 44e9 * 100e-9 = 4400 bytes.
+  FixedSource a("a", 1000, 1000), b("b", 2000, 500);
+  mc.add_source(&a, true);
+  mc.add_source(&b, false);
+  sim.run_until(sim::Time::microseconds(10));  // 100 quanta
+  EXPECT_NEAR(a.granted, 100 * 1000.0, 1500.0);
+  EXPECT_NEAR(b.granted, 100 * 2000.0, 2500.0);
+}
+
+TEST(MemControllerTest, OverloadSharesProportionalToPressure) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MemoryController mc(sim, cfg);
+  FixedSource a("a", 10000, 3000), b("b", 10000, 1000);
+  mc.add_source(&a, false);
+  mc.add_source(&b, false);
+  sim.run_until(sim::Time::microseconds(100));
+  // Total granted per quantum = 4400; split 3:1.
+  EXPECT_NEAR(a.granted / b.granted, 3.0, 0.05);
+  EXPECT_NEAR(a.granted + b.granted, 1000 * 4400.0, 80000.0);
+}
+
+TEST(MemControllerTest, LeftoverRedistributedToHungrySources) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MemoryController mc(sim, cfg);
+  // a has high pressure but tiny demand; b should soak up the rest.
+  FixedSource a("a", 100, 100000), b("b", 100000, 100);
+  mc.add_source(&a, false);
+  mc.add_source(&b, false);
+  sim.run_until(sim::Time::microseconds(100));
+  EXPECT_NEAR(a.granted, 1000 * 100.0, 2000.0);
+  EXPECT_NEAR(b.granted, 1000 * 4300.0, 50000.0);
+}
+
+TEST(MemControllerTest, UtilizationTracksLoad) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MemoryController mc(sim, cfg);
+  FixedSource a("a", 2200, 2200);  // half capacity
+  mc.add_source(&a, false);
+  sim.run_until(sim::Time::microseconds(100));
+  EXPECT_NEAR(mc.utilization(), 0.5, 0.05);
+}
+
+TEST(MemControllerTest, LatencyRisesWithUtilization) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MemoryController mc(sim, cfg);
+  FixedSource low("low", 800, 800);
+  mc.add_source(&low, false);
+  sim.run_until(sim::Time::microseconds(50));
+  const sim::Time l_low = mc.access_latency();
+  FixedSource high("high", 8000, 8000);
+  mc.add_source(&high, false);
+  sim.run_until(sim::Time::microseconds(150));
+  EXPECT_GT(mc.access_latency(), l_low);
+  EXPECT_GT(mc.overload(), 1.0);  // offered demand exceeds capacity
+}
+
+TEST(MemControllerTest, HostLocalShareSeparatesClasses) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MemoryController mc(sim, cfg);
+  FixedSource net("net", 1100, 1100), local("local", 1100, 1100);
+  mc.add_source(&net, true);
+  mc.add_source(&local, false);
+  sim.run_until(sim::Time::microseconds(100));
+  EXPECT_NEAR(mc.host_local_share(), 0.25, 0.04);  // local = 11GB/s of 44
+}
+
+TEST(MemControllerTest, CheckpointReportsPerSourceRates) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MemoryController mc(sim, cfg);
+  FixedSource a("a", 1100, 1100);
+  mc.add_source(&a, true);
+  mc.checkpoint(sim.now());
+  sim.run_until(sim::Time::milliseconds(1));
+  const auto rates = mc.checkpoint(sim.now());
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_NEAR(rates[0].as_gigabytes_per_sec(), 11.0, 0.5);
+}
+
+// ------------------------------------------------------------------ DDIO
+
+TEST(DdioTest, DisabledAlwaysGoesToMemoryWithoutEviction) {
+  HostConfig cfg;
+  cfg.ddio_enabled = false;
+  LlcDdio ddio(cfg, sim::Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    const auto p = ddio.place(4096, 0.9);
+    EXPECT_TRUE(p.to_memory);
+    EXPECT_FALSE(p.eviction);
+  }
+  EXPECT_EQ(ddio.unconsumed(), 0);
+}
+
+TEST(DdioTest, EvictionProbabilityGrowsWithPollution) {
+  HostConfig cfg;
+  cfg.ddio_enabled = true;
+  LlcDdio ddio(cfg, sim::Rng(1));
+  EXPECT_LT(ddio.eviction_probability(0.0), ddio.eviction_probability(0.5));
+  EXPECT_LE(ddio.eviction_probability(0.9), 1.0);
+}
+
+TEST(DdioTest, UnconsumedBacklogRaisesEviction) {
+  HostConfig cfg;
+  cfg.ddio_enabled = true;
+  LlcDdio ddio(cfg, sim::Rng(2));
+  const double before = ddio.eviction_probability(0.0);
+  // Fill half the DDIO ways without consumption.
+  sim::Bytes placed = 0;
+  while (placed < cfg.ddio_way_bytes / 2) {
+    if (!ddio.place(4096, 0.0).to_memory) placed += 4096;
+  }
+  EXPECT_GT(ddio.eviction_probability(0.0), before + 0.3);
+  // Consumption drains the backlog back down.
+  ddio.consumed(ddio.unconsumed());
+  EXPECT_NEAR(ddio.eviction_probability(0.0), before, 1e-9);
+}
+
+TEST(DdioTest, PlacementFrequencyMatchesProbability) {
+  HostConfig cfg;
+  cfg.ddio_enabled = true;
+  cfg.ddio_evict_base = 0.30;
+  cfg.ddio_evict_pollution = 0.0;
+  cfg.ddio_evict_overflow = 0.0;
+  LlcDdio ddio(cfg, sim::Rng(3));
+  int evictions = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (ddio.place(64, 0.0).eviction) ++evictions;
+    ddio.consumed(ddio.unconsumed());
+  }
+  EXPECT_NEAR(static_cast<double>(evictions) / n, 0.30, 0.02);
+}
+
+}  // namespace
+}  // namespace hostcc::host

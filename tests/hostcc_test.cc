@@ -1,0 +1,272 @@
+// Unit tests for the hostCC core: signal sampler, four-regime host-local
+// response, ECN echo, policy plumbing, and the assembled controller.
+#include <gtest/gtest.h>
+
+#include "hostcc/controller.h"
+#include "hostcc/ecn_echo.h"
+#include "hostcc/policy.h"
+#include "hostcc/response.h"
+#include "hostcc/signals.h"
+#include "testbed.h"
+
+namespace hostcc::core {
+namespace {
+
+using hostcc::testing::Testbed;
+
+// --------------------------------------------------------------- sampler
+
+TEST(SignalSamplerTest, MeasuresOccupancyAndBandwidth) {
+  Testbed tb;
+  SignalSampler sampler(tb.b_host);  // b receives
+  sampler.start();
+  auto [ca, cb] = tb.connect(1);
+  (void)cb;
+  ca->set_infinite_source(true);
+  tb.run_for(sim::Time::milliseconds(30));
+  // One flow ~= core-limited 25-28Gbps; B_S within [15, 40] Gbps, I_S > 5.
+  EXPECT_GT(sampler.bs_value().as_gbps(), 10.0);
+  EXPECT_LT(sampler.bs_value().as_gbps(), 50.0);
+  EXPECT_GT(sampler.is_value(), 3.0);
+  EXPECT_GT(sampler.samples_taken(), 10000u);
+}
+
+TEST(SignalSamplerTest, SubMicrosecondCadence) {
+  Testbed tb;
+  SignalSampler sampler(tb.a_host);
+  sampler.start();
+  tb.run_for(sim::Time::milliseconds(10));
+  // Each iteration costs two MSR reads (~0.56us each) + overhead: the
+  // sampler must complete an iteration roughly every 1.2-1.6us.
+  const double period_us = 10e3 / static_cast<double>(sampler.samples_taken());
+  EXPECT_GT(period_us, 0.8);
+  EXPECT_LT(period_us, 2.0);
+}
+
+TEST(SignalSamplerTest, ReadLatencyIndependentOfLoad) {
+  // Fig. 7's property: measurement latency distribution is unaffected by
+  // datapath congestion. Compare idle vs. heavily loaded host.
+  auto run = [](bool load) {
+    Testbed tb;
+    SignalSampler s(tb.b_host);
+    s.start();
+    auto [ca, cb] = tb.connect(1);
+    (void)cb;
+    if (load) ca->set_infinite_source(true);
+    tb.run_for(sim::Time::milliseconds(20));
+    return s.is_read_latency().percentile_time(0.5);
+  };
+  const sim::Time idle = run(false);
+  const sim::Time busy = run(true);
+  EXPECT_NEAR(idle.ns(), busy.ns(), 40.0);
+}
+
+TEST(SignalSamplerTest, StopHaltsSampling) {
+  Testbed tb;
+  SignalSampler s(tb.a_host);
+  s.start();
+  tb.run_for(sim::Time::milliseconds(1));
+  s.stop();
+  const auto n = s.samples_taken();
+  tb.run_for(sim::Time::milliseconds(5));
+  // The in-flight sampling iteration may complete; no new ones start.
+  EXPECT_LE(s.samples_taken(), n + 1);
+}
+
+// -------------------------------------------------------------- response
+
+class ScriptedSampler {
+ public:
+  // Minimal stand-in is impossible (response takes SignalSampler&), so
+  // regime tests drive a real host via its MSR counters instead.
+};
+
+// Drives the response through all four regimes using a real sampler whose
+// inputs we shape by injecting occupancy/insertions into the MSR bank.
+class ResponseRegimeTest : public ::testing::Test {
+ protected:
+  ResponseRegimeTest()
+      : host(sim, {}, "h"),
+        sampler(host),
+        policy(sim::Bandwidth::gbps(80.0)),
+        response(host.mba(), sampler, policy, {.iio_threshold = 70.0, .enabled = true}) {
+    sampler.start();
+  }
+
+  // Simulates `dur` of traffic with the given IIO occupancy (lines) and
+  // PCIe bandwidth (Gbps) by bumping the MSR counters directly.
+  void drive(double lines, double gbps, sim::Time dur) {
+    const sim::Time step = sim::Time::microseconds(1);
+    for (sim::Time t; t < dur; t += step) {
+      host.msrs().integrate_occupancy(sim.now(), lines);
+      host.msrs().count_insertions(gbps * 1e9 / 8.0 * step.sec() /
+                                   static_cast<double>(sim::kCacheline));
+      sim.run_until(sim.now() + step);
+      response.evaluate(sim.now());
+    }
+  }
+
+  sim::Simulator sim;
+  host::HostModel host;
+  SignalSampler sampler;
+  FixedTargetPolicy policy;
+  HostLocalResponse response;
+};
+
+TEST_F(ResponseRegimeTest, Regime3CongestedBelowTargetStepsUp) {
+  drive(/*I_S=*/90, /*B_S=*/50, sim::Time::milliseconds(1));
+  EXPECT_GT(host.mba().effective_level(), 0);
+  EXPECT_GT(response.level_ups(), 0u);
+}
+
+TEST_F(ResponseRegimeTest, Regime1UncongestedAboveTargetStepsDown) {
+  drive(90, 50, sim::Time::milliseconds(1));  // escalate first
+  const int high = host.mba().effective_level();
+  ASSERT_GT(high, 0);
+  drive(40, 100, sim::Time::milliseconds(1));  // plenty of bandwidth, no congestion
+  EXPECT_LT(host.mba().effective_level(), high);
+  EXPECT_GT(response.level_downs(), 0u);
+}
+
+TEST_F(ResponseRegimeTest, Regime2CongestedTargetMetHolds) {
+  drive(90, 50, sim::Time::microseconds(100));
+  const int level = host.mba().requested_level();
+  drive(90, 100, sim::Time::milliseconds(1));  // congested but target met
+  EXPECT_EQ(host.mba().requested_level(), level);
+}
+
+TEST_F(ResponseRegimeTest, Regime4UncongestedBelowTargetHolds) {
+  drive(90, 50, sim::Time::microseconds(100));
+  const int level = host.mba().requested_level();
+  drive(40, 50, sim::Time::milliseconds(1));  // no congestion, target unmet
+  EXPECT_EQ(host.mba().requested_level(), level);
+}
+
+TEST_F(ResponseRegimeTest, StepsGatedOnEffectiveWrite) {
+  // Sustained congestion must not skip levels: one step per 22us MSR
+  // write, so at most two requests can have been issued within 30us.
+  drive(95, 30, sim::Time::microseconds(30));
+  EXPECT_LE(host.mba().requested_level(), 2);
+  drive(95, 30, sim::Time::milliseconds(1));
+  EXPECT_EQ(host.mba().requested_level(), 4);  // reached, but stepwise
+  EXPECT_EQ(host.mba().msr_writes_issued(), 4);
+}
+
+TEST_F(ResponseRegimeTest, DisabledResponseNeverActs) {
+  HostLocalResponse off(host.mba(), sampler, policy, {.iio_threshold = 70.0, .enabled = false});
+  drive(95, 30, sim::Time::milliseconds(1));
+  // `response` (enabled) acted; verify a disabled one would not have: its
+  // counters stay zero.
+  EXPECT_EQ(off.level_ups(), 0u);
+  EXPECT_EQ(off.level_downs(), 0u);
+}
+
+// ------------------------------------------------------------------ echo
+
+TEST(EcnEchoTest, MarksOnlyEct0DataAboveThreshold) {
+  Testbed tb;
+  SignalSampler sampler(tb.a_host);
+  EcnEcho echo(sampler, {.iio_threshold = 70.0, .enabled = true});
+  // Force the smoothed I_S above threshold.
+  for (int i = 0; i < 50; ++i) {
+    tb.a_host.msrs().integrate_occupancy(tb.sim.now(), 95.0);
+    tb.run_for(sim::Time::microseconds(2));
+  }
+  sampler.start();
+  tb.a_host.msrs().integrate_occupancy(tb.sim.now(), 95.0);
+  // Feed constant high occupancy for the sampler to observe.
+  for (int i = 0; i < 200; ++i) {
+    tb.a_host.msrs().integrate_occupancy(tb.sim.now(), 95.0);
+    tb.run_for(sim::Time::microseconds(2));
+  }
+  ASSERT_GT(sampler.is_value(), 70.0);
+
+  net::Packet data;
+  data.payload = 1000;
+  data.ecn = net::Ecn::kEct0;
+  echo.filter(data);
+  EXPECT_EQ(data.ecn, net::Ecn::kCe);
+
+  net::Packet not_ect;
+  not_ect.payload = 1000;
+  not_ect.ecn = net::Ecn::kNotEct;
+  echo.filter(not_ect);
+  EXPECT_EQ(not_ect.ecn, net::Ecn::kNotEct);  // non-ECN transport untouched
+
+  net::Packet already_ce;
+  already_ce.payload = 1000;
+  already_ce.ecn = net::Ecn::kCe;
+  echo.filter(already_ce);
+  EXPECT_EQ(already_ce.ecn, net::Ecn::kCe);  // switch marks preserved
+  EXPECT_EQ(echo.packets_marked(), 1u);
+
+  net::Packet ack;
+  ack.payload = 0;
+  ack.ecn = net::Ecn::kEct0;
+  echo.filter(ack);
+  EXPECT_EQ(ack.ecn, net::Ecn::kEct0);  // ACKs never marked
+}
+
+TEST(EcnEchoTest, NoMarksBelowThreshold) {
+  Testbed tb;
+  SignalSampler sampler(tb.a_host);
+  sampler.start();
+  tb.run_for(sim::Time::milliseconds(1));  // idle: I_S ~ 0
+  EcnEcho echo(sampler, {.iio_threshold = 70.0, .enabled = true});
+  net::Packet p;
+  p.payload = 1000;
+  p.ecn = net::Ecn::kEct0;
+  for (int i = 0; i < 10; ++i) echo.filter(p);
+  EXPECT_EQ(echo.packets_marked(), 0u);
+  EXPECT_EQ(echo.packets_seen(), 10u);
+}
+
+// ------------------------------------------------------------ controller
+
+TEST(ControllerTest, InstallsIngressFilterAndSamples) {
+  Testbed tb;
+  HostCcConfig cfg;
+  HostCcController ctl(tb.b_host, cfg);
+  ctl.start();
+  auto [ca, cb] = tb.connect(1);
+  (void)cb;
+  ca->set_infinite_source(true);
+  tb.run_for(sim::Time::milliseconds(20));
+  EXPECT_GT(ctl.sampler().samples_taken(), 5000u);
+  EXPECT_GT(ctl.echo().packets_seen(), 100u);
+}
+
+TEST(ControllerTest, DefaultPolicyIsFixedTarget) {
+  Testbed tb;
+  HostCcConfig cfg;
+  cfg.target_bandwidth = sim::Bandwidth::gbps(42.0);
+  HostCcController ctl(tb.a_host, cfg);
+  EXPECT_EQ(ctl.policy().name(), "fixed-target");
+  EXPECT_DOUBLE_EQ(ctl.policy().target_bandwidth(tb.sim.now()).as_gbps(), 42.0);
+}
+
+TEST(ControllerTest, CustomPolicyIsUsed) {
+  class TestPolicy : public AllocationPolicy {
+   public:
+    std::string name() const override { return "test"; }
+    sim::Bandwidth target_bandwidth(sim::Time) override { return sim::Bandwidth::gbps(7.0); }
+  };
+  Testbed tb;
+  HostCcController ctl(tb.a_host, HostCcConfig{}, std::make_unique<TestPolicy>());
+  EXPECT_EQ(ctl.policy().name(), "test");
+}
+
+TEST(ControllerTest, TelemetryRecordsSeries) {
+  Testbed tb;
+  HostCcController ctl(tb.b_host, HostCcConfig{});
+  sim::TimeSeries is("is"), bs("bs"), lvl("lvl");
+  ctl.set_telemetry(&is, &bs, &lvl);
+  ctl.start();
+  tb.run_for(sim::Time::milliseconds(5));
+  EXPECT_FALSE(is.empty());
+  EXPECT_EQ(is.samples().size(), bs.samples().size());
+  EXPECT_EQ(is.samples().size(), lvl.samples().size());
+}
+
+}  // namespace
+}  // namespace hostcc::core

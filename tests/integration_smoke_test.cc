@@ -1,0 +1,103 @@
+// End-to-end smoke tests: a full scenario (hosts + switch + DCTCP + apps)
+// must move data, saturate the link when unloaded, and keep basic
+// invariants (no drops without congestion, conserved PCIe credits).
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+
+namespace hostcc::exp {
+namespace {
+
+ScenarioConfig quick_config() {
+  ScenarioConfig cfg;
+  cfg.warmup = sim::Time::milliseconds(8);
+  cfg.measure = sim::Time::milliseconds(20);
+  return cfg;
+}
+
+TEST(IntegrationSmoke, UnloadedNetAppSaturatesLink) {
+  ScenarioConfig cfg = quick_config();
+  cfg.mapp_degree = 0.0;
+  Scenario s(cfg);
+  const ScenarioResults r = s.run();
+  // 4 DCTCP flows on an unloaded host should reach ~line rate (Fig. 2, 0x).
+  EXPECT_GT(r.net_tput_gbps, 90.0);
+  EXPECT_LT(r.net_tput_gbps, 101.0);
+  // And essentially no drops anywhere.
+  EXPECT_LT(r.drop_rate_pct, 0.001);
+}
+
+TEST(IntegrationSmoke, PcieCreditsConservedAcrossRun) {
+  ScenarioConfig cfg = quick_config();
+  cfg.mapp_degree = 3.0;
+  cfg.measure = sim::Time::milliseconds(10);
+  Scenario s(cfg);
+  s.run();
+  // The credit pool bounds IIO residence (plus at most one in-flight DMA
+  // chunk of transient overshoot) at all times.
+  auto& host = s.receiver();
+  EXPECT_GE(host.nic().pcie_credits_available(), 0);
+  EXPECT_LE(host.iio().occupancy_bytes(),
+            host.pcie().credit_pool() + host.config().dma_chunk_bytes * 2);
+}
+
+TEST(IntegrationSmoke, IioInsertedEqualsAdmittedPlusOccupancy) {
+  ScenarioConfig cfg = quick_config();
+  cfg.mapp_degree = 2.0;
+  cfg.measure = sim::Time::milliseconds(10);
+  Scenario s(cfg);
+  s.run();
+  auto& iio = s.receiver().iio();
+  EXPECT_EQ(iio.total_inserted(), iio.total_admitted() + iio.occupancy_bytes());
+}
+
+TEST(IntegrationSmoke, RpcsCompleteWithoutCongestion) {
+  ScenarioConfig cfg = quick_config();
+  cfg.rpc_sizes = {2048};
+  Scenario s(cfg);
+  const ScenarioResults r = s.run();
+  ASSERT_EQ(r.rpc_latency.size(), 1u);
+  EXPECT_GT(r.rpc_latency[0].count, 50u);
+  // Closed-loop RPC latency should be around the base RTT, far below 1ms.
+  EXPECT_LT(r.rpc_latency[0].p50.us(), 1000.0);
+}
+
+TEST(IntegrationSmoke, HostCcRunsAndSamplesSignals) {
+  ScenarioConfig cfg = quick_config();
+  cfg.mapp_degree = 3.0;
+  cfg.hostcc_enabled = true;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_GT(s.signals().samples_taken(), 1000u);
+  EXPECT_GT(s.signals().bs_value().as_gbps(), 1.0);
+}
+
+}  // namespace
+}  // namespace hostcc::exp
+
+// ---- late additions: burst tracking and mixed-size stream stress ----
+
+#include "apps/bursty_mapp.h"
+
+namespace hostcc::exp {
+namespace {
+
+TEST(IntegrationBursty, SubRttResponseTracksBurstyHostTraffic) {
+  // §3.2's claim: with host-local traffic flipping 1x<->3x at sub-RTT
+  // period, hostCC's sub-RTT response still avoids drops and holds useful
+  // throughput.
+  ScenarioConfig cfg;
+  cfg.mapp_degree = 3.0;
+  cfg.hostcc_enabled = true;
+  cfg.warmup = sim::Time::milliseconds(250);
+  cfg.measure = sim::Time::milliseconds(40);
+  Scenario s(cfg);
+  apps::BurstyMApp bursty(s.simulator(), s.mapp(), 8, 24, sim::Time::microseconds(20));
+  bursty.start();
+  const ScenarioResults r = s.run();
+  EXPECT_GT(r.net_tput_gbps, 55.0);
+  EXPECT_LT(r.host_drop_rate_pct, 0.02);
+}
+
+}  // namespace
+}  // namespace hostcc::exp

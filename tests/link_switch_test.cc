@@ -1,0 +1,147 @@
+// Unit tests for the network fabric: links (serialization + propagation)
+// and the ECN-marking, drop-tail switch.
+#include "net/link.h"
+#include "net/switch.h"
+
+#include <gtest/gtest.h>
+
+namespace hostcc::net {
+namespace {
+
+Packet make_pkt(HostId dst, sim::Bytes size, Ecn ecn = Ecn::kEct0) {
+  Packet p;
+  p.dst = dst;
+  p.size = size;
+  p.payload = size - kHeaderBytes;
+  p.ecn = ecn;
+  return p;
+}
+
+TEST(LinkTest, DeliversAfterSerializationPlusPropagation) {
+  sim::Simulator sim;
+  Link link(sim, "l", sim::Bandwidth::gbps(100.0), sim::Time::microseconds(5));
+  sim::Time delivered_at;
+  link.set_sink([&](const Packet&) { delivered_at = sim.now(); });
+  link.send(make_pkt(0, 4096));
+  sim.run();
+  // 4096B at 100Gbps = 327.68ns, plus 5us propagation.
+  EXPECT_NEAR(delivered_at.us(), 5.328, 0.01);
+}
+
+TEST(LinkTest, BackToBackPacketsSerialize) {
+  sim::Simulator sim;
+  Link link(sim, "l", sim::Bandwidth::gbps(100.0), sim::Time::zero());
+  std::vector<double> times;
+  link.set_sink([&](const Packet&) { times.push_back(sim.now().ns()); });
+  link.send(make_pkt(0, 4096));
+  link.send(make_pkt(0, 4096));
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_NEAR(times[1] - times[0], 327.68, 0.5);
+}
+
+TEST(LinkTest, OnDequeueFiresAtSerializationEnd) {
+  sim::Simulator sim;
+  Link link(sim, "l", sim::Bandwidth::gbps(100.0), sim::Time::microseconds(50));
+  sim::Time dequeued_at;
+  link.set_on_dequeue([&](const Packet&) { dequeued_at = sim.now(); });
+  link.set_sink([](const Packet&) {});
+  link.send(make_pkt(0, 4096));
+  sim.run();
+  // Dequeue happens before propagation completes.
+  EXPECT_NEAR(dequeued_at.ns(), 327.68, 0.5);
+}
+
+TEST(LinkTest, MeterCountsBytes) {
+  sim::Simulator sim;
+  Link link(sim, "l", sim::Bandwidth::gbps(100.0), sim::Time::zero());
+  link.set_sink([](const Packet&) {});
+  link.send(make_pkt(0, 1000));
+  link.send(make_pkt(0, 2000));
+  sim.run();
+  EXPECT_EQ(link.meter().total_bytes(), 3000);
+  EXPECT_EQ(link.meter().total_ops(), 2u);
+}
+
+TEST(SwitchTest, RoutesByDestination) {
+  sim::Simulator sim;
+  Switch sw(sim, {});
+  int to_a = 0, to_b = 0;
+  sw.connect(1, [&](const Packet&) { ++to_a; });
+  sw.connect(2, [&](const Packet&) { ++to_b; });
+  sw.ingress(make_pkt(1, 1000));
+  sw.ingress(make_pkt(2, 1000));
+  sw.ingress(make_pkt(2, 1000));
+  sim.run();
+  EXPECT_EQ(to_a, 1);
+  EXPECT_EQ(to_b, 2);
+}
+
+TEST(SwitchTest, MarksEct0AboveThreshold) {
+  sim::Simulator sim;
+  SwitchConfig cfg;
+  cfg.ecn_threshold = 8 * 1024;
+  Switch sw(sim, cfg);
+  int ce = 0, total = 0;
+  sw.connect(1, [&](const Packet& p) {
+    ++total;
+    if (p.ecn == Ecn::kCe) ++ce;
+  });
+  // Burst of 10 packets: queue exceeds 8KB after the first two.
+  for (int i = 0; i < 10; ++i) sw.ingress(make_pkt(1, 4096));
+  sim.run();
+  EXPECT_EQ(total, 10);
+  EXPECT_GT(ce, 5);
+  EXPECT_LT(ce, 10);  // the first packets must escape unmarked
+}
+
+TEST(SwitchTest, NeverMarksNotEct) {
+  sim::Simulator sim;
+  SwitchConfig cfg;
+  cfg.ecn_threshold = 0;
+  Switch sw(sim, cfg);
+  int ce = 0;
+  sw.connect(1, [&](const Packet& p) { ce += p.ecn == Ecn::kCe ? 1 : 0; });
+  for (int i = 0; i < 5; ++i) sw.ingress(make_pkt(1, 4096, Ecn::kNotEct));
+  sim.run();
+  EXPECT_EQ(ce, 0);
+}
+
+TEST(SwitchTest, DropsWhenBufferFull) {
+  sim::Simulator sim;
+  SwitchConfig cfg;
+  cfg.port_buffer = 10 * 1024;
+  Switch sw(sim, cfg);
+  int delivered = 0;
+  sw.connect(1, [&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 20; ++i) sw.ingress(make_pkt(1, 4096));
+  sim.run();
+  const auto stats = sw.port_stats(1);
+  EXPECT_GT(stats.drops, 0u);
+  EXPECT_EQ(delivered + static_cast<int>(stats.drops), 20);
+}
+
+TEST(SwitchTest, PortRateLimitsThroughput) {
+  sim::Simulator sim;
+  SwitchConfig cfg;
+  cfg.port_rate = sim::Bandwidth::gbps(10.0);
+  cfg.port_buffer = 1024 * 1024;
+  Switch sw(sim, cfg);
+  sim::Time last;
+  sw.connect(1, [&](const Packet&) { last = sim.now(); });
+  for (int i = 0; i < 10; ++i) sw.ingress(make_pkt(1, 4096));
+  sim.run();
+  // 10 packets x 4096B at 10Gbps = 32.768us serialization minimum.
+  EXPECT_GT(last.us(), 32.0);
+}
+
+TEST(SwitchTest, UnknownDestinationIsDropped) {
+  sim::Simulator sim;
+  Switch sw(sim, {});
+  sw.ingress(make_pkt(99, 1000));  // must not crash
+  sim.run();
+  EXPECT_EQ(sw.port_stats(99).drops, 0u);  // unknown port: no stats, no crash
+}
+
+}  // namespace
+}  // namespace hostcc::net

@@ -1,0 +1,91 @@
+// Unit tests for the deterministic RNG wrapper and the Packet type.
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "sim/random.h"
+
+namespace hostcc {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  sim::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  sim::Rng a(42);
+  sim::Rng child = a.fork();
+  bool differs = false;
+  sim::Rng fresh(42);
+  sim::Rng child2 = fresh.fork();
+  for (int i = 0; i < 10; ++i) {
+    const double x = child.uniform();
+    EXPECT_DOUBLE_EQ(x, child2.uniform());  // fork is deterministic too
+    if (x != a.uniform()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  sim::Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(3.0, 5.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 5.0);
+    const auto n = r.uniform_int(-2, 2);
+    EXPECT_GE(n, -2);
+    EXPECT_LE(n, 2);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  sim::Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  sim::Rng r(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += r.exponential(50.0);
+  EXPECT_NEAR(sum / 20000.0, 50.0, 2.0);
+}
+
+TEST(RngTest, ExponentialTimeMean) {
+  sim::Rng r(17);
+  sim::Time sum;
+  for (int i = 0; i < 5000; ++i) sum += r.exponential_time(sim::Time::microseconds(30));
+  EXPECT_NEAR((sum / 5000).us(), 30.0, 2.0);
+}
+
+TEST(RngTest, NormalNonNegClamps) {
+  sim::Rng r(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.normal_nonneg(1.0, 5.0), 0.0);
+}
+
+TEST(PacketTest, EndSeqAndDefaults) {
+  net::Packet p;
+  EXPECT_EQ(p.ecn, net::Ecn::kNotEct);
+  EXPECT_FALSE(p.has_ack);
+  EXPECT_EQ(p.sack_count, 0);
+  p.seq = 1000;
+  p.payload = 4030;
+  EXPECT_EQ(p.end_seq(), 5030);
+}
+
+TEST(PacketTest, StreamOperatorIncludesKeyFields) {
+  net::Packet p;
+  p.flow = 7;
+  p.seq = 100;
+  p.payload = 50;
+  p.ecn = net::Ecn::kCe;
+  std::ostringstream os;
+  os << p;
+  const std::string s = os.str();
+  EXPECT_NE(s.find("flow=7"), std::string::npos);
+  EXPECT_NE(s.find("CE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hostcc

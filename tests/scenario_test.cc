@@ -1,0 +1,137 @@
+// Tests for the experiment-harness layer: scenario construction variants,
+// measurement-window accounting, and the table printer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/bursty_mapp.h"
+#include "exp/scenario.h"
+#include "exp/table.h"
+
+namespace hostcc::exp {
+namespace {
+
+ScenarioConfig tiny() {
+  ScenarioConfig cfg;
+  cfg.warmup = sim::Time::milliseconds(5);
+  cfg.measure = sim::Time::milliseconds(10);
+  return cfg;
+}
+
+TEST(ScenarioTest, MultiSenderSplitsFlows) {
+  ScenarioConfig cfg = tiny();
+  cfg.senders = 2;
+  cfg.netapp_flows = 6;
+  Scenario s(cfg);
+  EXPECT_EQ(s.netapp_t_count(), 2);
+  EXPECT_EQ(s.netapp_t(0).flow_count() + s.netapp_t(1).flow_count(), 6);
+  const auto r = s.run();
+  EXPECT_GT(r.net_tput_gbps, 50.0);  // both senders contribute
+}
+
+TEST(ScenarioTest, MeasurementExcludesWarmup) {
+  ScenarioConfig cfg = tiny();
+  cfg.mapp_degree = 3.0;  // warmup has slow-start drops
+  Scenario s(cfg);
+  s.run_warmup();
+  const auto before = s.receiver().nic().stats().dropped_pkts;
+  const auto r = s.run_measure();
+  // The reported drop rate reflects only the measurement window.
+  const auto after = s.receiver().nic().stats().dropped_pkts;
+  const double window_drops = static_cast<double>(after - before);
+  if (window_drops == 0) EXPECT_EQ(r.host_drop_rate_pct, 0.0);
+  EXPECT_GE(before, 0u);
+}
+
+TEST(ScenarioTest, RpcLatencyResetAtMeasureStart) {
+  ScenarioConfig cfg = tiny();
+  cfg.rpc_sizes = {2048};
+  Scenario s(cfg);
+  s.run_warmup();
+  EXPECT_EQ(s.rpc_client(0).latency().count(), 0u);  // reset at mark
+  const auto r = s.run_measure();
+  EXPECT_GT(r.rpc_latency[0].count, 0u);
+}
+
+TEST(ScenarioTest, FixedMbaLevelApplied) {
+  ScenarioConfig cfg = tiny();
+  cfg.fixed_mba_level = 2;
+  Scenario s(cfg);
+  s.run_warmup();
+  EXPECT_EQ(s.receiver().mba().effective_level(), 2);
+}
+
+TEST(ScenarioTest, SignalsAccessibleWithAndWithoutController) {
+  {
+    ScenarioConfig cfg = tiny();
+    cfg.hostcc_enabled = false;
+    Scenario s(cfg);
+    s.run();
+    EXPECT_GT(s.signals().samples_taken(), 0u);
+    EXPECT_EQ(s.controller(), nullptr);
+  }
+  {
+    ScenarioConfig cfg = tiny();
+    cfg.hostcc_enabled = true;
+    Scenario s(cfg);
+    s.run();
+    ASSERT_NE(s.controller(), nullptr);
+    EXPECT_EQ(&s.signals(), &s.controller()->sampler());
+  }
+}
+
+TEST(ScenarioTest, RecordSignalsPopulatesSeries) {
+  ScenarioConfig cfg = tiny();
+  cfg.record_signals = true;
+  Scenario s(cfg);
+  s.run();
+  EXPECT_FALSE(s.is_series().empty());
+  EXPECT_FALSE(s.bs_series().empty());
+}
+
+TEST(BurstyMAppTest, TogglesCoreCount) {
+  ScenarioConfig cfg = tiny();
+  cfg.mapp_degree = 3.0;
+  Scenario s(cfg);
+  apps::BurstyMApp bursty(s.simulator(), s.mapp(), 8, 24, sim::Time::microseconds(100));
+  bursty.start();
+  int saw_low = 0, saw_high = 0;
+  for (int i = 0; i < 40; ++i) {
+    s.run_for(sim::Time::microseconds(25));
+    if (s.mapp().cores() == 8) ++saw_low;
+    if (s.mapp().cores() == 24) ++saw_high;
+  }
+  EXPECT_GT(saw_low, 5);
+  EXPECT_GT(saw_high, 5);
+  bursty.stop();
+  const int frozen = s.mapp().cores();
+  s.run_for(sim::Time::milliseconds(1));
+  EXPECT_EQ(s.mapp().cores(), frozen);
+}
+
+TEST(TableTest, AlignsColumnsAndPrintsAllRows) {
+  Table t({"a", "long_header", "c"});
+  t.add_row({"1", "x", "yyyy"});
+  t.add_row({"22", "zzz", "w"});
+  char buf[4096] = {};
+  FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  t.print(mem);
+  std::fclose(mem);
+  const std::string out(buf);
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("yyyy"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_rate(0.0), "<1e-5");
+  EXPECT_EQ(fmt_rate(0.123), "0.123");
+  EXPECT_EQ(fmt_rate(0.0001), "1.0e-04");
+}
+
+}  // namespace
+}  // namespace hostcc::exp

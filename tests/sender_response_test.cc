@@ -1,0 +1,66 @@
+// Tests for the sender-side host-local congestion response (§3.2): with
+// heavy host-local traffic at the *sender*, TX DMA reads starve and
+// outbound throughput collapses; the sender-side response restores it.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+
+namespace hostcc::core {
+namespace {
+
+exp::ScenarioConfig sender_congestion_config(bool response) {
+  exp::ScenarioConfig cfg;
+  cfg.sender_mapp_degree = 3.0;
+  cfg.sender_local_response = response;
+  // A TX path heavy in memory cost makes sender-side starvation visible.
+  cfg.host.tx_amplification = 2.0;
+  cfg.warmup = sim::Time::milliseconds(250);
+  cfg.measure = sim::Time::milliseconds(60);
+  return cfg;
+}
+
+TEST(SenderResponseTest, SenderHostCongestionStarvesTx) {
+  exp::Scenario s(sender_congestion_config(false));
+  const auto r = s.run();
+  // With 24 MApp cores on the sender and a 2x-amplified TX path, outbound
+  // traffic cannot reach line rate.
+  EXPECT_LT(r.net_tput_gbps, 75.0);
+}
+
+TEST(SenderResponseTest, ResponseRestoresTxThroughput) {
+  exp::Scenario without(sender_congestion_config(false));
+  const double tput_without = without.run().net_tput_gbps;
+
+  exp::Scenario with(sender_congestion_config(true));
+  const auto r = with.run();
+  EXPECT_GT(r.net_tput_gbps, tput_without + 10.0);
+  EXPECT_GT(with.sender_response()->level_ups(), 0u);
+}
+
+TEST(SenderResponseTest, IdleWhenNoCongestion) {
+  exp::ScenarioConfig cfg;
+  cfg.sender_local_response = true;
+  cfg.warmup = sim::Time::milliseconds(20);
+  cfg.measure = sim::Time::milliseconds(20);
+  exp::Scenario s(cfg);
+  s.run();
+  // No sender-side host-local traffic: the response never throttles.
+  EXPECT_EQ(s.sender_response()->level_ups(), 0u);
+  EXPECT_EQ(s.sender(0).mba().effective_level(), 0);
+}
+
+TEST(SenderResponseTest, ReleasesThrottleWhenTxDrains) {
+  exp::Scenario s(sender_congestion_config(true));
+  s.run();
+  // Stop the network traffic; the TX queue drains and the response must
+  // walk the MBA level back down, releasing the sender's MApp.
+  for (int i = 0; i < s.netapp_t().flow_count(); ++i) {
+    s.netapp_t().sender_conn(i).set_infinite_source(false);
+  }
+  s.run_for(sim::Time::milliseconds(20));
+  EXPECT_EQ(s.sender(0).mba().effective_level(), 0);
+  EXPECT_GT(s.sender_response()->level_downs(), 0u);
+}
+
+}  // namespace
+}  // namespace hostcc::core

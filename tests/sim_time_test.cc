@@ -1,0 +1,67 @@
+// Unit tests for sim::Time and sim::Bandwidth.
+#include "sim/time.h"
+#include "sim/units.h"
+
+#include <gtest/gtest.h>
+
+namespace hostcc::sim {
+namespace {
+
+TEST(TimeTest, ConversionsRoundTrip) {
+  const Time t = Time::microseconds(1.5);
+  EXPECT_EQ(t.ps(), 1'500'000);
+  EXPECT_DOUBLE_EQ(t.ns(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.us(), 1.5);
+  EXPECT_DOUBLE_EQ(t.ms(), 0.0015);
+}
+
+TEST(TimeTest, Arithmetic) {
+  const Time a = Time::nanoseconds(100);
+  const Time b = Time::nanoseconds(50);
+  EXPECT_EQ((a + b).ns(), 150.0);
+  EXPECT_EQ((a - b).ns(), 50.0);
+  EXPECT_EQ((a * 2.5).ns(), 250.0);
+  EXPECT_EQ(a / 2, Time::nanoseconds(50));
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+}
+
+TEST(TimeTest, Ordering) {
+  EXPECT_LT(Time::nanoseconds(1), Time::microseconds(1));
+  EXPECT_LE(Time::zero(), Time::zero());
+  EXPECT_GT(Time::max(), Time::seconds(1e6));
+}
+
+TEST(TimeTest, RoundingToNearestTick) {
+  EXPECT_EQ(Time::nanoseconds(0.0004).ps(), 0);   // rounds down
+  EXPECT_EQ(Time::nanoseconds(0.0006).ps(), 1);   // rounds up
+}
+
+TEST(BandwidthTest, TransferTime) {
+  const Bandwidth b = Bandwidth::gbps(100.0);
+  // 4096 bytes at 100Gbps = 327.68ns.
+  EXPECT_NEAR(b.transfer_time(4096).ns(), 327.68, 0.01);
+}
+
+TEST(BandwidthTest, GbpsAndGBpsAgree) {
+  const Bandwidth b = Bandwidth::gigabytes_per_sec(44.0);
+  EXPECT_DOUBLE_EQ(b.as_gbps(), 352.0);
+  EXPECT_DOUBLE_EQ(b.bytes_per_sec(), 44.0e9);
+}
+
+TEST(BandwidthTest, BytesInInverseOfTransferTime) {
+  const Bandwidth b = Bandwidth::gbps(128.0);
+  const Time t = b.transfer_time(10000);
+  EXPECT_NEAR(b.bytes_in(t), 10000.0, 1.0);
+}
+
+TEST(BandwidthTest, OverComputesAverageRate) {
+  const Bandwidth r = Bandwidth::over(12'500'000, Time::milliseconds(1));
+  EXPECT_NEAR(r.as_gbps(), 100.0, 1e-9);
+}
+
+TEST(BandwidthTest, OverZeroDurationIsZero) {
+  EXPECT_TRUE(Bandwidth::over(1000, Time::zero()).is_zero());
+}
+
+}  // namespace
+}  // namespace hostcc::sim

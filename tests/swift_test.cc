@@ -1,0 +1,132 @@
+// Tests for the Swift-style delay-based CC, the Little's-law host-delay
+// signal (§3.1/§6), and the IOMMU extension (§6).
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+#include "testbed.h"
+#include "transport/swift.h"
+
+namespace hostcc {
+namespace {
+
+transport::CcConfig cc_cfg() {
+  transport::CcConfig c;
+  c.mss = 4030;
+  return c;
+}
+
+TEST(SwiftCcTest, GrowsBelowTargetDelay) {
+  transport::SwiftCc cc(cc_cfg());
+  const sim::Bytes w0 = cc.cwnd();
+  for (int i = 0; i < 50; ++i) {
+    cc.on_ack(4030, false, sim::Time::microseconds(20), false);  // well below 60us
+  }
+  EXPECT_GT(cc.cwnd(), w0);
+}
+
+TEST(SwiftCcTest, ShrinksAboveTargetDelay) {
+  transport::SwiftCc cc(cc_cfg());
+  const sim::Bytes w0 = cc.cwnd();
+  cc.on_ack(4030, false, sim::Time::microseconds(200), false);
+  EXPECT_LT(cc.cwnd(), w0);
+}
+
+TEST(SwiftCcTest, AtMostOneDecreasePerWindow) {
+  transport::SwiftCc cc(cc_cfg());
+  cc.on_ack(4030, false, sim::Time::microseconds(200), false);
+  const sim::Bytes after_first = cc.cwnd();
+  // Immediately following high-delay ACKs within the same window of data
+  // must not compound the decrease.
+  cc.on_ack(4030, false, sim::Time::microseconds(200), false);
+  cc.on_ack(4030, false, sim::Time::microseconds(200), false);
+  EXPECT_EQ(cc.cwnd(), after_first);
+}
+
+TEST(SwiftCcTest, DecreaseProportionalToExcess) {
+  transport::SwiftCc a(cc_cfg()), b(cc_cfg());
+  a.on_ack(4030, false, sim::Time::microseconds(70), false);   // slight excess
+  b.on_ack(4030, false, sim::Time::microseconds(600), false);  // large excess
+  EXPECT_GT(a.cwnd(), b.cwnd());
+}
+
+TEST(SwiftCcTest, DecreaseCappedAtMaxMdf) {
+  transport::SwiftCc cc(cc_cfg());
+  const sim::Bytes w0 = cc.cwnd();
+  cc.on_ack(4030, false, sim::Time::milliseconds(100), false);  // absurd delay
+  EXPECT_GE(cc.cwnd(), static_cast<sim::Bytes>(0.49 * static_cast<double>(w0)));
+}
+
+TEST(SwiftCcTest, NotEcnCapable) {
+  transport::SwiftCc cc(cc_cfg());
+  EXPECT_FALSE(cc.ecn_capable());
+}
+
+TEST(SwiftCcTest, EndToEndAvoidsDropsUnderHostCongestion) {
+  // The headline property from §6's discussion: the delay signal includes
+  // NIC-buffer queueing, so Swift backs off before the buffer overflows.
+  exp::ScenarioConfig cfg;
+  cfg.mapp_degree = 3.0;
+  cfg.transport.cc = transport::CcKind::kSwift;
+  cfg.warmup = sim::Time::milliseconds(250);
+  cfg.measure = sim::Time::milliseconds(60);
+  exp::Scenario s(cfg);
+  const auto r = s.run();
+  EXPECT_GT(r.net_tput_gbps, 25.0);      // still moves data
+  EXPECT_LT(r.host_drop_rate_pct, 0.01);  // but with ~no drops (DCTCP: ~0.1%)
+}
+
+TEST(HostDelaySignalTest, TracksIioResidence) {
+  testing::Testbed tb;
+  core::SignalSampler sampler(tb.b_host);
+  sampler.start();
+  auto [ca, cb] = tb.connect(1);
+  (void)cb;
+  ca->set_infinite_source(true);
+  tb.run_for(sim::Time::milliseconds(20));
+  // Uncongested residence l_p + l_m is a few hundred nanoseconds.
+  const sim::Time d = sampler.host_delay();
+  EXPECT_GT(d.ns(), 100.0);
+  EXPECT_LT(d.ns(), 1000.0);
+}
+
+TEST(HostDelaySignalTest, ZeroWhenIdle) {
+  testing::Testbed tb;
+  core::SignalSampler sampler(tb.a_host);
+  sampler.start();
+  tb.run_for(sim::Time::milliseconds(2));
+  EXPECT_EQ(sampler.host_delay(), sim::Time::zero());
+}
+
+TEST(IommuTest, MissesDegradeThroughputWithoutMemoryLoad) {
+  auto run_miss = [](double miss) {
+    exp::ScenarioConfig cfg;
+    cfg.host.iommu_enabled = miss > 0.0;
+    cfg.host.iotlb_miss_rate = miss;
+    cfg.warmup = sim::Time::milliseconds(40);
+    cfg.measure = sim::Time::milliseconds(40);
+    exp::Scenario s(cfg);
+    return s.run();
+  };
+  const auto clean = run_miss(0.0);
+  const auto missy = run_miss(0.5);
+  EXPECT_GT(clean.net_tput_gbps, 95.0);
+  EXPECT_LT(missy.net_tput_gbps, clean.net_tput_gbps - 10.0);
+}
+
+TEST(IommuTest, SignalObservesIommuCongestion) {
+  // The IIO occupancy signal sees IOTLB-stall congestion too: residence
+  // inflates even though DRAM is idle.
+  exp::ScenarioConfig cfg;
+  cfg.host.iommu_enabled = true;
+  cfg.host.iotlb_miss_rate = 0.5;
+  cfg.record_signals = true;
+  cfg.warmup = sim::Time::milliseconds(40);
+  cfg.measure = sim::Time::milliseconds(40);
+  exp::Scenario s(cfg);
+  const auto r = s.run();
+  EXPECT_GT(r.avg_iio_occupancy, 68.0);
+  EXPECT_LT(r.mem_util, 0.8);  // DRAM is not the bottleneck
+}
+
+}  // namespace
+}  // namespace hostcc

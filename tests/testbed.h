@@ -1,0 +1,58 @@
+// Minimal two-host transport testbed used by transport and hostCC unit
+// tests: two HostModels wired back-to-back through fixed-delay pipes (no
+// switch), with a Stack on each side.
+#pragma once
+
+#include <memory>
+
+#include "host/host.h"
+#include "sim/simulator.h"
+#include "transport/stack.h"
+
+namespace hostcc::testing {
+
+class Testbed {
+ public:
+  explicit Testbed(host::HostConfig host_cfg = {}, transport::TransportConfig tcfg = {},
+                   sim::Time one_way = sim::Time::microseconds(5))
+      : a_host(sim, host_cfg, "a"), b_host(sim, sender_cfg(host_cfg), "b") {
+    a = std::make_unique<transport::Stack>(sim, a_host, 0, tcfg);
+    b = std::make_unique<transport::Stack>(sim, b_host, 1, tcfg);
+    // Direct pipes with serialization-free delivery: the TX paths and NICs
+    // provide rate limiting and buffering.
+    // Order matters: schedule this packet's delivery before notifying the
+    // TSQ drain (which re-enters the stack and may emit the next packet);
+    // net::Link preserves the same ordering.
+    a_host.set_egress([this, one_way](const net::Packet& p) {
+      sim.after(one_way, [this, p] { b_host.receive_from_wire(p); });
+      a_host.wire_dequeued(p);
+    });
+    b_host.set_egress([this, one_way](const net::Packet& p) {
+      sim.after(one_way, [this, p] { a_host.receive_from_wire(p); });
+      b_host.wire_dequeued(p);
+    });
+  }
+
+  // Creates both endpoints of a connection; returns (a-side, b-side).
+  std::pair<transport::TcpConnection*, transport::TcpConnection*> connect(net::FlowId flow) {
+    auto& ca = a->connect(flow, 1);
+    auto& cb = b->connect(flow, 0);
+    return {&ca, &cb};
+  }
+
+  void run_for(sim::Time d) { sim.run_until(sim.now() + d); }
+
+  sim::Simulator sim;
+  host::HostModel a_host;
+  host::HostModel b_host;
+  std::unique_ptr<transport::Stack> a;
+  std::unique_ptr<transport::Stack> b;
+
+ private:
+  static host::HostConfig sender_cfg(host::HostConfig cfg) {
+    cfg.seed ^= 0xb0bULL;
+    return cfg;
+  }
+};
+
+}  // namespace hostcc::testing

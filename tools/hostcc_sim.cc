@@ -1,0 +1,169 @@
+// hostcc_sim: command-line experiment runner for the hostcc-sim library.
+//
+//   hostcc_sim [--degree N] [--ddio] [--hostcc] [--bt GBPS] [--it LINES]
+//              [--cc dctcp|reno|swift] [--mtu BYTES] [--flows N]
+//              [--senders N] [--rpc BYTES]... [--mba-level L]
+//              [--iommu-miss-rate F] [--warmup MS] [--measure MS]
+//              [--seed N] [--signals] [--json]
+//
+// Runs one scenario and prints the measured results as a table or JSON —
+// the fastest way to explore the host-congestion parameter space without
+// writing code.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "exp/table.h"
+
+using namespace hostcc;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --degree N          MApp intensity 0..3 (x8 cores)     [0]\n"
+               "  --sender-degree N   MApp intensity at the sender       [0]\n"
+               "  --ddio              enable DDIO at the receiver\n"
+               "  --hostcc            enable hostCC at the receiver\n"
+               "  --sender-hostcc     enable the sender-side response\n"
+               "  --bt GBPS           hostCC target bandwidth B_T        [80]\n"
+               "  --it LINES          hostCC IIO threshold I_T           [70]\n"
+               "  --cc NAME           dctcp | reno | swift               [dctcp]\n"
+               "  --mtu BYTES         wire MTU                           [4096]\n"
+               "  --flows N           NetApp-T flows                     [4]\n"
+               "  --senders N         sender hosts (incast)              [1]\n"
+               "  --rpc BYTES         add a NetApp-L RPC size (repeat)\n"
+               "  --mba-level L       hard-code the MBA level 0..4\n"
+               "  --iommu-miss-rate F enable IOMMU with IOTLB miss rate\n"
+               "  --warmup MS         warmup milliseconds                [250]\n"
+               "  --measure MS        measurement milliseconds           [150]\n"
+               "  --seed N            RNG seed                           [1]\n"
+               "  --signals           record and report I_S/B_S averages\n"
+               "  --json              machine-readable output\n",
+               argv0);
+  std::exit(2);
+}
+
+double num_arg(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage(argv[0]);
+  return std::atof(argv[++i]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::ScenarioConfig cfg;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--degree") {
+      cfg.mapp_degree = num_arg(argc, argv, i);
+    } else if (a == "--sender-degree") {
+      cfg.sender_mapp_degree = num_arg(argc, argv, i);
+    } else if (a == "--ddio") {
+      cfg.host.ddio_enabled = true;
+      cfg.hostcc.iio_threshold = 50.0;  // §5.2 default for DDIO
+    } else if (a == "--hostcc") {
+      cfg.hostcc_enabled = true;
+    } else if (a == "--sender-hostcc") {
+      cfg.sender_local_response = true;
+    } else if (a == "--bt") {
+      cfg.hostcc.target_bandwidth = sim::Bandwidth::gbps(num_arg(argc, argv, i));
+    } else if (a == "--it") {
+      cfg.hostcc.iio_threshold = num_arg(argc, argv, i);
+    } else if (a == "--cc") {
+      if (i + 1 >= argc) usage(argv[0]);
+      const std::string name = argv[++i];
+      if (name == "dctcp") {
+        cfg.transport.cc = transport::CcKind::kDctcp;
+      } else if (name == "reno") {
+        cfg.transport.cc = transport::CcKind::kReno;
+      } else if (name == "swift") {
+        cfg.transport.cc = transport::CcKind::kSwift;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (a == "--mtu") {
+      cfg.transport.mtu = static_cast<sim::Bytes>(num_arg(argc, argv, i));
+    } else if (a == "--flows") {
+      cfg.netapp_flows = static_cast<int>(num_arg(argc, argv, i));
+    } else if (a == "--senders") {
+      cfg.senders = static_cast<int>(num_arg(argc, argv, i));
+    } else if (a == "--rpc") {
+      cfg.rpc_sizes.push_back(static_cast<sim::Bytes>(num_arg(argc, argv, i)));
+    } else if (a == "--mba-level") {
+      cfg.fixed_mba_level = static_cast<int>(num_arg(argc, argv, i));
+    } else if (a == "--iommu-miss-rate") {
+      cfg.host.iommu_enabled = true;
+      cfg.host.iotlb_miss_rate = num_arg(argc, argv, i);
+    } else if (a == "--warmup") {
+      cfg.warmup = sim::Time::milliseconds(num_arg(argc, argv, i));
+    } else if (a == "--measure") {
+      cfg.measure = sim::Time::milliseconds(num_arg(argc, argv, i));
+    } else if (a == "--seed") {
+      cfg.host.seed = static_cast<std::uint64_t>(num_arg(argc, argv, i));
+    } else if (a == "--signals") {
+      cfg.record_signals = true;
+    } else if (a == "--json") {
+      json = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  exp::Scenario s(cfg);
+  const exp::ScenarioResults r = s.run();
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"net_tput_gbps\": %.4f,\n", r.net_tput_gbps);
+    std::printf("  \"host_drop_rate_pct\": %.6f,\n", r.host_drop_rate_pct);
+    std::printf("  \"fabric_drop_rate_pct\": %.6f,\n", r.fabric_drop_rate_pct);
+    std::printf("  \"netapp_mem_util\": %.4f,\n", r.net_mem_util);
+    std::printf("  \"mapp_mem_util\": %.4f,\n", r.mapp_mem_util);
+    std::printf("  \"avg_iio_occupancy\": %.2f,\n", r.avg_iio_occupancy);
+    std::printf("  \"avg_pcie_gbps\": %.2f,\n", r.avg_pcie_gbps);
+    std::printf("  \"ecn_marked_pkts\": %llu,\n",
+                static_cast<unsigned long long>(r.ecn_marked_pkts));
+    std::printf("  \"sender_timeouts\": %llu,\n",
+                static_cast<unsigned long long>(r.sender_timeouts));
+    std::printf("  \"rpc\": [");
+    for (std::size_t i = 0; i < r.rpc_latency.size(); ++i) {
+      const auto& l = r.rpc_latency[i];
+      std::printf("%s\n    {\"size\": %lld, \"count\": %llu, \"p50_us\": %.1f, "
+                  "\"p99_us\": %.1f, \"p999_us\": %.1f}",
+                  i ? "," : "", static_cast<long long>(cfg.rpc_sizes[i]),
+                  static_cast<unsigned long long>(l.count), l.p50.us(), l.p99.us(),
+                  l.p999.us());
+    }
+    std::printf("%s]\n}\n", r.rpc_latency.empty() ? "" : "\n  ");
+    return 0;
+  }
+
+  exp::Table t({"metric", "value"});
+  t.add_row({"NetApp-T goodput (Gbps)", exp::fmt(r.net_tput_gbps)});
+  t.add_row({"host drop rate (%)", exp::fmt_rate(r.host_drop_rate_pct)});
+  t.add_row({"fabric drop rate (%)", exp::fmt_rate(r.fabric_drop_rate_pct)});
+  t.add_row({"NetApp memory util", exp::fmt(r.net_mem_util)});
+  t.add_row({"MApp memory util", exp::fmt(r.mapp_mem_util)});
+  if (cfg.record_signals) {
+    t.add_row({"avg I_S (cachelines)", exp::fmt(r.avg_iio_occupancy, 1)});
+    t.add_row({"avg B_S (Gbps)", exp::fmt(r.avg_pcie_gbps, 1)});
+  }
+  if (cfg.hostcc_enabled) {
+    t.add_row({"host ECN marks", std::to_string(r.ecn_marked_pkts)});
+  }
+  for (std::size_t i = 0; i < r.rpc_latency.size(); ++i) {
+    const auto& l = r.rpc_latency[i];
+    t.add_row({"RPC " + std::to_string(cfg.rpc_sizes[i]) + "B p50/p99/p99.9 (us)",
+               exp::fmt(l.p50.us(), 1) + " / " + exp::fmt(l.p99.us(), 1) + " / " +
+                   exp::fmt(l.p999.us(), 1)});
+  }
+  t.print();
+  return 0;
+}
