@@ -109,7 +109,16 @@ void Scenario::build() {
   // hostCC or a passive signal tap.
   if (cfg_.hostcc_enabled) {
     controller_ = std::make_unique<core::HostCcController>(*receiver_, cfg_.hostcc);
-    if (cfg_.record_signals) controller_->set_telemetry(&ts_is_, &ts_bs_, &ts_level_);
+    if (cfg_.record_signals) {
+      // Bridge each decision into the legacy I_S/B_S/level time series the
+      // figure generators consume.
+      controller_->set_on_decision([this](const obs::Decision& d) {
+        ts_is_.record(d.at, d.is);
+        ts_bs_.record(d.at, d.bs_gbps);
+        ts_level_.record(d.at, d.level_effective);
+      });
+    }
+    if (cfg_.record_decisions) controller_->set_decision_log(&decisions_);
     controller_->start();
   } else {
     passive_sampler_ = std::make_unique<core::SignalSampler>(*receiver_, cfg_.hostcc.signals);
@@ -125,6 +134,28 @@ void Scenario::build() {
   }
 
   if (cfg_.fixed_mba_level >= 0) receiver_->mba().request_level(cfg_.fixed_mba_level);
+
+  // Observability: the tracer follows the receiver datapath (the congested
+  // host); it stays attached even when disabled so production runs exercise
+  // the null-sink fast path. Metrics registration happens last, after every
+  // MemSource (including the MApp) exists, so the per-source memctrl
+  // counters cover them all.
+  tracer_.set_enabled(cfg_.trace_packets);
+  receiver_->set_tracer(&tracer_);
+  metrics_.gauge("sim/events_executed",
+                 [this] { return static_cast<double>(sim_.events_executed()); });
+  receiver_->register_metrics(metrics_);
+  for (auto& h : sender_hosts_) h->register_metrics(metrics_);
+  receiver_stack_->register_metrics(metrics_, "receiver/transport");
+  for (std::size_t s = 0; s < sender_stacks_.size(); ++s) {
+    sender_stacks_[s]->register_metrics(metrics_,
+                                        "sender" + std::to_string(s) + "/transport");
+  }
+  if (controller_) {
+    controller_->register_metrics(metrics_, "receiver/hostcc");
+  } else {
+    passive_sampler_->register_metrics(metrics_, "receiver/hostcc/signals");
+  }
 }
 
 core::SignalSampler& Scenario::signals() {

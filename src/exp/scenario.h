@@ -20,6 +20,9 @@
 #include "hostcc/signals.h"
 #include "net/link.h"
 #include "net/switch.h"
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/timeseries.h"
 #include "transport/stack.h"
@@ -50,6 +53,8 @@ struct ScenarioConfig {
   sim::Time measure = sim::Time::milliseconds(150);
 
   bool record_signals = false;            // capture I_S/B_S/level series
+  bool trace_packets = false;             // per-packet lifecycle tracing (receiver)
+  bool record_decisions = false;          // keep the full hostCC decision log
 };
 
 struct ScenarioResults {
@@ -110,6 +115,16 @@ class Scenario {
   const sim::TimeSeries& bs_series() const { return ts_bs_; }
   const sim::TimeSeries& level_series() const { return ts_level_; }
 
+  // Observability layer: every component registers its metrics here at
+  // build time; snapshot/export at any point with metrics().write_csv(...).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  // Packet-lifecycle tracer on the receiver datapath (enabled by
+  // cfg.trace_packets; always attached, so the disabled fast path is what
+  // production runs exercise).
+  obs::PacketTracer& tracer() { return tracer_; }
+  // Full hostCC decision record (cfg.record_decisions, hostcc runs only).
+  const obs::DecisionLog& decisions() const { return decisions_; }
+
   const ScenarioConfig& config() const { return cfg_; }
 
   // Uplink 0 is the receiver's, 1..N the senders'.
@@ -144,6 +159,10 @@ class Scenario {
   sim::TimeSeries ts_is_{"iio_occupancy"};
   sim::TimeSeries ts_bs_{"pcie_gbps"};
   sim::TimeSeries ts_level_{"mba_level"};
+
+  obs::MetricsRegistry metrics_;
+  obs::PacketTracer tracer_{"receiver"};
+  obs::DecisionLog decisions_;
 
   // Measurement-window baselines.
   std::uint64_t base_nic_arrived_ = 0;

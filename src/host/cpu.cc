@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "host/nic.h"
+#include "obs/trace.h"
 
 namespace hostcc::host {
 
@@ -66,6 +67,7 @@ void CpuComplex::finish(std::size_t core_idx, Work w) {
 
   ++processed_pkts_;
   processed_bytes_ += w.pkt.payload;
+  if (tracer_) tracer_->stage(obs::PacketStage::kDelivered, w.pkt, sim_.now());
   if (nic_ != nullptr) nic_->descriptor_returned();
 
   net::Packet out = w.pkt;

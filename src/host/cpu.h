@@ -17,7 +17,12 @@
 #include "host/ddio.h"
 #include "host/memctrl.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
+
+namespace hostcc::obs {
+class PacketTracer;
+}
 
 namespace hostcc::host {
 
@@ -34,6 +39,17 @@ class CpuComplex : public MemSource {
   void set_stack_rx(StackRxFn fn) { stack_rx_ = std::move(fn); }
   void set_ingress_filter(IngressFilter fn) { ingress_ = std::move(fn); }
   void set_nic(NicRx* nic) { nic_ = nic; }
+  // Opt-in packet-lifecycle tracing (kDelivered stage).
+  void set_tracer(obs::PacketTracer* t) { tracer_ = t; }
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.counter_fn(prefix + "/processed_pkts", [this] { return processed_pkts_; });
+    reg.counter_fn(prefix + "/processed_bytes",
+                   [this] { return static_cast<std::uint64_t>(processed_bytes_); });
+    reg.gauge(prefix + "/backlog_bytes", [this] { return static_cast<double>(total_backlog_); });
+    reg.gauge(prefix + "/busy_cores", [this] { return static_cast<double>(busy_count()); });
+    reg.gauge(prefix + "/busy_us_total", [this] { return total_busy_.us(); });
+  }
 
   // Called by the IIO when a packet lands in host memory / LLC.
   void deliver(const net::Packet& p, bool from_llc);
@@ -89,6 +105,7 @@ class CpuComplex : public MemSource {
   NicRx* nic_ = nullptr;
   StackRxFn stack_rx_;
   IngressFilter ingress_;
+  obs::PacketTracer* tracer_ = nullptr;
 
   std::vector<Core> cores_;
   std::unordered_map<net::FlowId, sim::Bytes> flow_backlog_;

@@ -83,6 +83,27 @@ class HostModel {
   // --- host-local traffic (MApp etc.) ---
   void add_host_local_source(MemSource* src) { mc_->add_source(src, /*network_path=*/false); }
 
+  // --- observability ---
+  // Attaches (or detaches, with nullptr) a packet-lifecycle tracer to every
+  // rx-datapath stage. The tracer decides whether it is enabled; attaching
+  // a disabled tracer costs one predictable branch per stage hook.
+  void set_tracer(obs::PacketTracer* t) {
+    nic_->set_tracer(t);
+    iio_->set_tracer(t);
+    cpu_->set_tracer(t);
+  }
+  // Registers every stage's metrics under "<host-name>/<component>/...".
+  // Call after all MemSources have been added (see MemoryController).
+  void register_metrics(obs::MetricsRegistry& reg) {
+    nic_->register_metrics(reg, name_ + "/nic");
+    pcie_->register_metrics(reg, name_ + "/pcie");
+    iio_->register_metrics(reg, name_ + "/iio");
+    mc_->register_metrics(reg, name_ + "/memctrl");
+    cpu_->register_metrics(reg, name_ + "/cpu");
+    tx_->register_metrics(reg, name_ + "/tx");
+    mba_->register_metrics(reg, name_ + "/mba");
+  }
+
   // --- component access (hostCC, telemetry, tests) ---
   MemoryController& memctrl() { return *mc_; }
   const MemoryController& memctrl() const { return *mc_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace hostcc::host {
 
 sim::Time IioBuffer::congestion_extra() const {
@@ -37,6 +39,7 @@ void IioBuffer::insert(const net::Packet& pkt, sim::Bytes credit_bytes, bool to_
   total_inserted_ += credit_bytes;
 
   const sim::Time now = sim_.now();
+  if (tracer_ && last_chunk) tracer_->stage(obs::PacketStage::kIioAdmit, pkt, now);
   if (to_memory) {
     Entry e;
     if (last_chunk) e.pkt = pkt;
@@ -59,7 +62,10 @@ void IioBuffer::insert(const net::Packet& pkt, sim::Bytes credit_bytes, bool to_
     change_occupancy(0, -credit_bytes);
     total_admitted_ += credit_bytes;
     pcie_.release(credit_bytes);
-    if (last_chunk && deliver_) deliver_(done, /*from_llc=*/true);
+    if (last_chunk) {
+      if (tracer_) tracer_->stage(obs::PacketStage::kWriteIssued, done, sim_.now());
+      if (deliver_) deliver_(done, /*from_llc=*/true);
+    }
   });
 }
 
@@ -93,7 +99,10 @@ void IioBuffer::mem_granted(sim::Time now, double bytes) {
       const bool was_last = head.last;
       const net::Packet done = head.pkt;
       memq_.pop_front();
-      if (was_last && deliver_) deliver_(done, /*from_llc=*/false);
+      if (was_last) {
+        if (tracer_) tracer_->stage(obs::PacketStage::kWriteIssued, done, now);
+        if (deliver_) deliver_(done, /*from_llc=*/false);
+      }
     }
   }
   // Any unused budget (entries not yet eligible) is forfeited: DRAM slots

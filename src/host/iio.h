@@ -15,8 +15,13 @@
 #include "host/msr.h"
 #include "host/pcie.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+
+namespace hostcc::obs {
+class PacketTracer;
+}
 
 namespace hostcc::host {
 
@@ -57,6 +62,19 @@ class IioBuffer : public MemSource {
   sim::Bytes total_inserted() const { return total_inserted_; }
   sim::Bytes total_admitted() const { return total_admitted_; }
 
+  // Opt-in packet-lifecycle tracing (kIioAdmit / kWriteIssued stages).
+  void set_tracer(obs::PacketTracer* t) { tracer_ = t; }
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.gauge(prefix + "/occupancy_lines", [this] { return occupancy_lines(); });
+    reg.gauge(prefix + "/occupancy_bytes",
+              [this] { return static_cast<double>(occupancy_bytes()); });
+    reg.counter_fn(prefix + "/inserted_bytes",
+                   [this] { return static_cast<std::uint64_t>(total_inserted_); });
+    reg.counter_fn(prefix + "/admitted_bytes",
+                   [this] { return static_cast<std::uint64_t>(total_admitted_); });
+  }
+
  private:
   struct Entry {
     net::Packet pkt;  // meaningful only when `last` is set
@@ -91,6 +109,7 @@ class IioBuffer : public MemSource {
 
   sim::Bytes total_inserted_ = 0;
   sim::Bytes total_admitted_ = 0;
+  obs::PacketTracer* tracer_ = nullptr;
 };
 
 }  // namespace hostcc::host

@@ -13,6 +13,8 @@
 #include <functional>
 
 #include "host/config.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -54,14 +56,26 @@ class MbaThrottle {
   // Observer for telemetry (fires when a level takes effect).
   void set_on_level_change(std::function<void(int)> fn) { on_change_ = std::move(fn); }
 
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.gauge(prefix + "/effective_level", [this] { return static_cast<double>(effective_); });
+    reg.gauge(prefix + "/requested_level", [this] { return static_cast<double>(requested_); });
+    reg.counter_fn(prefix + "/msr_writes",
+                   [this] { return static_cast<std::uint64_t>(msr_writes_); });
+  }
+
  private:
   void issue_write() {
     write_in_flight_ = true;
     writing_ = requested_;
     ++msr_writes_;
     sim_.after(cfg_.mba_msr_write_latency, [this] {
+      const int prev = effective_;
       effective_ = writing_;
       write_in_flight_ = false;
+      if (effective_ != prev) {
+        OBS_LOG(obs::LogLevel::kInfo, sim_.now(), "host/mba", "level %d -> %d", prev,
+                effective_);
+      }
       if (on_change_) on_change_(effective_);
       if (requested_ != effective_) issue_write();  // apply latest request
     });

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/log.h"
+#include "obs/trace.h"
+
 namespace hostcc::host {
 
 NicRx::NicRx(sim::Simulator& sim, const HostConfig& cfg, PcieLink& pcie, IioBuffer& iio,
@@ -39,11 +42,16 @@ void NicRx::packet_from_wire(const net::Packet& p) {
   if (q_bytes_ + needed > cfg_.nic_rx_buffer_bytes) {
     ++stats_.dropped_pkts;
     stats_.dropped_bytes += p.size;
+    OBS_LOG(obs::LogLevel::kDebug, sim_.now(), "host/nic", "drop pkt=%llu flow=%llu size=%lld",
+            static_cast<unsigned long long>(p.id), static_cast<unsigned long long>(p.flow),
+            static_cast<long long>(p.size));
+    if (tracer_) tracer_->drop(p, sim_.now());
     if (on_drop_) on_drop_(p);
     return;
   }
   q_.push_back({p, sim_.now()});
   q_bytes_ += p.size;
+  if (tracer_) tracer_->stage(obs::PacketStage::kNicArrive, p, sim_.now());
   try_start_dma();
 }
 
@@ -66,6 +74,7 @@ void NicRx::try_start_dma() {
     dma_sent_ = 0;
     dma_place_ = ddio_.place(head.pkt.payload, pollution_fn_());
     queue_delay_hist_.record_time(sim_.now() - head.arrived);
+    if (tracer_) tracer_->stage(obs::PacketStage::kDmaStart, head.pkt, sim_.now());
     // "The packet can be safely removed from the NIC buffer as soon as DMA
     // is initiated" (§2.1): buffer space frees at DMA start.
     q_bytes_ -= head.pkt.size;

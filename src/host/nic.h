@@ -14,11 +14,15 @@
 #include "host/iio.h"
 #include "host/pcie.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
 namespace hostcc::net {
 class Packet;
+}
+namespace hostcc::obs {
+class PacketTracer;
 }
 
 namespace hostcc::host {
@@ -38,6 +42,24 @@ class NicRx {
 
   // Observer invoked on every tail-drop (tests/telemetry).
   void set_on_drop(std::function<void(const net::Packet&)> fn) { on_drop_ = std::move(fn); }
+
+  // Opt-in packet-lifecycle tracing (kNicArrive / kDmaStart stages).
+  void set_tracer(obs::PacketTracer* t) { tracer_ = t; }
+
+  // Registers this stage's counters/gauges under `prefix` (e.g. "rx/nic").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.counter_fn(prefix + "/arrived_pkts", [this] { return stats_.arrived_pkts; });
+    reg.counter_fn(prefix + "/dropped_pkts", [this] { return stats_.dropped_pkts; });
+    reg.counter_fn(prefix + "/arrived_bytes",
+                   [this] { return static_cast<std::uint64_t>(stats_.arrived_bytes); });
+    reg.counter_fn(prefix + "/dropped_bytes",
+                   [this] { return static_cast<std::uint64_t>(stats_.dropped_bytes); });
+    reg.counter_fn(prefix + "/descriptor_stalls", [this] { return stats_.descriptor_stalls; });
+    reg.counter_fn(prefix + "/credit_stalls", [this] { return stats_.credit_stalls; });
+    reg.gauge(prefix + "/queued_bytes", [this] { return static_cast<double>(q_bytes_); });
+    reg.gauge(prefix + "/free_descriptors", [this] { return static_cast<double>(descriptors_); });
+    reg.histogram(prefix + "/queueing_delay_ps", &queue_delay_hist_);
+  }
 
   // --- statistics ---
   struct Stats {
@@ -93,6 +115,7 @@ class NicRx {
   Stats stats_;
   sim::Histogram queue_delay_hist_;
   std::function<void(const net::Packet&)> on_drop_;
+  obs::PacketTracer* tracer_ = nullptr;
 };
 
 }  // namespace hostcc::host

@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <functional>
 
 #include "host/config.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 #include "sim/units.h"
@@ -36,6 +38,8 @@ class PcieLink {
   void transfer(sim::Bytes chunk_bytes, sim::EventFn on_delivered) {
     assert(!busy_ && "PCIe channel is serialized");
     busy_ = true;
+    ++transfers_;
+    transferred_bytes_ += chunk_bytes;
     const sim::Time tx = cfg_.pcie_raw.transfer_time(chunk_bytes);
     sim_.after(tx, [this, on_delivered = std::move(on_delivered)]() mutable {
       busy_ = false;
@@ -47,15 +51,28 @@ class PcieLink {
   }
 
   bool busy() const { return busy_; }
+  std::uint64_t transfers() const { return transfers_; }
+  sim::Bytes transferred_bytes() const { return transferred_bytes_; }
 
   // NIC hooks: retry DMA on credit replenishment / channel idle.
   void set_on_credit(sim::EventFn fn) { on_credit_ = std::move(fn); }
   void set_on_idle(sim::EventFn fn) { on_idle_ = std::move(fn); }
 
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.counter_fn(prefix + "/transfers", [this] { return transfers_; });
+    reg.counter_fn(prefix + "/transferred_bytes",
+                   [this] { return static_cast<std::uint64_t>(transferred_bytes_); });
+    reg.gauge(prefix + "/busy", [this] { return busy_ ? 1.0 : 0.0; });
+    reg.gauge(prefix + "/credit_pool_bytes",
+              [this] { return static_cast<double>(credit_pool()); });
+  }
+
  private:
   sim::Simulator& sim_;
   const HostConfig& cfg_;
   bool busy_ = false;
+  std::uint64_t transfers_ = 0;
+  sim::Bytes transferred_bytes_ = 0;
   sim::EventFn on_credit_;
   sim::EventFn on_idle_;
 };

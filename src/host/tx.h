@@ -13,6 +13,7 @@
 #include "host/config.h"
 #include "host/memctrl.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace hostcc::host {
@@ -26,6 +27,8 @@ class TxPath : public MemSource {
   void set_egress(EgressFn fn) { egress_ = std::move(fn); }
 
   void send(const net::Packet& p) {
+    ++sent_pkts_;
+    sent_bytes_ += p.size;
     if (cfg_.tx_amplification <= 0.0) {
       if (egress_) egress_(p);
       return;
@@ -36,6 +39,13 @@ class TxPath : public MemSource {
   }
 
   sim::Bytes queued_packets() const { return static_cast<sim::Bytes>(q_.size()); }
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.counter_fn(prefix + "/sent_pkts", [this] { return sent_pkts_; });
+    reg.counter_fn(prefix + "/sent_bytes",
+                   [this] { return static_cast<std::uint64_t>(sent_bytes_); });
+    reg.gauge(prefix + "/queued_packets", [this] { return static_cast<double>(q_.size()); });
+  }
 
   // MemSource: DMA reads for outbound data.
   std::string name() const override { return "tx_dma"; }
@@ -76,6 +86,8 @@ class TxPath : public MemSource {
   std::deque<net::Packet> q_;
   double queued_cost_ = 0.0;
   double budget_ = 0.0;
+  std::uint64_t sent_pkts_ = 0;
+  sim::Bytes sent_bytes_ = 0;
 };
 
 }  // namespace hostcc::host

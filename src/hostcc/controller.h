@@ -9,6 +9,7 @@
 // and the policy producing B_T is pluggable.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <utility>
 
@@ -17,7 +18,8 @@
 #include "hostcc/policy.h"
 #include "hostcc/response.h"
 #include "hostcc/signals.h"
-#include "sim/timeseries.h"
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
 
 namespace hostcc::core {
 
@@ -55,21 +57,41 @@ class HostCcController {
   AllocationPolicy& policy() { return *policy_; }
   const HostCcConfig& config() const { return cfg_; }
 
-  // Optional telemetry: record (I_S, B_S, level) on every sample into the
-  // provided series (Fig. 8/18/19). Pass nullptr to disable.
-  void set_telemetry(sim::TimeSeries* is, sim::TimeSeries* bs, sim::TimeSeries* level) {
-    ts_is_ = is;
-    ts_bs_ = bs;
-    ts_level_ = level;
+  // Decision telemetry: every sampler tick produces one obs::Decision
+  // (I_S, B_S, B_T, MBA levels, transition reason). Attach a log to keep
+  // the full record, and/or an observer for streaming consumers
+  // (Fig. 8/18/19 time series). Pass nullptr to detach.
+  void set_decision_log(obs::DecisionLog* log) { decision_log_ = log; }
+  void set_on_decision(std::function<void(const obs::Decision&)> fn) {
+    on_decision_ = std::move(fn);
+  }
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    sampler_.register_metrics(reg, prefix + "/signals");
+    reg.counter_fn(prefix + "/level_ups", [this] { return response_.level_ups(); });
+    reg.counter_fn(prefix + "/level_downs", [this] { return response_.level_downs(); });
+    reg.counter_fn(prefix + "/ecn_marked", [this] { return echo_.packets_marked(); });
+    reg.counter_fn(prefix + "/ecn_seen", [this] { return echo_.packets_seen(); });
+    reg.gauge(prefix + "/target_gbps", [this] {
+      return policy_->target_bandwidth(host_.simulator().now()).as_gbps();
+    });
   }
 
  private:
   void on_sample() {
     const sim::Time now = host_.simulator().now();
-    response_.evaluate(now);
-    if (ts_is_) ts_is_->record(now, sampler_.is_value());
-    if (ts_bs_) ts_bs_->record(now, sampler_.bs_value().as_gbps());
-    if (ts_level_) ts_level_->record(now, host_.mba().effective_level());
+    const obs::DecisionReason reason = response_.evaluate(now);
+    if (decision_log_ == nullptr && !on_decision_) return;
+    obs::Decision d;
+    d.at = now;
+    d.is = sampler_.is_value();
+    d.bs_gbps = sampler_.bs_value().as_gbps();
+    d.bt_gbps = policy_->target_bandwidth(now).as_gbps();
+    d.level_requested = host_.mba().requested_level();
+    d.level_effective = host_.mba().effective_level();
+    d.reason = reason;
+    if (decision_log_) decision_log_->record(d);
+    if (on_decision_) on_decision_(d);
   }
 
   host::HostModel& host_;
@@ -78,9 +100,8 @@ class HostCcController {
   SignalSampler sampler_;
   HostLocalResponse response_;
   EcnEcho echo_;
-  sim::TimeSeries* ts_is_ = nullptr;
-  sim::TimeSeries* ts_bs_ = nullptr;
-  sim::TimeSeries* ts_level_ = nullptr;
+  obs::DecisionLog* decision_log_ = nullptr;
+  std::function<void(const obs::Decision&)> on_decision_;
 };
 
 }  // namespace hostcc::core

@@ -21,6 +21,7 @@
 #include "host/mba.h"
 #include "hostcc/policy.h"
 #include "hostcc/signals.h"
+#include "obs/decision_log.h"
 
 namespace hostcc::core {
 
@@ -35,28 +36,38 @@ class HostLocalResponse {
                     AllocationPolicy& policy, ResponseConfig cfg)
       : mba_(mba), signals_(signals), policy_(policy), cfg_(cfg) {}
 
-  // Called on every sampler tick.
-  void evaluate(sim::Time now) {
-    if (!cfg_.enabled) return;
+  // Called on every sampler tick. Returns why the tick did (or didn't)
+  // move the MBA level — the hostCC decision log records it verbatim.
+  obs::DecisionReason evaluate(sim::Time now) {
+    if (!cfg_.enabled) return obs::DecisionReason::kDisabled;
     const bool host_congested = signals_.is_value() > cfg_.iio_threshold;
     const bool target_met = signals_.bs_value() >= policy_.target_bandwidth(now);
 
     // One step per effective MSR write: if the previous request has not
     // taken effect yet, requesting again would silently skip levels.
-    if (mba_.requested_level() != mba_.effective_level()) return;
+    if (mba_.requested_level() != mba_.effective_level()) {
+      return obs::DecisionReason::kAwaitMsrWrite;
+    }
 
     if (host_congested && !target_met) {
       if (mba_.effective_level() < host::MbaThrottle::kMaxLevel) {
         mba_.request_level(mba_.effective_level() + 1);
         ++level_ups_;
+        return obs::DecisionReason::kThrottleUp;
       }
-    } else if (!host_congested && target_met) {
+      return obs::DecisionReason::kHoldAtLimit;
+    }
+    if (!host_congested && target_met) {
       if (mba_.effective_level() > host::MbaThrottle::kMinLevel) {
         mba_.request_level(mba_.effective_level() - 1);
         ++level_downs_;
+        return obs::DecisionReason::kThrottleDown;
       }
+      return obs::DecisionReason::kHoldAtLimit;
     }
     // Regimes 2 and 4: hold.
+    return host_congested ? obs::DecisionReason::kHoldCongested
+                          : obs::DecisionReason::kHoldTargetMissed;
   }
 
   const ResponseConfig& config() const { return cfg_; }

@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "host/host.h"
+#include "obs/metrics.h"
 #include "sim/ewma.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
@@ -82,6 +83,15 @@ class SignalSampler {
   void set_on_sample(std::function<void()> fn) { on_sample_ = std::move(fn); }
 
   std::uint64_t samples_taken() const { return samples_; }
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.counter_fn(prefix + "/samples", [this] { return samples_; });
+    reg.gauge(prefix + "/is_cachelines", [this] { return is_value(); });
+    reg.gauge(prefix + "/bs_gbps", [this] { return bs_value().as_gbps(); });
+    reg.gauge(prefix + "/host_delay_ns", [this] { return host_delay().ns(); });
+    reg.histogram(prefix + "/is_read_latency_ps", &is_read_lat_);
+    reg.histogram(prefix + "/bs_read_latency_ps", &bs_read_lat_);
+  }
 
  private:
   void sample() {

@@ -1,0 +1,91 @@
+// hostCC decision log: one record per sampler tick capturing what the
+// controller saw (I_S, B_S), what the policy asked for (B_T), what the
+// actuator state was (requested/effective MBA level), and why the
+// host-local response acted the way it did. Replaces the old ad-hoc
+// triple-TimeSeries telemetry hook with a single structured record that
+// exports as CSV or JSON (see docs/OBSERVABILITY.md for the schema).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hostcc::obs {
+
+// Outcome of one HostLocalResponse::evaluate() tick (the Fig. 6 regimes).
+enum class DecisionReason : std::uint8_t {
+  kThrottleUp,       // regime 3: host congested, target missed -> level +1
+  kThrottleDown,     // regime 1: no host congestion, target met -> level -1
+  kHoldCongested,    // regime 2: host congested but target met
+  kHoldTargetMissed, // regime 4: target missed without host congestion
+  kHoldAtLimit,      // would step, but already at the level bound
+  kAwaitMsrWrite,    // previous MBA MSR write has not taken effect yet
+  kDisabled,         // host-local response disabled (ablation)
+};
+
+inline const char* reason_name(DecisionReason r) {
+  switch (r) {
+    case DecisionReason::kThrottleUp: return "throttle_up";
+    case DecisionReason::kThrottleDown: return "throttle_down";
+    case DecisionReason::kHoldCongested: return "hold_congested";
+    case DecisionReason::kHoldTargetMissed: return "hold_target_missed";
+    case DecisionReason::kHoldAtLimit: return "hold_at_limit";
+    case DecisionReason::kAwaitMsrWrite: return "await_msr_write";
+    case DecisionReason::kDisabled: return "disabled";
+  }
+  return "?";
+}
+
+struct Decision {
+  sim::Time at;
+  double is = 0.0;              // smoothed IIO occupancy (cachelines)
+  double bs_gbps = 0.0;         // smoothed PCIe bandwidth
+  double bt_gbps = 0.0;         // policy target B_T
+  int level_requested = 0;      // MBA level the controller has asked for
+  int level_effective = 0;      // MBA level currently in force
+  DecisionReason reason = DecisionReason::kDisabled;
+};
+
+class DecisionLog {
+ public:
+  void record(const Decision& d) { decisions_.push_back(d); }
+
+  const std::vector<Decision>& decisions() const { return decisions_; }
+  bool empty() const { return decisions_.empty(); }
+  std::size_t size() const { return decisions_.size(); }
+  void clear() { decisions_.clear(); }
+
+  void write_csv(std::ostream& os) const {
+    os << "time_us,is_cachelines,bs_gbps,bt_gbps,level_requested,level_effective,reason\n";
+    char buf[160];
+    for (const auto& d : decisions_) {
+      std::snprintf(buf, sizeof(buf), "%.6f,%.6f,%.6f,%.6f,%d,%d,%s\n", d.at.us(), d.is,
+                    d.bs_gbps, d.bt_gbps, d.level_requested, d.level_effective,
+                    reason_name(d.reason));
+      os << buf;
+    }
+  }
+
+  void write_json(std::ostream& os) const {
+    os << "{\"decisions\":[";
+    char buf[224];
+    for (std::size_t i = 0; i < decisions_.size(); ++i) {
+      const auto& d = decisions_[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n{\"t_us\":%.6f,\"is\":%.6f,\"bs_gbps\":%.6f,\"bt_gbps\":%.6f,"
+                    "\"level_requested\":%d,\"level_effective\":%d,\"reason\":\"%s\"}",
+                    i ? "," : "", d.at.us(), d.is, d.bs_gbps, d.bt_gbps, d.level_requested,
+                    d.level_effective, reason_name(d.reason));
+      os << buf;
+    }
+    os << "\n]}\n";
+  }
+
+ private:
+  std::vector<Decision> decisions_;
+};
+
+}  // namespace hostcc::obs

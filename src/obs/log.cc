@@ -1,0 +1,44 @@
+#include "obs/log.h"
+
+#include <cstdarg>
+#include <cstring>
+
+namespace hostcc::obs {
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const char* s) {
+  if (std::strcmp(s, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+void Logger::write(LogLevel lvl, sim::Time now, const char* component, const char* fmt, ...) {
+  char msg[512];
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+  std::fprintf(sink_, "[%12.3fus] %-5s %s: %s\n", now.us(), level_name(lvl), component, msg);
+  ++lines_;
+}
+
+Logger& logger() {
+  static Logger instance;
+  return instance;
+}
+
+}  // namespace hostcc::obs

@@ -1,0 +1,55 @@
+// Sim-time-stamped structured logging for key model transitions.
+//
+//   OBS_LOG(obs::LogLevel::kInfo, now, "host/mba", "level %d -> %d", a, b);
+//   => [  1234.567us] INFO  host/mba: level 2 -> 3
+//
+// One global logger, off by default (level kOff): the macro is a single
+// integer compare on the hot path when logging is disabled. The CLI wires
+// `--log-level trace|debug|info|warn|error` to it. Timestamps are
+// simulated time, so log output is deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+#include "sim/time.h"
+
+namespace hostcc::obs {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* level_name(LogLevel lvl);
+// Parses a level name ("trace".."error", "off"); returns kOff on no match.
+LogLevel parse_log_level(const char* s);
+
+class Logger {
+ public:
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel lvl) const { return lvl >= level_; }
+
+  // Log destination; defaults to stderr. Not owned.
+  void set_sink(std::FILE* f) { sink_ = f; }
+
+  void write(LogLevel lvl, sim::Time now, const char* component, const char* fmt, ...)
+      __attribute__((format(printf, 5, 6)));
+
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+  std::FILE* sink_ = stderr;
+  std::uint64_t lines_ = 0;
+};
+
+// The process-wide logger instance used by OBS_LOG.
+Logger& logger();
+
+}  // namespace hostcc::obs
+
+#define OBS_LOG(lvl, now, component, ...)                               \
+  do {                                                                  \
+    if (::hostcc::obs::logger().enabled(lvl)) {                         \
+      ::hostcc::obs::logger().write(lvl, now, component, __VA_ARGS__);  \
+    }                                                                   \
+  } while (0)

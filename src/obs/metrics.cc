@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace hostcc::obs {
+
+namespace {
+
+// Fixed-format double: enough digits to round-trip, locale-independent,
+// so exports are byte-identical across runs and platforms.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+MetricSample sample_histogram(const std::string& name, const sim::Histogram& h) {
+  MetricSample s;
+  s.name = name;
+  s.kind = MetricKind::kHistogram;
+  s.value = h.mean();
+  s.count = h.count();
+  s.min = h.min();
+  s.p50 = h.percentile(0.50);
+  s.p99 = h.percentile(0.99);
+  s.p999 = h.percentile(0.999);
+  s.max = h.max();
+  return s;
+}
+
+}  // namespace
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Entry& e = entries_[name];
+  if (!e.owned) {
+    e = Entry{};
+    e.kind = MetricKind::kCounter;
+    e.owned = std::make_unique<Counter>();
+  }
+  return *e.owned;
+}
+
+void MetricsRegistry::counter_fn(const std::string& name, CounterFn fn) {
+  Entry e;
+  e.kind = MetricKind::kCounter;
+  e.counter_fn = std::move(fn);
+  entries_[name] = std::move(e);
+}
+
+void MetricsRegistry::gauge(const std::string& name, GaugeFn fn) {
+  Entry e;
+  e.kind = MetricKind::kGauge;
+  e.gauge_fn = std::move(fn);
+  entries_[name] = std::move(e);
+}
+
+void MetricsRegistry::histogram(const std::string& name, const sim::Histogram* h) {
+  assert(h != nullptr);
+  Entry e;
+  e.kind = MetricKind::kHistogram;
+  e.hist = h;
+  entries_[name] = std::move(e);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(sim::Time now) const {
+  MetricsSnapshot snap;
+  snap.at = now;
+  snap.samples.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case MetricKind::kCounter: {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricKind::kCounter;
+        s.value = static_cast<double>(e.owned ? e.owned->value() : e.counter_fn());
+        snap.samples.push_back(std::move(s));
+        break;
+      }
+      case MetricKind::kGauge: {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricKind::kGauge;
+        s.value = e.gauge_fn();
+        snap.samples.push_back(std::move(s));
+        break;
+      }
+      case MetricKind::kHistogram:
+        snap.samples.push_back(sample_histogram(name, *e.hist));
+        break;
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::write_csv(std::ostream& os, sim::Time now) const {
+  snapshot(now).write_csv(os);
+}
+
+void MetricsRegistry::write_json(std::ostream& os, sim::Time now) const {
+  snapshot(now).write_json(os);
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  at = std::max(at, other.at);
+  std::vector<MetricSample> out;
+  out.reserve(samples.size() + other.samples.size());
+  auto a = samples.begin();
+  auto b = other.samples.begin();
+  while (a != samples.end() || b != other.samples.end()) {
+    if (b == other.samples.end() || (a != samples.end() && a->name < b->name)) {
+      out.push_back(*a++);
+    } else if (a == samples.end() || b->name < a->name) {
+      out.push_back(*b++);
+    } else {
+      MetricSample m = *a;
+      switch (m.kind) {
+        case MetricKind::kCounter:
+        case MetricKind::kGauge:
+          m.value += b->value;
+          break;
+        case MetricKind::kHistogram: {
+          const std::uint64_t n = m.count + b->count;
+          if (n > 0) {
+            m.value = (m.value * static_cast<double>(m.count) +
+                       b->value * static_cast<double>(b->count)) /
+                      static_cast<double>(n);
+          }
+          m.min = (m.count == 0) ? b->min : (b->count == 0 ? m.min : std::min(m.min, b->min));
+          m.max = std::max(m.max, b->max);
+          m.p50 = std::max(m.p50, b->p50);
+          m.p99 = std::max(m.p99, b->p99);
+          m.p999 = std::max(m.p999, b->p999);
+          m.count = n;
+          break;
+        }
+      }
+      ++a;
+      ++b;
+      out.push_back(std::move(m));
+    }
+  }
+  samples = std::move(out);
+}
+
+void MetricsSnapshot::write_csv(std::ostream& os) const {
+  os << "name,kind,value,count,min,p50,p99,p999,max\n";
+  for (const auto& s : samples) {
+    os << s.name << ',' << metric_kind_name(s.kind) << ',' << fmt_double(s.value);
+    if (s.kind == MetricKind::kHistogram) {
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    ",%" PRIu64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64,
+                    s.count, s.min, s.p50, s.p99, s.p999, s.max);
+      os << buf;
+    } else {
+      os << ",,,,,";
+    }
+    os << '\n';
+  }
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", at.us());
+  os << "{\n  \"at_us\": " << buf << ",\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& s : samples) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << s.name << "\": {\"kind\": \"" << metric_kind_name(s.kind)
+       << "\", \"value\": " << fmt_double(s.value);
+    if (s.kind == MetricKind::kHistogram) {
+      char h[256];
+      std::snprintf(h, sizeof(h),
+                    ", \"count\": %" PRIu64 ", \"min\": %" PRId64 ", \"p50\": %" PRId64
+                    ", \"p99\": %" PRId64 ", \"p999\": %" PRId64 ", \"max\": %" PRId64,
+                    s.count, s.min, s.p50, s.p99, s.p999, s.max);
+      os << h;
+    }
+    os << "}";
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace hostcc::obs

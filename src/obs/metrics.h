@@ -1,0 +1,109 @@
+// Simulator-wide metrics registry: named counters, gauges, and histogram
+// views that components register at construction and that can be
+// snapshotted at any simulated time and exported as CSV or JSON.
+//
+// Naming scheme (see docs/OBSERVABILITY.md): slash-separated paths of the
+// form <host>/<component>/<metric>, e.g. "receiver/nic/dropped_pkts" or
+// "receiver/hostcc/level_ups". Export order is always lexicographic, so
+// two registries populated identically serialize byte-identically —
+// determinism is a feature of this simulator and the observability layer
+// preserves it.
+//
+// Gauges and callback counters read live component state on snapshot, so
+// registration adds zero cost to the simulation hot paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace hostcc::obs {
+
+// A registry-owned monotonic count, for components that want to count new
+// events without keeping their own member (the registry hands out a stable
+// reference).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind k);
+
+// One metric's value at a snapshot instant. For histograms, `value` is the
+// mean and the summary fields are populated.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kGauge;
+  double value = 0.0;
+  std::uint64_t count = 0;  // histogram sample count
+  std::int64_t min = 0, p50 = 0, p99 = 0, p999 = 0, max = 0;
+};
+
+// Point-in-time view of a registry, mergeable across registries (future
+// shards, multi-host aggregation). Merge semantics: samples are matched by
+// name; counters add, gauges add, histogram counts add with min/max taking
+// the envelope, percentiles taking the pessimistic (max) bound, and means
+// combining count-weighted. Names present in only one snapshot pass
+// through unchanged. `at` becomes the later of the two instants.
+struct MetricsSnapshot {
+  sim::Time at;
+  std::vector<MetricSample> samples;  // sorted by name
+
+  void merge(const MetricsSnapshot& other);
+
+  // "name,kind,value,count,min,p50,p99,p999,max" rows, sorted by name.
+  void write_csv(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+};
+
+class MetricsRegistry {
+ public:
+  using GaugeFn = std::function<double()>;
+  using CounterFn = std::function<std::uint64_t()>;
+
+  // Creates (or returns the existing) registry-owned counter `name`.
+  Counter& counter(const std::string& name);
+
+  // Registers a counter whose value is read from the component on
+  // snapshot (zero hot-path cost). Re-registering a name replaces it.
+  void counter_fn(const std::string& name, CounterFn fn);
+
+  // Registers an instantaneous-value gauge (read on snapshot).
+  void gauge(const std::string& name, GaugeFn fn);
+
+  // Registers a view of a component-owned histogram. The histogram must
+  // outlive the registry's last snapshot.
+  void histogram(const std::string& name, const sim::Histogram* h);
+
+  MetricsSnapshot snapshot(sim::Time now) const;
+  void write_csv(std::ostream& os, sim::Time now) const;
+  void write_json(std::ostream& os, sim::Time now) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool contains(const std::string& name) const { return entries_.count(name) > 0; }
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kGauge;
+    std::unique_ptr<Counter> owned;  // kCounter with no callback
+    CounterFn counter_fn;            // kCounter via callback
+    GaugeFn gauge_fn;                // kGauge
+    const sim::Histogram* hist = nullptr;  // kHistogram
+  };
+  std::map<std::string, Entry> entries_;  // ordered: deterministic export
+};
+
+}  // namespace hostcc::obs

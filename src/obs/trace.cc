@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace hostcc::obs {
+
+const char* stage_name(PacketStage s) {
+  switch (s) {
+    case PacketStage::kNicArrive: return "nic_arrive";
+    case PacketStage::kDmaStart: return "dma_start";
+    case PacketStage::kIioAdmit: return "iio_admit";
+    case PacketStage::kWriteIssued: return "write_issued";
+    case PacketStage::kDelivered: return "delivered";
+  }
+  return "?";
+}
+
+const char* stage_interval_name(PacketStage to) {
+  switch (to) {
+    case PacketStage::kNicArrive: return "nic_drop";  // instant-event row
+    case PacketStage::kDmaStart: return "nic_queue";
+    case PacketStage::kIioAdmit: return "pcie_transfer";
+    case PacketStage::kWriteIssued: return "iio_residence";
+    case PacketStage::kDelivered: return "cpu_processing";
+  }
+  return "?";
+}
+
+void PacketTracer::stage_slow(PacketStage s, const net::Packet& p, sim::Time now) {
+  const int idx = static_cast<int>(s);
+  if (s == PacketStage::kNicArrive) {
+    if (events_.size() >= max_events_) {
+      ++truncated_;
+      return;
+    }
+    Live rec;
+    rec.t[idx] = now;
+    rec.seen = 1u << idx;
+    rec.flow = p.flow;
+    rec.bytes = p.size;
+    live_[p.id] = rec;
+    return;
+  }
+  auto it = live_.find(p.id);
+  if (it == live_.end()) return;  // arrival predates enabling, or truncated
+  Live& rec = it->second;
+  rec.t[idx] = now;
+  rec.seen |= 1u << idx;
+  if (s == PacketStage::kDelivered) {
+    finish(p.id, rec);
+    live_.erase(it);
+  }
+}
+
+void PacketTracer::drop_slow(const net::Packet& p, sim::Time now) {
+  ++dropped_;
+  if (events_.size() >= max_events_) {
+    ++truncated_;
+    return;
+  }
+  Event e;
+  e.ts_ps = now.ps();
+  e.dur_ps = -1;
+  e.pkt = p.id;
+  e.flow = p.flow;
+  e.bytes = p.size;
+  e.stage = static_cast<std::uint8_t>(PacketStage::kNicArrive);
+  events_.push_back(e);
+}
+
+void PacketTracer::finish(std::uint64_t id, const Live& rec) {
+  ++completed_;
+  for (int i = 1; i < kPacketStages; ++i) {
+    if ((rec.seen & (1u << i)) == 0 || (rec.seen & (1u << (i - 1))) == 0) continue;
+    const sim::Time dur = rec.t[i] - rec.t[i - 1];
+    stage_lat_[i].record_time(dur);
+    if (events_.size() >= max_events_) {
+      ++truncated_;
+      return;
+    }
+    Event e;
+    e.ts_ps = rec.t[i - 1].ps();
+    e.dur_ps = dur.ps();
+    e.pkt = id;
+    e.flow = rec.flow;
+    e.bytes = rec.bytes;
+    e.stage = static_cast<std::uint8_t>(i);
+    events_.push_back(e);
+  }
+}
+
+void PacketTracer::clear() {
+  live_.clear();
+  events_.clear();
+  for (auto& h : stage_lat_) h.reset();
+  completed_ = dropped_ = truncated_ = 0;
+}
+
+void PacketTracer::write_chrome_json(std::ostream& os) const {
+  // ts/dur are microseconds; render picoseconds exactly as <us>.<6 digits>
+  // so output never depends on floating-point formatting.
+  const auto us = [](char* buf, std::size_t n, std::int64_t ps) {
+    std::snprintf(buf, n, "%" PRId64 ".%06" PRId64, ps / 1'000'000, ps % 1'000'000);
+  };
+
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+     << process_ << "\"}}";
+  for (int i = 0; i < kPacketStages; ++i) {
+    os << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << i
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << stage_interval_name(static_cast<PacketStage>(i)) << "\"}}";
+  }
+  char ts[32], dur[32], line[256];
+  for (const auto& e : events_) {
+    us(ts, sizeof(ts), e.ts_ps);
+    const char* name = stage_interval_name(static_cast<PacketStage>(e.stage));
+    if (e.dur_ps < 0) {
+      std::snprintf(line, sizeof(line),
+                    ",\n{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\"ts\":%s,"
+                    "\"s\":\"t\",\"args\":{\"pkt\":%" PRIu64 ",\"flow\":%" PRIu64
+                    ",\"bytes\":%" PRId64 "}}",
+                    static_cast<int>(e.stage), name, ts, e.pkt,
+                    static_cast<std::uint64_t>(e.flow), e.bytes);
+    } else {
+      us(dur, sizeof(dur), e.dur_ps);
+      std::snprintf(line, sizeof(line),
+                    ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\"ts\":%s,"
+                    "\"dur\":%s,\"args\":{\"pkt\":%" PRIu64 ",\"flow\":%" PRIu64
+                    ",\"bytes\":%" PRId64 "}}",
+                    static_cast<int>(e.stage), name, ts, dur, e.pkt,
+                    static_cast<std::uint64_t>(e.flow), e.bytes);
+    }
+    os << line;
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace hostcc::obs

@@ -26,7 +26,10 @@ std::int64_t Histogram::bucket_upper(std::size_t b) {
 }
 
 void Histogram::record(std::int64_t value) {
-  if (value < 0) value = 0;
+  if (value < 0) {
+    ++underflow_;
+    value = 0;
+  }
   ++counts_[bucket_of(value)];
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;
@@ -54,11 +57,13 @@ void Histogram::merge(const Histogram& other) {
     sum_ += other.sum_;
     count_ += other.count_;
   }
+  underflow_ += other.underflow_;
 }
 
 void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
+  underflow_ = 0;
   sum_ = min_ = max_ = 0;
 }
 

@@ -22,6 +22,9 @@ class Histogram {
   void record_time(Time t) { record(t.ps()); }
 
   std::uint64_t count() const { return count_; }
+  // Negative inputs are clamped to 0 on record; this counts how many, so
+  // silently corrupted data (e.g. a time delta gone negative) is visible.
+  std::uint64_t underflow_count() const { return underflow_; }
   std::int64_t min() const { return count_ ? min_ : 0; }
   std::int64_t max() const { return count_ ? max_ : 0; }
   double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
@@ -44,6 +47,7 @@ class Histogram {
 
   std::vector<std::uint64_t> counts_ = std::vector<std::uint64_t>(kBuckets, 0);
   std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
   std::int64_t sum_ = 0;
   std::int64_t min_ = 0;
   std::int64_t max_ = 0;

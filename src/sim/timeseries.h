@@ -2,6 +2,7 @@
 // (time, value) samples with optional CSV export and window statistics.
 #pragma once
 
+#include <limits>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -62,10 +63,14 @@ class TimeSeries {
     return n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
   }
 
-  // Writes "time_us,<name>" rows.
+  // Writes "time_us,<name>" rows. Full double precision: the default
+  // ostream precision (6 significant digits) would silently truncate
+  // microsecond timestamps beyond ~1s and high-resolution values.
   void write_csv(std::ostream& os) const {
+    const auto old_precision = os.precision(std::numeric_limits<double>::max_digits10);
     os << "time_us," << name_ << "\n";
     for (const auto& s : samples_) os << s.t.us() << "," << s.value << "\n";
+    os.precision(old_precision);
   }
 
   void clear() { samples_.clear(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/log.h"
 #include "transport/stack.h"
 
 namespace hostcc::transport {
@@ -357,6 +358,9 @@ void TcpConnection::on_tlp() {
 void TcpConnection::on_rto() {
   if (segs_.empty()) return;
   ++stats_.timeouts;
+  OBS_LOG(obs::LogLevel::kDebug, sim_.now(), "transport/connection",
+          "RTO flow=%llu backoff=%d inflight=%lld", static_cast<unsigned long long>(flow_),
+          rto_backoff_, static_cast<long long>(in_flight()));
   cc_->on_timeout();
   in_recovery_ = false;
   dup_acks_ = 0;

@@ -10,6 +10,7 @@
 
 #include "host/host.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "transport/connection.h"
 
@@ -54,6 +55,37 @@ class Stack {
   // flow's queued bytes stay under the limit (Linux TCP Small Queues).
   bool tx_queue_ok(net::FlowId flow) const {
     return host_.tx_queued_bytes(flow) < cfg_.tsq_limit_packets * cfg_.mtu;
+  }
+
+  // Stack-wide transport metrics: each counter sums the per-connection
+  // Stats at snapshot time, so connections added after registration are
+  // still covered.
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    auto sum = [this](std::uint64_t TcpConnection::Stats::* field) {
+      std::uint64_t total = 0;
+      for (const auto& [flow, conn] : conns_) total += conn->stats().*field;
+      return total;
+    };
+    reg.counter_fn(prefix + "/data_packets_sent",
+                   [sum] { return sum(&TcpConnection::Stats::data_packets_sent); });
+    reg.counter_fn(prefix + "/acks_sent", [sum] { return sum(&TcpConnection::Stats::acks_sent); });
+    reg.counter_fn(prefix + "/fast_retransmits",
+                   [sum] { return sum(&TcpConnection::Stats::fast_retransmits); });
+    reg.counter_fn(prefix + "/timeouts", [sum] { return sum(&TcpConnection::Stats::timeouts); });
+    reg.counter_fn(prefix + "/tlp_probes",
+                   [sum] { return sum(&TcpConnection::Stats::tlp_probes); });
+    reg.counter_fn(prefix + "/ce_received",
+                   [sum] { return sum(&TcpConnection::Stats::ce_received); });
+    reg.counter_fn(prefix + "/ece_received",
+                   [sum] { return sum(&TcpConnection::Stats::ece_received); });
+    reg.counter_fn(prefix + "/retransmitted_bytes", [this] {
+      std::uint64_t total = 0;
+      for (const auto& [flow, conn] : conns_)
+        total += static_cast<std::uint64_t>(conn->stats().retransmitted_bytes);
+      return total;
+    });
+    reg.gauge(prefix + "/connections",
+              [this] { return static_cast<double>(conns_.size()); });
   }
 
  private:

@@ -2,6 +2,8 @@
 // response, ECN echo, policy plumbing, and the assembled controller.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "hostcc/controller.h"
 #include "hostcc/ecn_echo.h"
 #include "hostcc/policy.h"
@@ -256,16 +258,38 @@ TEST(ControllerTest, CustomPolicyIsUsed) {
   EXPECT_EQ(ctl.policy().name(), "test");
 }
 
-TEST(ControllerTest, TelemetryRecordsSeries) {
+TEST(ControllerTest, DecisionObserverFiresEverySample) {
   Testbed tb;
   HostCcController ctl(tb.b_host, HostCcConfig{});
-  sim::TimeSeries is("is"), bs("bs"), lvl("lvl");
-  ctl.set_telemetry(&is, &bs, &lvl);
+  std::vector<obs::Decision> seen;
+  ctl.set_on_decision([&seen](const obs::Decision& d) { seen.push_back(d); });
   ctl.start();
   tb.run_for(sim::Time::milliseconds(5));
-  EXPECT_FALSE(is.empty());
-  EXPECT_EQ(is.samples().size(), bs.samples().size());
-  EXPECT_EQ(is.samples().size(), lvl.samples().size());
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.size(), ctl.sampler().samples_taken());
+  sim::Time prev = sim::Time::zero();
+  for (const auto& d : seen) {
+    EXPECT_GE(d.at, prev);
+    prev = d.at;
+    EXPECT_GE(d.level_effective, 0);
+    EXPECT_GE(d.bt_gbps, 0.0);
+  }
+}
+
+TEST(ControllerTest, DecisionLogRecordsReasons) {
+  Testbed tb;
+  HostCcController ctl(tb.b_host, HostCcConfig{});
+  obs::DecisionLog log;
+  ctl.set_decision_log(&log);
+  ctl.start();
+  tb.run_for(sim::Time::milliseconds(5));
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.size(), ctl.sampler().samples_taken());
+  // Idle host, default B_T: the target is missed but the IIO is
+  // uncongested, so every tick should land in a hold/await state.
+  for (const auto& d : log.decisions()) {
+    EXPECT_STRNE(obs::reason_name(d.reason), "?");
+  }
 }
 
 }  // namespace

@@ -1,0 +1,324 @@
+// Tests for the observability layer: metrics registry (snapshot, export,
+// merge semantics), packet-lifecycle tracer (stage intervals, determinism,
+// zero-allocation disabled path), hostCC decision log, and the logger.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "exp/scenario.h"
+#include "obs/decision_log.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hostcc::obs {
+namespace {
+
+// ------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, CounterGaugeHistogramRoundTrip) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a/pkts");
+  c.inc();
+  c.inc(9);
+  double live = 1.5;
+  reg.gauge("a/depth", [&live] { return live; });
+  std::uint64_t drops = 3;
+  reg.counter_fn("a/drops", [&drops] { return drops; });
+  sim::Histogram h;
+  h.record(100);
+  h.record(300);
+  reg.histogram("a/lat_ps", &h);
+
+  EXPECT_EQ(reg.size(), 4u);
+  EXPECT_TRUE(reg.contains("a/depth"));
+  EXPECT_FALSE(reg.contains("a/nope"));
+
+  live = 2.5;
+  const MetricsSnapshot snap = reg.snapshot(sim::Time::microseconds(5));
+  ASSERT_EQ(snap.samples.size(), 4u);
+  // Lexicographic order: a/depth, a/drops, a/lat_ps, a/pkts.
+  EXPECT_EQ(snap.samples[0].name, "a/depth");
+  EXPECT_EQ(snap.samples[0].kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(snap.samples[0].value, 2.5);  // read at snapshot time
+  EXPECT_EQ(snap.samples[1].name, "a/drops");
+  EXPECT_DOUBLE_EQ(snap.samples[1].value, 3.0);
+  EXPECT_EQ(snap.samples[2].name, "a/lat_ps");
+  EXPECT_EQ(snap.samples[2].kind, MetricKind::kHistogram);
+  EXPECT_EQ(snap.samples[2].count, 2u);
+  EXPECT_EQ(snap.samples[2].min, 100);
+  EXPECT_EQ(snap.samples[3].name, "a/pkts");
+  EXPECT_EQ(snap.samples[3].kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(snap.samples[3].value, 10.0);
+}
+
+TEST(MetricsRegistryTest, CounterReturnsSameInstance) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc(4);
+  EXPECT_EQ(b.value(), 4u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, CsvAndJsonExport) {
+  MetricsRegistry reg;
+  reg.counter("n/pkts").inc(7);
+  reg.gauge("n/util", [] { return 0.25; });
+  std::ostringstream csv;
+  reg.write_csv(csv, sim::Time::microseconds(10));
+  EXPECT_NE(csv.str().find("name,kind,value,count,min,p50,p99,p999,max"), std::string::npos);
+  EXPECT_NE(csv.str().find("n/pkts,counter,7"), std::string::npos);
+  EXPECT_NE(csv.str().find("n/util,gauge,0.25"), std::string::npos);
+
+  std::ostringstream json;
+  reg.write_json(json, sim::Time::microseconds(10));
+  EXPECT_NE(json.str().find("\"at_us\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"n/pkts\""), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, MergeSemantics) {
+  MetricsRegistry a, b;
+  a.counter("shared/pkts").inc(10);
+  b.counter("shared/pkts").inc(5);
+  a.gauge("shared/depth", [] { return 2.0; });
+  b.gauge("shared/depth", [] { return 3.0; });
+  a.counter("only_a").inc(1);
+  b.counter("only_b").inc(2);
+  sim::Histogram ha, hb;
+  ha.record(100);
+  hb.record(900);
+  a.histogram("shared/lat", &ha);
+  b.histogram("shared/lat", &hb);
+
+  MetricsSnapshot sa = a.snapshot(sim::Time::microseconds(1));
+  const MetricsSnapshot sb = b.snapshot(sim::Time::microseconds(2));
+  sa.merge(sb);
+
+  EXPECT_EQ(sa.at, sim::Time::microseconds(2));  // later instant wins
+  ASSERT_EQ(sa.samples.size(), 5u);
+  auto find = [&sa](const std::string& name) -> const MetricSample& {
+    for (const auto& s : sa.samples)
+      if (s.name == name) return s;
+    static MetricSample none;
+    ADD_FAILURE() << "missing " << name;
+    return none;
+  };
+  EXPECT_DOUBLE_EQ(find("shared/pkts").value, 15.0);   // counters add
+  EXPECT_DOUBLE_EQ(find("shared/depth").value, 5.0);   // gauges add
+  EXPECT_DOUBLE_EQ(find("only_a").value, 1.0);         // pass-through
+  EXPECT_DOUBLE_EQ(find("only_b").value, 2.0);
+  const auto& lat = find("shared/lat");
+  EXPECT_EQ(lat.count, 2u);                            // counts add
+  EXPECT_EQ(lat.min, 100);                             // envelope
+  EXPECT_GE(lat.max, 900);
+  // Sorted-by-name invariant survives the merge.
+  for (std::size_t i = 1; i < sa.samples.size(); ++i) {
+    EXPECT_LT(sa.samples[i - 1].name, sa.samples[i].name);
+  }
+}
+
+// --------------------------------------------------------------- tracer
+
+net::Packet make_packet(std::uint64_t id, sim::Bytes bytes) {
+  net::Packet p;
+  p.id = id;
+  p.flow = 42;
+  p.size = bytes;
+  return p;
+}
+
+TEST(PacketTracerTest, RecordsStageIntervals) {
+  PacketTracer t("host0");
+  t.set_enabled(true);
+  const auto p = make_packet(1, 4096);
+  t.stage(PacketStage::kNicArrive, p, sim::Time::microseconds(1));
+  t.stage(PacketStage::kDmaStart, p, sim::Time::microseconds(2));
+  t.stage(PacketStage::kIioAdmit, p, sim::Time::microseconds(4));
+  t.stage(PacketStage::kWriteIssued, p, sim::Time::microseconds(7));
+  t.stage(PacketStage::kDelivered, p, sim::Time::microseconds(11));
+
+  EXPECT_EQ(t.packets_completed(), 1u);
+  EXPECT_EQ(t.live_count(), 0u);  // lifecycle closed
+  EXPECT_EQ(t.event_count(), 4u);  // four intervals
+  EXPECT_EQ(t.stage_latency(PacketStage::kDmaStart).count(), 1u);
+  EXPECT_EQ(t.stage_latency(PacketStage::kDmaStart).max(),
+            sim::Time::microseconds(1).ps());
+  EXPECT_EQ(t.stage_latency(PacketStage::kDelivered).max(),
+            sim::Time::microseconds(4).ps());
+
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"nic_queue\""), std::string::npos);
+  EXPECT_NE(out.find("\"cpu_processing\""), std::string::npos);
+  EXPECT_NE(out.find("\"host0\""), std::string::npos);
+}
+
+TEST(PacketTracerTest, DropEmitsInstantEvent) {
+  PacketTracer t;
+  t.set_enabled(true);
+  t.drop(make_packet(9, 1500), sim::Time::microseconds(3));
+  EXPECT_EQ(t.packets_dropped(), 1u);
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  EXPECT_NE(os.str().find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(PacketTracerTest, DisabledPathTouchesNoBuffers) {
+  PacketTracer t;
+  ASSERT_FALSE(t.enabled());
+  const auto p = make_packet(1, 4096);
+  for (int i = 0; i < 1000; ++i) {
+    t.stage(PacketStage::kNicArrive, p, sim::Time::microseconds(i));
+    t.stage(PacketStage::kDelivered, p, sim::Time::microseconds(i + 1));
+    t.drop(p, sim::Time::microseconds(i));
+  }
+  EXPECT_FALSE(t.buffers_allocated());
+  EXPECT_EQ(t.event_count(), 0u);
+  EXPECT_EQ(t.packets_completed(), 0u);
+  EXPECT_EQ(t.packets_dropped(), 0u);
+}
+
+TEST(PacketTracerTest, MaxEventsCapTruncates) {
+  PacketTracer t;
+  t.set_enabled(true);
+  t.set_max_events(2);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    const auto p = make_packet(id, 64);
+    for (int s = 0; s < kPacketStages; ++s) {
+      t.stage(static_cast<PacketStage>(s), p, sim::Time::microseconds(id * 10 + s));
+    }
+  }
+  EXPECT_GT(t.truncated_packets(), 0u);
+  EXPECT_LE(t.event_count(), 2u + 4u);  // cap is approximate at lifecycle grain
+}
+
+// Two identically-seeded scenario runs must render byte-identical traces:
+// the trace depends only on simulated time and packet content.
+TEST(PacketTracerTest, TraceIsByteIdenticalAcrossSameSeedRuns) {
+  auto run_once = [] {
+    exp::ScenarioConfig cfg;
+    cfg.trace_packets = true;
+    cfg.warmup = sim::Time::milliseconds(2);
+    cfg.measure = sim::Time::milliseconds(1);
+    exp::Scenario s(cfg);
+    s.run();
+    std::ostringstream os;
+    s.tracer().write_chrome_json(os);
+    return os.str();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_GT(first.size(), 1000u);  // actually traced something
+  EXPECT_EQ(first, second);
+}
+
+// A production (trace_packets=false) scenario run must never touch the
+// tracer's buffers even though the tracer is attached to the datapath.
+TEST(PacketTracerTest, ScenarioDisabledPathAllocatesNothing) {
+  exp::ScenarioConfig cfg;
+  cfg.warmup = sim::Time::milliseconds(2);
+  cfg.measure = sim::Time::milliseconds(1);
+  exp::Scenario s(cfg);
+  s.run();
+  EXPECT_GT(s.receiver().nic().stats().arrived_pkts, 100u);  // traffic flowed
+  EXPECT_FALSE(s.tracer().buffers_allocated());
+}
+
+// ----------------------------------------------------------- decision log
+
+TEST(DecisionLogTest, CsvAndJsonSchema) {
+  DecisionLog log;
+  Decision d;
+  d.at = sim::Time::microseconds(12);
+  d.is = 71.5;
+  d.bs_gbps = 88.25;
+  d.bt_gbps = 80.0;
+  d.level_requested = 2;
+  d.level_effective = 1;
+  d.reason = DecisionReason::kThrottleUp;
+  log.record(d);
+  EXPECT_EQ(log.size(), 1u);
+
+  std::ostringstream csv;
+  log.write_csv(csv);
+  EXPECT_NE(csv.str().find(
+                "time_us,is_cachelines,bs_gbps,bt_gbps,level_requested,level_effective,reason"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("throttle_up"), std::string::npos);
+
+  std::ostringstream json;
+  log.write_json(json);
+  EXPECT_NE(json.str().find("\"reason\":\"throttle_up\""), std::string::npos);
+
+  log.clear();
+  EXPECT_TRUE(log.empty());
+}
+
+// A congested hostCC scenario should produce a decision per sampler tick,
+// including actual throttle transitions.
+TEST(DecisionLogTest, ScenarioRecordsThrottleDecisions) {
+  exp::ScenarioConfig cfg;
+  cfg.hostcc_enabled = true;
+  cfg.record_decisions = true;
+  cfg.mapp_degree = 2.0;
+  cfg.warmup = sim::Time::milliseconds(10);
+  cfg.measure = sim::Time::milliseconds(5);
+  exp::Scenario s(cfg);
+  s.run();
+  const DecisionLog& log = s.decisions();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.size(), s.signals().samples_taken());
+  bool any_throttle = false;
+  sim::Time prev = sim::Time::zero();
+  for (const auto& d : log.decisions()) {
+    EXPECT_GE(d.at, prev);
+    prev = d.at;
+    if (d.reason == DecisionReason::kThrottleUp) any_throttle = true;
+  }
+  EXPECT_TRUE(any_throttle);
+}
+
+// ----------------------------------------------------------------- logger
+
+TEST(LoggerTest, ParseLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kOff);
+}
+
+TEST(LoggerTest, LevelGatesOutput) {
+  Logger& lg = logger();
+  const LogLevel saved = lg.level();
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  lg.set_sink(sink);
+
+  lg.set_level(LogLevel::kOff);
+  EXPECT_FALSE(lg.enabled(LogLevel::kError));
+  const std::uint64_t before = lg.lines_written();
+  OBS_LOG(LogLevel::kError, sim::Time::microseconds(1), "test", "dropped %d", 1);
+  EXPECT_EQ(lg.lines_written(), before);
+
+  lg.set_level(LogLevel::kInfo);
+  EXPECT_TRUE(lg.enabled(LogLevel::kWarn));
+  EXPECT_FALSE(lg.enabled(LogLevel::kDebug));
+  OBS_LOG(LogLevel::kInfo, sim::Time::microseconds(2), "test", "kept %d", 2);
+  OBS_LOG(LogLevel::kDebug, sim::Time::microseconds(3), "test", "gated %d", 3);
+  EXPECT_EQ(lg.lines_written(), before + 1);
+
+  lg.set_level(saved);
+  lg.set_sink(stderr);
+  std::fclose(sink);
+}
+
+}  // namespace
+}  // namespace hostcc::obs

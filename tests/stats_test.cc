@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
+#include <sstream>
 
 namespace hostcc::sim {
 namespace {
@@ -47,6 +49,61 @@ TEST(HistogramTest, NegativeClampsToZero) {
   h.record(-5);
   EXPECT_EQ(h.min(), 0);
   EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(HistogramTest, UnderflowCountTracksNegativeInputs) {
+  Histogram h;
+  EXPECT_EQ(h.underflow_count(), 0u);
+  h.record(-1);
+  h.record(-100);
+  h.record(7);
+  EXPECT_EQ(h.underflow_count(), 2u);
+  EXPECT_EQ(h.count(), 3u);  // clamped samples still count
+  h.reset();
+  EXPECT_EQ(h.underflow_count(), 0u);
+}
+
+TEST(HistogramTest, MergeAddsUnderflows) {
+  Histogram a, b;
+  a.record(-1);
+  b.record(-2);
+  b.record(-3);
+  a.merge(b);
+  EXPECT_EQ(a.underflow_count(), 3u);
+}
+
+TEST(HistogramTest, EmptyPercentilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.percentile(1.0), 0);
+}
+
+TEST(HistogramTest, SingleSampleAllPercentilesAgree) {
+  Histogram h;
+  h.record(12345);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    const auto v = h.percentile(q);
+    // One sample: every quantile is that sample (within bucket resolution).
+    EXPECT_NEAR(static_cast<double>(v), 12345.0, 0.05 * 12345.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  for (int i = 1; i <= 100; ++i) a.record(i);
+  const auto count = a.count();
+  const auto p50 = a.percentile(0.5);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), count);
+  EXPECT_EQ(a.percentile(0.5), p50);
+
+  Histogram b;
+  b.merge(a);  // empty.merge(nonempty) adopts the other's contents
+  EXPECT_EQ(b.count(), count);
+  EXPECT_EQ(b.min(), a.min());
+  EXPECT_EQ(b.max(), a.max());
 }
 
 TEST(HistogramTest, MergeMatchesCombinedRecording) {
@@ -141,6 +198,20 @@ TEST(TimeSeriesTest, WindowStatistics) {
   EXPECT_DOUBLE_EQ(ts.mean_over(Time::microseconds(0), Time::microseconds(5)), 2.0);
   EXPECT_DOUBLE_EQ(ts.max_over(Time::microseconds(2), Time::microseconds(8)), 7.0);
   EXPECT_DOUBLE_EQ(ts.fraction_above(Time::zero(), Time::microseconds(10), 6.5), 0.3);
+}
+
+TEST(TimeSeriesTest, CsvExportKeepsFullPrecision) {
+  TimeSeries ts("x");
+  const double v = 123.456789012345;  // would round to 123.457 at default precision
+  ts.record(Time::microseconds(1), v);
+  std::ostringstream os;
+  os.precision(6);  // simulate a stream left at the default
+  ts.write_csv(os);
+  std::ostringstream want;
+  want.precision(std::numeric_limits<double>::max_digits10);
+  want << v;
+  EXPECT_NE(os.str().find(want.str()), std::string::npos) << os.str();
+  EXPECT_EQ(os.precision(), 6) << "write_csv must restore the caller's precision";
 }
 
 TEST(LatencySummaryTest, OrderedPercentiles) {

@@ -5,18 +5,26 @@
 //              [--senders N] [--rpc BYTES]... [--mba-level L]
 //              [--iommu-miss-rate F] [--warmup MS] [--measure MS]
 //              [--seed N] [--signals] [--json]
+//              [--trace FILE] [--metrics FILE] [--decisions FILE]
+//              [--log-level LEVEL]
 //
 // Runs one scenario and prints the measured results as a table or JSON —
 // the fastest way to explore the host-congestion parameter space without
-// writing code.
+// writing code. The observability flags export the run's internals:
+// --trace writes a Chrome trace_event JSON (open in Perfetto), --metrics
+// dumps the end-of-run metrics registry (.json for JSON, else CSV), and
+// --decisions dumps the hostCC decision log (same extension rule).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "exp/scenario.h"
 #include "exp/table.h"
+#include "obs/log.h"
 
 using namespace hostcc;
 
@@ -43,7 +51,11 @@ namespace {
                "  --measure MS        measurement milliseconds           [150]\n"
                "  --seed N            RNG seed                           [1]\n"
                "  --signals           record and report I_S/B_S averages\n"
-               "  --json              machine-readable output\n",
+               "  --json              machine-readable output\n"
+               "  --trace FILE        packet-lifecycle Chrome trace JSON\n"
+               "  --metrics FILE      metrics registry dump (.json or CSV)\n"
+               "  --decisions FILE    hostCC decision log (.json or CSV)\n"
+               "  --log-level LEVEL   trace|debug|info|warn|error|off   [off]\n",
                argv0);
   std::exit(2);
 }
@@ -53,11 +65,21 @@ double num_arg(int argc, char** argv, int& i) {
   return std::atof(argv[++i]);
 }
 
+const char* str_arg(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage(argv[0]);
+  return argv[++i];
+}
+
+bool wants_json(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   exp::ScenarioConfig cfg;
   bool json = false;
+  std::string trace_path, metrics_path, decisions_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -111,16 +133,82 @@ int main(int argc, char** argv) {
       cfg.record_signals = true;
     } else if (a == "--json") {
       json = true;
+    } else if (a == "--trace") {
+      trace_path = str_arg(argc, argv, i);
+      cfg.trace_packets = true;
+    } else if (a == "--metrics") {
+      metrics_path = str_arg(argc, argv, i);
+    } else if (a == "--decisions") {
+      decisions_path = str_arg(argc, argv, i);
+      cfg.record_decisions = true;
+    } else if (a == "--log-level") {
+      obs::logger().set_level(obs::parse_log_level(str_arg(argc, argv, i)));
+      obs::logger().set_sink(stderr);
     } else {
       usage(argv[0]);
     }
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
   exp::Scenario s(cfg);
   const exp::ScenarioResults r = s.run();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    s.tracer().write_chrome_json(out);
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+      return 1;
+    }
+    if (wants_json(metrics_path)) {
+      s.metrics().write_json(out, s.simulator().now());
+    } else {
+      s.metrics().write_csv(out, s.simulator().now());
+    }
+  }
+  if (!decisions_path.empty()) {
+    std::ofstream out(decisions_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", decisions_path.c_str());
+      return 1;
+    }
+    if (wants_json(decisions_path)) {
+      s.decisions().write_json(out);
+    } else {
+      s.decisions().write_csv(out);
+    }
+  }
 
   if (json) {
+    const char* cc_name = cfg.transport.cc == transport::CcKind::kDctcp  ? "dctcp"
+                          : cfg.transport.cc == transport::CcKind::kReno ? "reno"
+                                                                         : "swift";
     std::printf("{\n");
+    std::printf("  \"meta\": {\n");
+    std::printf("    \"seed\": %llu,\n", static_cast<unsigned long long>(cfg.host.seed));
+    std::printf("    \"events_executed\": %llu,\n",
+                static_cast<unsigned long long>(s.simulator().events_executed()));
+    std::printf("    \"wall_ms\": %.1f,\n", wall_ms);
+    std::printf("    \"sim_us\": %.1f,\n", s.simulator().now().us());
+    std::printf("    \"config\": {\"degree\": %.2f, \"ddio\": %s, \"hostcc\": %s, "
+                "\"bt_gbps\": %.2f, \"it\": %.1f, \"cc\": \"%s\", \"mtu\": %lld, "
+                "\"flows\": %d, \"senders\": %d, \"warmup_ms\": %.1f, \"measure_ms\": %.1f}\n",
+                cfg.mapp_degree, cfg.host.ddio_enabled ? "true" : "false",
+                cfg.hostcc_enabled ? "true" : "false", cfg.hostcc.target_bandwidth.as_gbps(),
+                cfg.hostcc.iio_threshold, cc_name, static_cast<long long>(cfg.transport.mtu),
+                cfg.netapp_flows, cfg.senders, cfg.warmup.us() / 1000.0,
+                cfg.measure.us() / 1000.0);
+    std::printf("  },\n");
     std::printf("  \"net_tput_gbps\": %.4f,\n", r.net_tput_gbps);
     std::printf("  \"host_drop_rate_pct\": %.6f,\n", r.host_drop_rate_pct);
     std::printf("  \"fabric_drop_rate_pct\": %.6f,\n", r.fabric_drop_rate_pct);
