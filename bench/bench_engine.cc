@@ -52,6 +52,29 @@ void BM_EventCancellation(benchmark::State& state) {
 }
 BENCHMARK(BM_EventCancellation);
 
+// The datapath's characteristic event: a lambda carrying a full Packet.
+// Must stay within the event pool's inline storage (no allocation).
+void BM_EventQueuePushPopPacketCapture(benchmark::State& state) {
+  sim::EventQueue q;
+  net::Packet pkt;
+  pkt.payload = 4030;
+  std::int64_t t = 0;
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(sim::Time::picoseconds(t + (i * 37) % 1000), [&sink, pkt] { sink += pkt.payload; });
+    }
+    while (!q.empty()) {
+      auto [when, fn] = q.pop();
+      benchmark::DoNotOptimize(when);
+      fn();
+    }
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPopPacketCapture);
+
 void BM_SimulatorTimerChurn(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;

@@ -7,10 +7,14 @@
 // both together give high throughput AND low drops.
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "exp/cli.h"
 #include "exp/scenario.h"
 #include "exp/table.h"
+#include "sim/sweep_runner.h"
 
 using namespace hostcc;
 
@@ -30,8 +34,7 @@ exp::ScenarioConfig ablation_config(bool echo, bool local, bool quick) {
   return cfg;
 }
 
-void run_main_table(bool quick) {
-  exp::Table t({"variant", "net_tput_gbps", "drop_rate_pct", "avg_IS", "max_IS", "avg_BS_gbps"});
+void run_main_table(bool quick, const sim::SweepRunner& runner) {
   struct V {
     const char* name;
     bool echo, local;
@@ -39,14 +42,29 @@ void run_main_table(bool quick) {
   const V variants[] = {{"echo only", true, false},
                         {"host-local response only", false, true},
                         {"echo + host-local response", true, true}};
+  struct Row {
+    exp::ScenarioResults r;
+    double max_is = 0.0;
+  };
+  std::vector<std::function<Row()>> tasks;
   for (const V& v : variants) {
-    exp::Scenario s(ablation_config(v.echo, v.local, quick));
-    s.run_warmup();
-    const sim::Time t0 = s.simulator().now();
-    auto r = s.run_measure();
-    const sim::Time t1 = s.simulator().now();
-    t.add_row({v.name, exp::fmt(r.net_tput_gbps), exp::fmt_rate(r.host_drop_rate_pct),
-               exp::fmt(r.avg_iio_occupancy, 1), exp::fmt(s.is_series().max_over(t0, t1), 1),
+    tasks.emplace_back([v, quick] {
+      exp::Scenario s(ablation_config(v.echo, v.local, quick));
+      s.run_warmup();
+      const sim::Time t0 = s.simulator().now();
+      Row row;
+      row.r = s.run_measure();
+      row.max_is = s.is_series().max_over(t0, s.simulator().now());
+      return row;
+    });
+  }
+  const auto rows = runner.run(std::move(tasks));
+
+  exp::Table t({"variant", "net_tput_gbps", "drop_rate_pct", "avg_IS", "max_IS", "avg_BS_gbps"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& [r, max_is] = rows[i];
+    t.add_row({variants[i].name, exp::fmt(r.net_tput_gbps), exp::fmt_rate(r.host_drop_rate_pct),
+               exp::fmt(r.avg_iio_occupancy, 1), exp::fmt(max_is, 1),
                exp::fmt(r.avg_pcie_gbps, 1)});
   }
   t.print();
@@ -80,25 +98,38 @@ void run_timeseries(bool quick) {
   }
 }
 
-void run_ewma_sweep(bool quick) {
+void run_ewma_sweep(bool quick, const sim::SweepRunner& runner) {
   std::printf("-- EWMA-weight ablation (aggressiveness vs. delayed reaction, §4.1) --\n");
-  exp::Table t({"is_weight", "bs_weight", "net_tput_gbps", "drop_rate_pct", "mapp_mem_util",
-                "mba_writes_per_ms"});
   struct W {
     double is, bs;
   };
   const W weights[] = {{1.0 / 2, 1.0 / 8},  {1.0 / 8, 1.0 / 32},
                        {1.0 / 32, 1.0 / 128}, {1.0 / 64, 1.0 / 256}};
+  struct Row {
+    exp::ScenarioResults r;
+    double writes_per_ms = 0.0;
+  };
+  std::vector<std::function<Row()>> tasks;
   for (const W& w : weights) {
-    exp::ScenarioConfig cfg = ablation_config(true, true, quick);
-    cfg.hostcc.signals.is_ewma_weight = w.is;
-    cfg.hostcc.signals.bs_ewma_weight = w.bs;
-    exp::Scenario s(cfg);
-    const auto r = s.run();
-    const double writes_per_ms =
-        static_cast<double>(s.receiver().mba().msr_writes_issued()) /
-        (s.simulator().now().ms());
-    t.add_row({"1/" + exp::fmt(1.0 / w.is, 0), "1/" + exp::fmt(1.0 / w.bs, 0),
+    tasks.emplace_back([w, quick] {
+      exp::ScenarioConfig cfg = ablation_config(true, true, quick);
+      cfg.hostcc.signals.is_ewma_weight = w.is;
+      cfg.hostcc.signals.bs_ewma_weight = w.bs;
+      exp::Scenario s(cfg);
+      Row row;
+      row.r = s.run();
+      row.writes_per_ms = static_cast<double>(s.receiver().mba().msr_writes_issued()) /
+                          (s.simulator().now().ms());
+      return row;
+    });
+  }
+  const auto rows = runner.run(std::move(tasks));
+
+  exp::Table t({"is_weight", "bs_weight", "net_tput_gbps", "drop_rate_pct", "mapp_mem_util",
+                "mba_writes_per_ms"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& [r, writes_per_ms] = rows[i];
+    t.add_row({"1/" + exp::fmt(1.0 / weights[i].is, 0), "1/" + exp::fmt(1.0 / weights[i].bs, 0),
                exp::fmt(r.net_tput_gbps), exp::fmt_rate(r.host_drop_rate_pct),
                exp::fmt(r.mapp_mem_util), exp::fmt(writes_per_ms, 1)});
   }
@@ -110,17 +141,18 @@ void run_ewma_sweep(bool quick) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false, timeseries = false, ewma = false;
+  bool timeseries = false, ewma = false;
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--quick")) quick = true;
     if (!std::strcmp(argv[i], "--timeseries")) timeseries = true;
     if (!std::strcmp(argv[i], "--ewma-sweep")) ewma = true;
   }
+  const exp::BenchOpts opts = exp::parse_bench_opts(argc, argv);
+  const sim::SweepRunner runner(opts.jobs);
 
   std::printf("=== Figure 18: necessity of hostCC's mechanisms (3x congestion) ===\n\n");
-  run_main_table(quick);
+  run_main_table(opts.quick, runner);
   std::printf("\n");
-  if (timeseries) run_timeseries(quick);
-  if (ewma) run_ewma_sweep(quick);
+  if (timeseries) run_timeseries(opts.quick);
+  if (ewma) run_ewma_sweep(opts.quick, runner);
   return 0;
 }

@@ -1,0 +1,32 @@
+// Shared command-line handling for the figure/bench binaries.
+//
+// Every multi-point bench accepts:
+//   --quick     shorter warmup/measure windows (CI smoke runs)
+//   --jobs N    run the sweep's configurations on N threads (0 = all
+//               hardware threads) via sim::SweepRunner; results are
+//               byte-identical for every N
+// Binaries with extra flags (e.g. fig18) parse those themselves; unknown
+// flags here are ignored.
+#pragma once
+
+#include <cstring>
+
+#include "sim/sweep_runner.h"
+
+namespace hostcc::exp {
+
+struct BenchOpts {
+  bool quick = false;
+  int jobs = 1;
+};
+
+inline BenchOpts parse_bench_opts(int argc, char** argv) {
+  BenchOpts opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) opts.quick = true;
+  }
+  opts.jobs = sim::SweepRunner::parse_jobs_flag(argc, argv);
+  return opts;
+}
+
+}  // namespace hostcc::exp

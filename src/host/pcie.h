@@ -40,12 +40,16 @@ class PcieLink {
     busy_ = true;
     ++transfers_;
     transferred_bytes_ += chunk_bytes;
+    // The channel is serialized, so at most one delivery callback is ever
+    // staged; parking it in a member (rather than capturing it) keeps the
+    // scheduled event small enough for the event pool's inline storage.
+    staged_delivery_ = std::move(on_delivered);
     const sim::Time tx = cfg_.pcie_raw.transfer_time(chunk_bytes);
-    sim_.after(tx, [this, on_delivered = std::move(on_delivered)]() mutable {
+    sim_.after(tx, [this] {
       busy_ = false;
       // Chunk is on the wire to the IIO; the channel can start the next
       // transfer while this one propagates.
-      sim_.after(cfg_.pcie_latency, std::move(on_delivered));
+      sim_.after(cfg_.pcie_latency, std::move(staged_delivery_));
       if (on_idle_) on_idle_();
     });
   }
@@ -75,6 +79,7 @@ class PcieLink {
   sim::Bytes transferred_bytes_ = 0;
   sim::EventFn on_credit_;
   sim::EventFn on_idle_;
+  sim::EventFn staged_delivery_;  // delivery callback of the in-flight chunk
 };
 
 }  // namespace hostcc::host

@@ -1,0 +1,108 @@
+// Small-buffer-optimized, move-only callable for the event core.
+//
+// The simulator schedules hundreds of millions of events per run; wrapping
+// each callback in std::function costs a heap allocation whenever the
+// capture exceeds the library's tiny inline buffer (two pointers on
+// libstdc++), which is every datapath lambda that carries a net::Packet.
+// InlineCallback stores captures up to `Capacity` bytes inline, so the
+// steady-state schedule/fire path never touches the allocator; larger or
+// over-aligned callables fall back to the heap transparently.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hostcc::sim {
+
+template <std::size_t Capacity>
+class InlineCallback {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+
+  InlineCallback() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& rhs) noexcept : ops_(rhs.ops_) {
+    if (ops_) ops_->relocate(rhs.buf_, buf_);
+    rhs.ops_ = nullptr;
+  }
+
+  InlineCallback& operator=(InlineCallback&& rhs) noexcept {
+    if (this != &rhs) {
+      reset();
+      ops_ = rhs.ops_;
+      if (ops_) ops_->relocate(rhs.buf_, buf_);
+      rhs.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  // Destroys the held callable (releasing its captures) and becomes empty.
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  // True if a callable of type D would be stored without heap allocation.
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+ private:
+  struct Ops {
+    void (*invoke)(void* buf);
+    void (*relocate)(void* src, void* dst) noexcept;  // move into dst, destroy src
+    void (*destroy)(void* buf) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* buf) { (*std::launder(reinterpret_cast<D*>(buf)))(); },
+      [](void* src, void* dst) noexcept {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* buf) noexcept { std::launder(reinterpret_cast<D*>(buf))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* buf) { (**std::launder(reinterpret_cast<D**>(buf)))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* buf) noexcept { delete *std::launder(reinterpret_cast<D**>(buf)); },
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+}  // namespace hostcc::sim

@@ -73,21 +73,38 @@ class PeriodicTimer {
 
   bool running() const { return running_; }
   Time period() const { return period_; }
-  void set_period(Time period) { period_ = period; }
+
+  // Changes the period, re-arming the in-flight tick so the new cadence
+  // takes effect immediately: the next tick fires at (last arm time + new
+  // period), or right away if that instant has already passed. The hostCC
+  // sampler's cadence adjustments rely on not waiting out the old period.
+  void set_period(Time period) {
+    if (period == period_) return;
+    period_ = period;
+    if (running_ && pending_.pending()) {
+      pending_.cancel();
+      const Time due = armed_at_ + period_;
+      pending_ = sim_.at(due > sim_.now() ? due : sim_.now(), [this] { tick(); });
+    }
+  }
 
  private:
   void arm() {
-    pending_ = sim_.after(period_, [this] {
-      if (!running_) return;
-      fn_();
-      if (running_) arm();
-    });
+    armed_at_ = sim_.now();
+    pending_ = sim_.after(period_, [this] { tick(); });
+  }
+
+  void tick() {
+    if (!running_) return;
+    fn_();
+    if (running_) arm();
   }
 
   Simulator& sim_;
   Time period_;
   EventFn fn_;
   EventHandle pending_;
+  Time armed_at_;
   bool running_ = false;
 };
 

@@ -1,0 +1,101 @@
+// Determinism guarantees of the event core and the sweep runner:
+//  - repeated fixed-seed runs produce byte-identical trace JSON, metrics
+//    JSON, and results (the (time, sequence) FIFO contract end-to-end);
+//  - SweepRunner output is invariant to --jobs (parallel == serial).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "sim/sweep_runner.h"
+
+namespace hostcc {
+namespace {
+
+// Byte-exact rendering of every results field (hexfloat for doubles).
+std::string serialize(const exp::ScenarioResults& r) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << r.net_tput_gbps << ',' << r.host_drop_rate_pct << ',' << r.fabric_drop_rate_pct << ','
+     << r.drop_rate_pct << ',' << r.mapp_mem_gbps << ',' << r.net_mem_gbps << ',' << r.mem_util
+     << ',' << r.mapp_mem_util << ',' << r.net_mem_util << ',' << r.avg_iio_occupancy << ','
+     << r.avg_pcie_gbps << ',' << r.sender_timeouts << ',' << r.sender_fast_retransmits << ','
+     << r.ecn_marked_pkts;
+  for (const sim::LatencySummary& l : r.rpc_latency) {
+    os << ',' << l.count << ',' << l.p50.ps() << ',' << l.p99.ps() << ',' << l.max.ps();
+  }
+  return os.str();
+}
+
+exp::ScenarioConfig mini_config() {
+  exp::ScenarioConfig cfg;
+  cfg.mapp_degree = 2.0;
+  cfg.hostcc_enabled = true;
+  cfg.record_signals = true;
+  cfg.trace_packets = true;
+  cfg.record_decisions = true;
+  cfg.rpc_sizes = {16 * 1024};
+  cfg.warmup = sim::Time::milliseconds(3);
+  cfg.measure = sim::Time::milliseconds(3);
+  return cfg;
+}
+
+struct Artifacts {
+  std::string results;
+  std::string trace;
+  std::string metrics;
+  std::uint64_t events = 0;
+};
+
+Artifacts run_once() {
+  exp::Scenario s(mini_config());
+  Artifacts a;
+  a.results = serialize(s.run());
+  a.events = s.simulator().events_executed();
+  std::ostringstream t;
+  s.tracer().write_chrome_json(t);
+  a.trace = t.str();
+  std::ostringstream m;
+  s.metrics().write_json(m, s.simulator().now());
+  a.metrics = m.str();
+  return a;
+}
+
+TEST(DeterminismTest, RepeatedRunsAreByteIdentical) {
+  const Artifacts a = run_once();
+  const Artifacts b = run_once();
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_FALSE(a.trace.empty());
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+TEST(DeterminismTest, SweepResultsInvariantToJobCount) {
+  const auto make_tasks = [] {
+    std::vector<std::function<std::string()>> tasks;
+    for (const double degree : {0.0, 1.5, 3.0}) {
+      for (const bool hostcc : {false, true}) {
+        tasks.emplace_back([degree, hostcc] {
+          exp::ScenarioConfig cfg;
+          cfg.mapp_degree = degree;
+          cfg.hostcc_enabled = hostcc;
+          cfg.warmup = sim::Time::milliseconds(2);
+          cfg.measure = sim::Time::milliseconds(2);
+          exp::Scenario s(cfg);
+          return serialize(s.run());
+        });
+      }
+    }
+    return tasks;
+  };
+  const auto serial = sim::SweepRunner(1).run(make_tasks());
+  const auto parallel = sim::SweepRunner(8).run(make_tasks());
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace hostcc

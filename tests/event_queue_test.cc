@@ -4,7 +4,35 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
 #include <vector>
+
+#include "net/packet.h"
+
+// Global operator-new hook: counts allocations while armed, so tests can
+// assert the event core's steady-state path never touches the heap.
+// Replacing these affects the whole test binary; they forward to malloc
+// and only bump a counter when a test arms them.
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace hostcc::sim {
 namespace {
@@ -62,6 +90,117 @@ TEST(EventQueueTest, NextTimeOfEmptyIsMax) {
   EXPECT_EQ(q.next_time(), Time::max());
 }
 
+TEST(EventQueueTest, SizeExactWithBuriedCancellations) {
+  // Cancelled entries below the heap top must not be counted (the old
+  // tombstone design over-reported until they surfaced).
+  EventQueue q;
+  q.push(Time::nanoseconds(1), [] {});
+  EventHandle b = q.push(Time::nanoseconds(5), [] {});
+  EventHandle c = q.push(Time::nanoseconds(9), [] {});
+  b.cancel();
+  c.cancel();
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  auto [when, fn] = q.pop();
+  EXPECT_EQ(when, Time::nanoseconds(1));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, SameTimeFifoSurvivesInterleavedCancellation) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> hs;
+  for (int i = 0; i < 8; ++i) {
+    hs.push_back(q.push(Time::nanoseconds(5), [&order, i] { order.push_back(i); }));
+  }
+  hs[0].cancel();
+  hs[3].cancel();
+  for (int i = 8; i < 12; ++i) {
+    q.push(Time::nanoseconds(5), [&order, i] { order.push_back(i); });
+  }
+  hs[6].cancel();
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 5, 7, 8, 9, 10, 11}));
+}
+
+TEST(EventQueueTest, StaleHandleAfterFireAndSlotReuseIsNoOp) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle stale = q.push(Time::nanoseconds(1), [&] { ++fired; });
+  q.pop().second();  // fires; the slot returns to the free list
+  EXPECT_EQ(fired, 1);
+  // The recycled slot now hosts a different event; the stale handle's
+  // generation no longer matches, so cancel() must not touch it.
+  EventHandle fresh = q.push(Time::nanoseconds(2), [&] { ++fired; });
+  stale.cancel();
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(fresh.pending());
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().second();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, StaleHandleAfterCancelAndSlotReuseIsNoOp) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle stale = q.push(Time::nanoseconds(1), [&] { ++fired; });
+  stale.cancel();
+  EXPECT_EQ(q.size(), 0u);
+  // Surfacing the dead entry recycles its slot...
+  EXPECT_EQ(q.next_time(), Time::max());
+  // ...so the next push reuses it under a newer generation.
+  EventHandle fresh = q.push(Time::nanoseconds(2), [&] { ++fired; });
+  stale.cancel();  // stale generation: no-op
+  EXPECT_TRUE(fresh.pending());
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().second();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelReleasesCapturesImmediately) {
+  EventQueue q;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  EventHandle h = q.push(Time::nanoseconds(1), [token = std::move(token)] {});
+  EXPECT_FALSE(watch.expired());
+  h.cancel();
+  EXPECT_TRUE(watch.expired());  // captures destroyed at cancel, not at pop
+}
+
+TEST(EventQueueTest, SteadyStatePushPopDoesNotAllocate) {
+  EventQueue q;
+  net::Packet pkt;
+  pkt.payload = 4000;
+  int sink = 0;
+  const auto make_event = [&sink, pkt] { sink += static_cast<int>(pkt.payload); };
+  // The datapath's biggest common capture (a Packet plus a few words) must
+  // stay within the pool's inline storage.
+  static_assert(EventFn::fits_inline<decltype(make_event)>);
+
+  std::vector<EventHandle> hs;
+  hs.reserve(64);
+  const auto churn = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      hs.clear();
+      for (int i = 0; i < 256; ++i) {
+        EventHandle h = q.push(Time::nanoseconds(i % 61), make_event);
+        if (i % 4 == 0) hs.push_back(h);  // exercise cancellation too
+      }
+      for (EventHandle& h : hs) h.cancel();
+      while (!q.empty()) q.pop().second();
+    }
+  };
+  churn(4);  // warm the slab and the heap vector up to capacity
+
+  g_allocs.store(0);
+  g_count_allocs.store(true);
+  churn(8);
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_allocs.load(), 0u) << "event push/pop/cancel hit the heap at steady state";
+  EXPECT_GT(sink, 0);
+}
+
 TEST(SimulatorTest, ClockAdvancesToEventTimes) {
   Simulator sim;
   std::vector<double> times;
@@ -104,6 +243,41 @@ TEST(PeriodicTimerTest, FiresAtPeriodUntilStopped) {
   t.stop();
   sim.run_until(Time::microseconds(100));
   EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTimerTest, SetPeriodReArmsThePendingTick) {
+  Simulator sim;
+  std::vector<double> fire_us;
+  PeriodicTimer t(sim, Time::microseconds(10), [&] { fire_us.push_back(sim.now().us()); });
+  t.start();  // first tick armed for t = 10us
+  sim.run_until(Time::microseconds(2));
+  // Shrinking the period mid-flight must not wait out the old tick: the
+  // next fire moves to (arm time 0 + 4us) = 4us, then every 4us.
+  t.set_period(Time::microseconds(4));
+  sim.run_until(Time::microseconds(13));
+  EXPECT_EQ(fire_us, (std::vector<double>{4.0, 8.0, 12.0}));
+}
+
+TEST(PeriodicTimerTest, SetPeriodAlreadyDueFiresImmediately) {
+  Simulator sim;
+  std::vector<double> fire_us;
+  PeriodicTimer t(sim, Time::microseconds(10), [&] { fire_us.push_back(sim.now().us()); });
+  t.start();
+  sim.run_until(Time::microseconds(8));
+  t.set_period(Time::microseconds(5));  // due instant (5us) already passed
+  sim.run_until(Time::microseconds(20));
+  EXPECT_EQ(fire_us, (std::vector<double>{8.0, 13.0, 18.0}));
+}
+
+TEST(PeriodicTimerTest, SetPeriodGrowsThePendingInterval) {
+  Simulator sim;
+  std::vector<double> fire_us;
+  PeriodicTimer t(sim, Time::microseconds(5), [&] { fire_us.push_back(sim.now().us()); });
+  t.start();
+  sim.run_until(Time::microseconds(2));
+  t.set_period(Time::microseconds(20));
+  sim.run_until(Time::microseconds(45));
+  EXPECT_EQ(fire_us, (std::vector<double>{20.0, 40.0}));
 }
 
 TEST(PeriodicTimerTest, StopInsideCallbackIsSafe) {

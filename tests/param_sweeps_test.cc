@@ -1,15 +1,21 @@
 // Parameterized property sweeps over the engine primitives and the memory
-// controller's proportional-share arbitration.
+// controller's proportional-share arbitration. The simulator-backed sweeps
+// fan their configurations out through sim::SweepRunner — each point owns
+// its Simulator, so they run on all cores with deterministic results.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <memory>
 #include <random>
+#include <vector>
 
 #include "host/config.h"
 #include "host/memctrl.h"
 #include "sim/ewma.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
+#include "sim/sweep_runner.h"
 
 namespace hostcc {
 namespace {
@@ -103,46 +109,61 @@ class TwoSourceShare : public host::MemSource {
   double pressure_;
 };
 
-class ShareRatioSweep : public ::testing::TestWithParam<double> {};
-
-TEST_P(ShareRatioSweep, GrantRatioMatchesPressureRatio) {
-  const double ratio = GetParam();
-  sim::Simulator sim;
-  host::HostConfig cfg;
-  host::MemoryController mc(sim, cfg);
-  TwoSourceShare a(1000.0 * ratio), b(1000.0);
-  mc.add_source(&a, false);
-  mc.add_source(&b, false);
-  sim.run_until(sim::Time::milliseconds(1));
-  EXPECT_NEAR(a.granted / b.granted, ratio, 0.02 * ratio);
+TEST(ShareRatioSweep, GrantRatioMatchesPressureRatio) {
+  const std::vector<double> ratios = {0.25, 0.5, 1.0, 2.0, 7.0};
+  std::vector<std::function<double()>> tasks;
+  for (const double ratio : ratios) {
+    tasks.emplace_back([ratio] {
+      sim::Simulator sim;
+      host::HostConfig cfg;
+      host::MemoryController mc(sim, cfg);
+      TwoSourceShare a(1000.0 * ratio), b(1000.0);
+      mc.add_source(&a, false);
+      mc.add_source(&b, false);
+      sim.run_until(sim::Time::milliseconds(1));
+      return a.granted / b.granted;
+    });
+  }
+  const std::vector<double> got = sim::SweepRunner(0).run(std::move(tasks));
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    EXPECT_NEAR(got[i], ratios[i], 0.02 * ratios[i]) << "ratio=" << ratios[i];
+  }
 }
-
-INSTANTIATE_TEST_SUITE_P(Ratios, ShareRatioSweep, ::testing::Values(0.25, 0.5, 1.0, 2.0, 7.0));
 
 // --- Memory controller: capacity conservation under overload ----------
 
-class CapacitySweep : public ::testing::TestWithParam<int> {};
-
-TEST_P(CapacitySweep, NeverGrantsMoreThanCapacity) {
-  const int nsources = GetParam();
-  sim::Simulator sim;
-  host::HostConfig cfg;
-  host::MemoryController mc(sim, cfg);
-  std::vector<std::unique_ptr<TwoSourceShare>> sources;
-  for (int i = 0; i < nsources; ++i) {
-    sources.push_back(std::make_unique<TwoSourceShare>(100.0 * (i + 1)));
-    mc.add_source(sources.back().get(), i % 2 == 0);
+TEST(CapacitySweep, NeverGrantsMoreThanCapacity) {
+  const std::vector<int> source_counts = {1, 2, 3, 5, 8};
+  struct Point {
+    double total = 0.0;
+    double cap_bytes = 0.0;
+  };
+  std::vector<std::function<Point()>> tasks;
+  for (const int nsources : source_counts) {
+    tasks.emplace_back([nsources] {
+      sim::Simulator sim;
+      host::HostConfig cfg;
+      host::MemoryController mc(sim, cfg);
+      std::vector<std::unique_ptr<TwoSourceShare>> sources;
+      for (int i = 0; i < nsources; ++i) {
+        sources.push_back(std::make_unique<TwoSourceShare>(100.0 * (i + 1)));
+        mc.add_source(sources.back().get(), i % 2 == 0);
+      }
+      const sim::Time horizon = sim::Time::milliseconds(2);
+      sim.run_until(horizon);
+      Point p;
+      for (const auto& s : sources) p.total += s->granted;
+      p.cap_bytes = cfg.dram_bandwidth.bytes_per_sec() * horizon.sec();
+      return p;
+    });
   }
-  const sim::Time horizon = sim::Time::milliseconds(2);
-  sim.run_until(horizon);
-  double total = 0.0;
-  for (const auto& s : sources) total += s->granted;
-  const double cap_bytes = cfg.dram_bandwidth.bytes_per_sec() * horizon.sec();
-  EXPECT_LE(total, cap_bytes * 1.001);
-  EXPECT_GT(total, cap_bytes * 0.98);  // fully utilized under overload
+  const std::vector<Point> got = sim::SweepRunner(0).run(std::move(tasks));
+  for (std::size_t i = 0; i < source_counts.size(); ++i) {
+    EXPECT_LE(got[i].total, got[i].cap_bytes * 1.001) << "sources=" << source_counts[i];
+    // Fully utilized under overload.
+    EXPECT_GT(got[i].total, got[i].cap_bytes * 0.98) << "sources=" << source_counts[i];
+  }
 }
-
-INSTANTIATE_TEST_SUITE_P(Sources, CapacitySweep, ::testing::Values(1, 2, 3, 5, 8));
 
 }  // namespace
 }  // namespace hostcc

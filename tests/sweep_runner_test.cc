@@ -1,0 +1,95 @@
+// Unit tests for sim::SweepRunner: deterministic result ordering under any
+// thread count, exception propagation, and the --jobs flag parser.
+#include "sim/sweep_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hostcc::sim {
+namespace {
+
+TEST(SweepRunnerTest, ResultsLandAtTheirTaskIndex) {
+  // Later tasks finish first (reverse sleeps); order must still hold.
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.emplace_back([i] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200 * (16 - i)));
+      return i;
+    });
+  }
+  const std::vector<int> got = SweepRunner(8).run(std::move(tasks));
+  std::vector<int> want(16);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(got, want);
+}
+
+TEST(SweepRunnerTest, ParallelMatchesSerialOnSimulatorTasks) {
+  // Each task owns a Simulator, so N-way execution must be bit-identical
+  // to serial execution.
+  const auto make_tasks = [] {
+    std::vector<std::function<std::uint64_t()>> tasks;
+    for (int i = 0; i < 12; ++i) {
+      tasks.emplace_back([i] {
+        Simulator sim;
+        std::uint64_t acc = 0;
+        PeriodicTimer t(sim, Time::nanoseconds(100 + 7 * i),
+                        [&] { acc = acc * 31 + sim.now().ps(); });
+        t.start();
+        sim.run_until(Time::microseconds(50));
+        return acc ^ sim.events_executed();
+      });
+    }
+    return tasks;
+  };
+  const auto serial = SweepRunner(1).run(make_tasks());
+  const auto parallel = SweepRunner(8).run(make_tasks());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepRunnerTest, FirstExceptionByIndexPropagates) {
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.emplace_back([i]() -> int {
+      if (i == 3) throw std::runtime_error("task 3");
+      if (i == 6) throw std::runtime_error("task 6");
+      return i;
+    });
+  }
+  try {
+    SweepRunner(4).run(std::move(tasks));
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");
+  }
+}
+
+TEST(SweepRunnerTest, ZeroJobsSelectsHardwareConcurrency) {
+  EXPECT_GE(SweepRunner(0).jobs(), 1);
+  EXPECT_EQ(SweepRunner(3).jobs(), 3);
+  EXPECT_EQ(SweepRunner().jobs(), 1);
+}
+
+TEST(SweepRunnerTest, EmptyTaskListReturnsEmpty) {
+  EXPECT_TRUE(SweepRunner(4).run(std::vector<std::function<int()>>{}).empty());
+}
+
+TEST(SweepRunnerTest, ParseJobsFlag) {
+  const char* argv1[] = {"bench", "--quick", "--jobs", "6"};
+  EXPECT_EQ(SweepRunner::parse_jobs_flag(4, const_cast<char**>(argv1)), 6);
+  const char* argv2[] = {"bench", "--jobs=8"};
+  EXPECT_EQ(SweepRunner::parse_jobs_flag(2, const_cast<char**>(argv2)), 8);
+  const char* argv3[] = {"bench", "--quick"};
+  EXPECT_EQ(SweepRunner::parse_jobs_flag(2, const_cast<char**>(argv3)), 1);
+  EXPECT_EQ(SweepRunner::parse_jobs_flag(2, const_cast<char**>(argv3), 4), 4);
+}
+
+}  // namespace
+}  // namespace hostcc::sim

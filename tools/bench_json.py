@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Snapshot bench_engine throughput to JSON and gate against a baseline.
+
+Two modes, composable:
+
+  Snapshot (default): run bench_engine with --benchmark_format=json and
+  write a compact per-benchmark summary to results/perf/BENCH_<n>.json
+  (auto-numbered) or to --out. Each entry records items/sec (falling back
+  to iterations/sec for benchmarks that don't call SetItemsProcessed) and
+  real time per iteration. The sequence of BENCH_<n>.json files is the
+  repo's performance trajectory.
+
+  Gate (--check BASELINE.json): additionally compare the fresh run
+  against a committed baseline and exit non-zero if any benchmark's
+  throughput fell more than --tolerance (default 25%) below it. Used by
+  the CI bench-regression job.
+
+Examples:
+  tools/bench_json.py --bench build/bench/bench_engine
+  tools/bench_json.py --bench build/bench/bench_engine \
+      --out results/perf/BASELINE.json            # refresh the baseline
+  tools/bench_json.py --bench build/bench/bench_engine \
+      --check results/perf/BASELINE.json --out build/BENCH_ci.json
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# The engine's fast hot-path microbenchmarks. BM_HostDatapathTracer is
+# excluded from the default smoke set: it runs full millisecond-scale
+# datapath simulations and its acceptance criterion (disabled-tracer
+# overhead) is relative, not absolute.
+DEFAULT_FILTER = (
+    "BM_EventQueuePushPop$|BM_EventCancellation|BM_EventQueuePushPopPacketCapture|"
+    "BM_SimulatorTimerChurn|BM_EwmaAdd|BM_HistogramRecord|BM_MemControllerQuantum"
+)
+
+
+def run_bench(bench, bench_filter, repetitions):
+    cmd = [str(bench), f"--benchmark_filter={bench_filter}", "--benchmark_format=json"]
+    if repetitions > 1:
+        cmd += [
+            f"--benchmark_repetitions={repetitions}",
+            "--benchmark_report_aggregates_only=true",
+        ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"error: {bench} exited with {proc.returncode}")
+    doc = json.loads(proc.stdout)
+
+    benchmarks = {}
+    for b in doc.get("benchmarks", []):
+        if repetitions > 1:
+            if b.get("aggregate_name") != "median":
+                continue
+            name = b["name"].removesuffix("_median")
+        else:
+            if b.get("run_type") == "aggregate":
+                continue
+            name = b["name"]
+        real_time_ns = b["real_time"]  # engine benches report in ns
+        ips = b.get("items_per_second")
+        if ips is None and real_time_ns > 0:
+            ips = 1e9 / real_time_ns  # iterations/sec fallback
+        benchmarks[name] = {
+            "items_per_second": ips,
+            "real_time_ns": real_time_ns,
+        }
+    if not benchmarks:
+        raise SystemExit(f"error: filter {bench_filter!r} matched no benchmarks")
+
+    ctx = doc.get("context", {})
+    return {
+        "context": {
+            "num_cpus": ctx.get("num_cpus"),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+            "library_build_type": ctx.get("library_build_type"),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def next_snapshot_path(out_dir):
+    out_dir.mkdir(parents=True, exist_ok=True)
+    taken = [
+        int(m.group(1))
+        for p in out_dir.glob("BENCH_*.json")
+        if (m := re.fullmatch(r"BENCH_(\d+)\.json", p.name))
+    ]
+    return out_dir / f"BENCH_{max(taken) + 1 if taken else 0}.json"
+
+
+def check_against(baseline_path, current, tolerance):
+    baseline = json.loads(Path(baseline_path).read_text())["benchmarks"]
+    floor = 1.0 - tolerance
+    failures = []
+    print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for name, base in sorted(baseline.items()):
+        cur = current["benchmarks"].get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            print(f"{name:<40} {base['items_per_second']:>12.3e} {'MISSING':>12}")
+            continue
+        ratio = cur["items_per_second"] / base["items_per_second"]
+        flag = "" if ratio >= floor else "  << REGRESSION"
+        print(
+            f"{name:<40} {base['items_per_second']:>12.3e} "
+            f"{cur['items_per_second']:>12.3e} {ratio:>6.2f}x{flag}"
+        )
+        if ratio < floor:
+            failures.append(f"{name}: {ratio:.2f}x of baseline (floor {floor:.2f}x)")
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed beyond {tolerance:.0%}:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nOK: all {len(baseline)} benchmarks within {tolerance:.0%} of baseline")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--bench",
+        default="build/bench/bench_engine",
+        help="path to the bench_engine binary (default: %(default)s)",
+    )
+    ap.add_argument(
+        "--filter",
+        default=DEFAULT_FILTER,
+        help="--benchmark_filter regex (default: engine hot-path set)",
+    )
+    ap.add_argument(
+        "--repetitions",
+        type=int,
+        default=3,
+        help="benchmark repetitions; the median is recorded (default: %(default)s)",
+    )
+    ap.add_argument(
+        "--out",
+        help="output JSON path (default: auto-numbered BENCH_<n>.json in --out-dir)",
+    )
+    ap.add_argument(
+        "--out-dir",
+        default="results/perf",
+        help="directory for auto-numbered snapshots (default: %(default)s)",
+    )
+    ap.add_argument("--check", help="baseline JSON to gate against")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="max allowed fractional throughput drop vs baseline (default: %(default)s)",
+    )
+    args = ap.parse_args()
+
+    bench = Path(args.bench)
+    if not bench.exists():
+        raise SystemExit(f"error: bench binary not found: {bench} (build it first)")
+
+    current = run_bench(bench, args.filter, args.repetitions)
+
+    out = Path(args.out) if args.out else next_snapshot_path(Path(args.out_dir))
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        return check_against(args.check, current, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
