@@ -1,6 +1,6 @@
 #include "exp/scenario.h"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace hostcc::exp {
 
@@ -13,13 +13,60 @@ host::HostConfig sender_host_config(const host::HostConfig& receiver_cfg) {
   cfg.seed ^= 0x5e4dULL;
   return cfg;
 }
+
+// Full startup validation: host, hostCC, fault-plan, and topology-level
+// checks, all collected before anything is built so one bad scenario file
+// reports every problem at once.
+std::vector<std::string> validate(const ScenarioConfig& cfg) {
+  std::vector<std::string> errs = host::validate(cfg.host);
+  if (cfg.hostcc_enabled) {
+    for (auto& e : core::validate(cfg.hostcc)) errs.push_back(std::move(e));
+  }
+  for (auto& e : cfg.faults.validate()) errs.push_back(std::move(e));
+  if (cfg.senders < 1) {
+    errs.push_back("scenario.senders must be >= 1 (got " + std::to_string(cfg.senders) + ")");
+  }
+  if (cfg.netapp_flows < 0) errs.push_back("scenario.netapp_flows must be >= 0");
+  if (cfg.link_rate.bits_per_sec() <= 0.0) errs.push_back("scenario.link_rate must be > 0");
+  if (cfg.link_delay < sim::Time::zero()) errs.push_back("scenario.link_delay must be >= 0");
+  if (cfg.mapp_degree < 0.0 || cfg.sender_mapp_degree < 0.0) {
+    errs.push_back("scenario.mapp_degree/sender_mapp_degree must be >= 0");
+  }
+  if (cfg.fixed_mba_level > host::MbaThrottle::kMaxLevel) {
+    errs.push_back("scenario.fixed_mba_level must be -1 (off) or an MBA level 0.." +
+                   std::to_string(host::MbaThrottle::kMaxLevel) + " (got " +
+                   std::to_string(cfg.fixed_mba_level) + ")");
+  }
+  if (cfg.warmup < sim::Time::zero() || cfg.measure < sim::Time::zero()) {
+    errs.push_back("scenario.warmup/measure must be >= 0");
+  }
+  for (sim::Bytes s : cfg.rpc_sizes) {
+    if (s <= 0) errs.push_back("scenario.rpc_sizes entries must be > 0 bytes");
+  }
+  // Link faults must name an existing uplink (0 = receiver, 1..N senders).
+  for (const faults::FaultEvent& ev : cfg.faults.events) {
+    const bool link_fault = ev.kind == faults::FaultKind::kLinkDown ||
+                            ev.kind == faults::FaultKind::kLinkDegrade;
+    if ((link_fault || ev.kind == faults::FaultKind::kPortDown) && ev.target > cfg.senders) {
+      errs.push_back(std::string("fault ") + faults::fault_kind_name(ev.kind) + ": " +
+                     (link_fault ? "uplink " : "port ") + std::to_string(ev.target) +
+                     " does not exist (topology has hosts 0.." + std::to_string(cfg.senders) +
+                     ")");
+    }
+  }
+  return errs;
+}
 }  // namespace
 
 Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) { build(); }
 Scenario::~Scenario() = default;
 
 void Scenario::build() {
-  assert(cfg_.senders >= 1);
+  if (auto errs = validate(cfg_); !errs.empty()) {
+    std::string joined = "invalid scenario config:";
+    for (const std::string& e : errs) joined += "\n  - " + e;
+    throw std::invalid_argument(joined);
+  }
 
   fabric_ = std::make_unique<net::Switch>(sim_, cfg_.fabric);
 
@@ -135,6 +182,26 @@ void Scenario::build() {
 
   if (cfg_.fixed_mba_level >= 0) receiver_->mba().request_level(cfg_.fixed_mba_level);
 
+  // Runtime invariant checker on the receiver (the congested datapath).
+  // Read-only, so enabling it perturbs no random stream and no behaviour.
+  if (cfg_.check_invariants) {
+    invariants_ = std::make_unique<faults::InvariantChecker>(*receiver_);
+    invariants_->start();
+  }
+
+  // Fault injection: attach everything the plan could act on, then arm.
+  if (!cfg_.faults.empty()) {
+    injector_ = std::make_unique<faults::FaultInjector>(sim_, cfg_.faults);
+    injector_->attach_msrs(receiver_->msrs());
+    injector_->attach_mba(receiver_->mba());
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      injector_->attach_link(static_cast<int>(i), *links_[i]);
+    }
+    injector_->attach_switch(*fabric_);
+    injector_->attach_sampler(signals());
+    injector_->arm();
+  }
+
   // Observability: the tracer follows the receiver datapath (the congested
   // host); it stays attached even when disabled so production runs exercise
   // the null-sink fast path. Metrics registration happens last, after every
@@ -156,6 +223,10 @@ void Scenario::build() {
   } else {
     passive_sampler_->register_metrics(metrics_, "receiver/hostcc/signals");
   }
+  fabric_->register_metrics(metrics_, "fabric");
+  for (auto& lnk : links_) lnk->register_metrics(metrics_, "link/" + lnk->name());
+  if (invariants_) invariants_->register_metrics(metrics_, "receiver/invariants");
+  if (injector_) injector_->register_metrics(metrics_, "faults");
 }
 
 core::SignalSampler& Scenario::signals() {
@@ -234,6 +305,10 @@ ScenarioResults Scenario::run_measure() {
   }
   if (controller_) {
     r.ecn_marked_pkts = controller_->echo().packets_marked() - base_echo_marks_;
+  }
+  if (invariants_) {
+    invariants_->check_now();  // final sweep at the measurement boundary
+    r.invariant_violations = invariants_->total_violations();
   }
 
   // Signal averages over the measurement window.

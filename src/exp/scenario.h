@@ -14,6 +14,9 @@
 #include "apps/mem_app.h"
 #include "apps/rpc_app.h"
 #include "apps/throughput_app.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "faults/invariants.h"
 #include "host/host.h"
 #include "hostcc/controller.h"
 #include "hostcc/sender_response.h"
@@ -49,6 +52,12 @@ struct ScenarioConfig {
   core::HostCcConfig hostcc;
   int fixed_mba_level = -1;               // >=0: hard-code the level (Fig. 9)
 
+  // Deterministic fault schedule (empty = fault-free) and the runtime
+  // invariant checker on the receiver datapath (on in every tier-1 run;
+  // opt out only for micro-benchmarks).
+  faults::FaultPlan faults;
+  bool check_invariants = true;
+
   sim::Time warmup = sim::Time::milliseconds(250);
   sim::Time measure = sim::Time::milliseconds(150);
 
@@ -77,6 +86,8 @@ struct ScenarioResults {
   std::uint64_t sender_timeouts = 0;
   std::uint64_t sender_fast_retransmits = 0;
   std::uint64_t ecn_marked_pkts = 0;   // by hostCC echo at the receiver
+
+  std::uint64_t invariant_violations = 0;  // whole-run count (0 when checker off)
 };
 
 class Scenario {
@@ -131,6 +142,10 @@ class Scenario {
   net::Link& uplink(int i) { return *links_.at(i); }
   net::Switch& fabric() { return *fabric_; }
 
+  // Fault machinery (null when the plan is empty / the checker disabled).
+  faults::FaultInjector* injector() { return injector_.get(); }
+  faults::InvariantChecker* invariants() { return invariants_.get(); }
+
  private:
   void build();
   void mark_measurement_start();
@@ -155,6 +170,8 @@ class Scenario {
 
   std::unique_ptr<core::HostCcController> controller_;
   std::unique_ptr<core::SignalSampler> passive_sampler_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  std::unique_ptr<faults::InvariantChecker> invariants_;
 
   sim::TimeSeries ts_is_{"iio_occupancy"};
   sim::TimeSeries ts_bs_{"pcie_gbps"};

@@ -1,0 +1,178 @@
+// Deterministic fault-injection plans. The paper's hostCC runs against real
+// hardware that misbehaves: MSR reads stall, MBA MSR writes are serialized
+// and slow (and can silently fail to latch), links flap, and the sampling
+// kernel thread gets preempted. A FaultPlan is a declarative list of such
+// events — each with a fixed start time, duration, and kind-specific
+// parameter — parsed from CLI/scenario config and replayed by the
+// FaultInjector. Identical seeds + identical plans produce byte-identical
+// simulations (the determinism test covers fault runs).
+//
+// CLI/scenario spec grammar (times in microseconds):
+//
+//   <kind>@<start_us>+<duration_us>[:<param>][:<target>]
+//
+//   msr_stall@500+200:50     MSR reads take 50us extra during the window
+//   msr_freeze@500+200       ROCC/RINS appear frozen at their last values
+//   msr_torn@500+200:0.25    each MSR read corrupted with probability 0.25
+//   mba_fail@500+200         MBA MSR writes complete but do not latch
+//   mba_delay@500+200:8      MBA MSR writes take 8x the normal latency
+//   link_down@500+100:1      uplink 1 loses carrier (frames queue, none sent)
+//   link_degrade@500+200:0.25:1   uplink 1 serializes at 0.25x its rate
+//   port_down@500+100:0      switch output port to host 0 stops transmitting
+//   sampler_pause@500+200    the hostCC sampler thread is preempted
+//
+// A duration of 0 means "until the end of the run".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hostcc::faults {
+
+enum class FaultKind : std::uint8_t {
+  kMsrStall,      // param: extra per-read latency (us)
+  kMsrFreeze,     // ROCC/RINS reads return the values captured at onset
+  kMsrTorn,       // param: per-read corruption probability
+  kMbaWriteFail,  // MBA MSR writes complete but the level does not latch
+  kMbaWriteDelay, // param: multiplier on the MBA MSR write latency
+  kLinkDown,      // target: uplink index (0 = receiver, 1.. = senders)
+  kLinkDegrade,   // param: rate factor in (0,1]; target: uplink index
+  kPortDown,      // target: switch output port (destination host id)
+  kSamplerPause,  // hostCC sampler preempted for the window
+};
+
+inline const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kMsrStall: return "msr_stall";
+    case FaultKind::kMsrFreeze: return "msr_freeze";
+    case FaultKind::kMsrTorn: return "msr_torn";
+    case FaultKind::kMbaWriteFail: return "mba_fail";
+    case FaultKind::kMbaWriteDelay: return "mba_delay";
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkDegrade: return "link_degrade";
+    case FaultKind::kPortDown: return "port_down";
+    case FaultKind::kSamplerPause: return "sampler_pause";
+  }
+  return "?";
+}
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kMsrStall;
+  sim::Time start;
+  sim::Time duration;  // zero = until the end of the run
+  double param = 0.0;  // kind-specific; 0 = use the kind's default
+  int target = -1;     // link index / port id; -1 = kind's default
+
+  sim::Time end() const { return duration > sim::Time::zero() ? start + duration : sim::Time::max(); }
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  // Seeds the torn-read corruption stream (independent of the host seed so
+  // enabling faults does not perturb the fault-free random sequences).
+  std::uint64_t seed = 0xfa017ULL;
+
+  bool empty() const { return events.empty(); }
+
+  // Parses one spec (grammar above) and appends it. Returns an error
+  // message, or std::nullopt on success.
+  std::optional<std::string> add_spec(const std::string& spec);
+
+  // Sanity-checks every event; returns one message per problem.
+  std::vector<std::string> validate() const;
+};
+
+namespace detail {
+
+// Kinds whose first optional spec field is a parameter; for the rest a
+// single trailing field is the target (e.g. link_down@500+100:2 = uplink 2).
+inline bool kind_takes_param(FaultKind k) {
+  return k == FaultKind::kMsrStall || k == FaultKind::kMsrTorn ||
+         k == FaultKind::kMbaWriteDelay || k == FaultKind::kLinkDegrade;
+}
+
+inline std::optional<FaultKind> parse_kind(const std::string& s) {
+  for (FaultKind k : {FaultKind::kMsrStall, FaultKind::kMsrFreeze, FaultKind::kMsrTorn,
+                      FaultKind::kMbaWriteFail, FaultKind::kMbaWriteDelay, FaultKind::kLinkDown,
+                      FaultKind::kLinkDegrade, FaultKind::kPortDown, FaultKind::kSamplerPause}) {
+    if (s == fault_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace detail
+
+inline std::optional<std::string> FaultPlan::add_spec(const std::string& spec) {
+  const auto fail = [&spec](const std::string& why) {
+    return "bad fault spec '" + spec + "': " + why +
+           " (expected <kind>@<start_us>+<dur_us>[:<param>][:<target>])";
+  };
+  const std::size_t at = spec.find('@');
+  if (at == std::string::npos) return fail("missing '@'");
+  const auto kind = detail::parse_kind(spec.substr(0, at));
+  if (!kind) return fail("unknown kind '" + spec.substr(0, at) + "'");
+
+  const std::size_t plus = spec.find('+', at + 1);
+  if (plus == std::string::npos) return fail("missing '+<duration_us>'");
+
+  FaultEvent ev;
+  ev.kind = *kind;
+  try {
+    ev.start = sim::Time::microseconds(std::stod(spec.substr(at + 1, plus - at - 1)));
+    std::size_t pos = plus + 1;
+    std::size_t used = 0;
+    ev.duration = sim::Time::microseconds(std::stod(spec.substr(pos), &used));
+    pos += used;
+    if (pos < spec.size() && spec[pos] == ':') {
+      const double field = std::stod(spec.substr(pos + 1), &used);
+      pos += 1 + used;
+      if (pos < spec.size() && spec[pos] == ':') {
+        ev.param = field;
+        ev.target = std::stoi(spec.substr(pos + 1), &used);
+        pos += 1 + used;
+      } else if (detail::kind_takes_param(ev.kind)) {
+        ev.param = field;
+      } else {
+        // Param-less kinds: a single trailing field is the target.
+        ev.target = static_cast<int>(field);
+      }
+    }
+    if (pos != spec.size()) return fail("trailing characters");
+  } catch (const std::exception&) {
+    return fail("malformed number");
+  }
+  events.push_back(ev);
+  return std::nullopt;
+}
+
+inline std::vector<std::string> FaultPlan::validate() const {
+  std::vector<std::string> errs;
+  for (const FaultEvent& ev : events) {
+    const std::string who = std::string("fault ") + fault_kind_name(ev.kind);
+    if (ev.start < sim::Time::zero()) errs.push_back(who + ": start must be >= 0");
+    if (ev.duration < sim::Time::zero()) errs.push_back(who + ": duration must be >= 0");
+    switch (ev.kind) {
+      case FaultKind::kMsrTorn:
+        if (ev.param < 0.0 || ev.param > 1.0)
+          errs.push_back(who + ": corruption probability must be in [0,1]");
+        break;
+      case FaultKind::kLinkDegrade:
+        if (ev.param < 0.0 || ev.param > 1.0)
+          errs.push_back(who + ": rate factor must be in (0,1] (0 = default)");
+        break;
+      case FaultKind::kMsrStall:
+      case FaultKind::kMbaWriteDelay:
+        if (ev.param < 0.0) errs.push_back(who + ": parameter must be >= 0");
+        break;
+      default:
+        break;
+    }
+  }
+  return errs;
+}
+
+}  // namespace hostcc::faults

@@ -1,0 +1,189 @@
+// FaultInjector: replays a FaultPlan against the live simulation. The
+// injector is pure orchestration — every failure mode is implemented by
+// the owning component's fault hooks (MsrBank::fault_*, MbaThrottle::
+// fault_write_*, Link::set_down/set_rate_factor, Switch::set_port_down,
+// SignalSampler::preempt_for); the injector only schedules when each hook
+// turns on and off. All scheduling happens through the simulator, so fault
+// runs are as deterministic as fault-free ones.
+//
+// Overlapping windows of the same (kind, target) nest: the fault stays
+// active until every window covering the current instant has ended, and
+// the most recently activated window's parameter wins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "host/mba.h"
+#include "host/msr.h"
+#include "hostcc/signals.h"
+#include "net/link.h"
+#include "net/switch.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace hostcc::faults {
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, FaultPlan plan) : sim_(sim), plan_(std::move(plan)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- attachment (what the plan can act on) ---
+  // Unattached targets make the corresponding events no-ops (counted as
+  // `skipped`), so a plan written for a full scenario can run against a
+  // partial testbed.
+  void attach_msrs(host::MsrBank& msrs) { msrs_ = &msrs; }
+  void attach_mba(host::MbaThrottle& mba) { mba_ = &mba; }
+  void attach_link(int index, net::Link& link) { links_[index] = &link; }
+  void attach_switch(net::Switch& sw) { switch_ = &sw; }
+  void attach_sampler(core::SignalSampler& sampler) { sampler_ = &sampler; }
+
+  const FaultPlan& plan() const { return plan_; }
+  bool plan_has(FaultKind k) const {
+    for (const FaultEvent& ev : plan_.events)
+      if (ev.kind == k) return true;
+    return false;
+  }
+
+  // Schedules every event in the plan. Call once, before Simulator::run.
+  void arm() {
+    for (const FaultEvent& ev : plan_.events) {
+      sim_.at(ev.start, [this, ev] { activate(ev); });
+      // duration 0 = until the end of the run: no deactivation event.
+      if (ev.duration > sim::Time::zero()) {
+        sim_.at(ev.end(), [this, ev] { deactivate(ev); });
+      }
+    }
+  }
+
+  std::uint64_t activations() const { return activations_; }
+  std::uint64_t deactivations() const { return deactivations_; }
+  std::uint64_t skipped() const { return skipped_; }
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.counter_fn(prefix + "/activations", [this] { return activations_; });
+    reg.counter_fn(prefix + "/deactivations", [this] { return deactivations_; });
+    reg.counter_fn(prefix + "/skipped", [this] { return skipped_; });
+    reg.gauge(prefix + "/active", [this] {
+      double n = 0.0;
+      for (const auto& [key, count] : active_) n += count > 0 ? 1.0 : 0.0;
+      return n;
+    });
+  }
+
+ private:
+  // Per-kind parameter defaults (spec param 0 = "use the default").
+  static double default_param(FaultKind k) {
+    switch (k) {
+      case FaultKind::kMsrStall: return 20.0;      // us of extra read latency
+      case FaultKind::kMsrTorn: return 0.25;       // corruption probability
+      case FaultKind::kMbaWriteDelay: return 8.0;  // latency multiplier
+      case FaultKind::kLinkDegrade: return 0.25;   // rate factor
+      default: return 0.0;
+    }
+  }
+  static int default_target(FaultKind k) {
+    // link faults default to uplink 1 (the first sender); port faults to
+    // the receiver's output port (host 0).
+    return k == FaultKind::kLinkDown || k == FaultKind::kLinkDegrade ? 1 : 0;
+  }
+
+  void activate(const FaultEvent& ev) {
+    const double param = ev.param > 0.0 ? ev.param : default_param(ev.kind);
+    const int target = ev.target >= 0 ? ev.target : default_target(ev.kind);
+    if (!apply(ev, param, target, /*on=*/true)) {
+      ++skipped_;
+      return;
+    }
+    ++active_[{ev.kind, target}];
+    ++activations_;
+    OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "faults", "inject %s param=%.3f target=%d",
+            fault_kind_name(ev.kind), param, target);
+  }
+
+  void deactivate(const FaultEvent& ev) {
+    const double param = ev.param > 0.0 ? ev.param : default_param(ev.kind);
+    const int target = ev.target >= 0 ? ev.target : default_target(ev.kind);
+    auto it = active_.find({ev.kind, target});
+    if (it == active_.end() || it->second == 0) return;  // was skipped
+    if (--it->second > 0) return;  // an overlapping window is still open
+    if (!apply(ev, param, target, /*on=*/false)) return;
+    ++deactivations_;
+    OBS_LOG(obs::LogLevel::kInfo, sim_.now(), "faults", "clear %s target=%d",
+            fault_kind_name(ev.kind), target);
+  }
+
+  // Turns one fault on/off. Returns false when the target is not attached.
+  bool apply(const FaultEvent& ev, double param, int target, bool on) {
+    switch (ev.kind) {
+      case FaultKind::kMsrStall:
+        if (!msrs_) return false;
+        msrs_->fault_stall(on ? sim::Time::microseconds(param) : sim::Time::zero());
+        return true;
+      case FaultKind::kMsrFreeze:
+        if (!msrs_) return false;
+        msrs_->fault_freeze(on);
+        return true;
+      case FaultKind::kMsrTorn:
+        if (!msrs_) return false;
+        msrs_->fault_torn(on ? param : 0.0, plan_.seed);
+        return true;
+      case FaultKind::kMbaWriteFail:
+        if (!mba_) return false;
+        mba_->fault_write_fail(on);
+        return true;
+      case FaultKind::kMbaWriteDelay:
+        if (!mba_) return false;
+        mba_->fault_write_delay(on ? param : 1.0);
+        return true;
+      case FaultKind::kLinkDown: {
+        auto it = links_.find(target);
+        if (it == links_.end()) return false;
+        it->second->set_down(on);
+        return true;
+      }
+      case FaultKind::kLinkDegrade: {
+        auto it = links_.find(target);
+        if (it == links_.end()) return false;
+        it->second->set_rate_factor(on ? param : 1.0);
+        return true;
+      }
+      case FaultKind::kPortDown:
+        if (!switch_) return false;
+        switch_->set_port_down(static_cast<net::HostId>(target), on);
+        return true;
+      case FaultKind::kSamplerPause:
+        if (!sampler_) return false;
+        // The pause is expressed as one preemption covering the whole
+        // window, so the "off" edge has nothing to undo.
+        if (on) {
+          sampler_->preempt_for(ev.duration > sim::Time::zero() ? ev.duration
+                                                                : sim::Time::seconds(3600.0));
+        }
+        return true;
+    }
+    return false;
+  }
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  host::MsrBank* msrs_ = nullptr;
+  host::MbaThrottle* mba_ = nullptr;
+  std::map<int, net::Link*> links_;
+  net::Switch* switch_ = nullptr;
+  core::SignalSampler* sampler_ = nullptr;
+  std::map<std::pair<FaultKind, int>, int> active_;
+  std::uint64_t activations_ = 0;
+  std::uint64_t deactivations_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace hostcc::faults

@@ -1,0 +1,241 @@
+// Runtime invariant checker for the host datapath. Verifies, on a periodic
+// cadence (and on demand), the conservation laws the NIC -> PCIe -> IIO ->
+// memory pipeline must obey no matter what faults are injected:
+//
+//   credits (kPcieCredits)
+//     Every credit byte the PCIe channel has ever carried is either still
+//     on the wire or has been inserted into the IIO:
+//       pcie.transferred == nic.in_transit + iio.inserted,  in_transit >= 0
+//
+//   conservation (kByteConservation)
+//     IIO ledger: inserted == occupancy + admitted. NIC wire ledger: every
+//     arrived byte is dropped, queued, awaiting DMA, or chunked onto PCIe:
+//       arrived == dropped + queued + dma_wire + dma_remaining
+//
+//   capacity (kIioCapacity)
+//     The credit pool bounds IIO residence. The DMA gate admits a chunk
+//     when occupancy + chunk <= pool, and chunks already serialized may
+//     still be propagating, so the sound bound carries slack of one
+//     PCIe bandwidth-delay product plus two max-size chunks. Also: the
+//     descriptor ring count stays within [0, rx_descriptors].
+//
+//   msr_monotonic (kMsrMonotonic)
+//     The raw ROCC/RINS registers never decrease (they are cumulative
+//     counters), and neither do the values software observes when reading
+//     them. Torn reads violate the second clause but not the first —
+//     which is exactly how a fault run attributes its violations to the
+//     injected fault class.
+//
+// Violations are recorded (bounded) with a human-readable detail string
+// and counted per class; report() renders them for CLI/test output.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "host/host.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace hostcc::faults {
+
+enum class InvariantClass : std::uint8_t {
+  kPcieCredits,
+  kIioCapacity,
+  kByteConservation,
+  kMsrMonotonic,
+};
+inline constexpr int kInvariantClasses = 4;
+
+inline const char* invariant_class_name(InvariantClass c) {
+  switch (c) {
+    case InvariantClass::kPcieCredits: return "pcie_credits";
+    case InvariantClass::kIioCapacity: return "iio_capacity";
+    case InvariantClass::kByteConservation: return "byte_conservation";
+    case InvariantClass::kMsrMonotonic: return "msr_monotonic";
+  }
+  return "?";
+}
+
+struct Violation {
+  sim::Time at;
+  InvariantClass cls = InvariantClass::kByteConservation;
+  std::string detail;
+};
+
+struct InvariantConfig {
+  sim::Time period = sim::Time::microseconds(25);
+  // Recorded violations are capped (counting continues past the cap): a
+  // broken invariant fails every subsequent check, and the first few
+  // records carry all the signal.
+  std::size_t max_recorded = 64;
+};
+
+class InvariantChecker {
+ public:
+  InvariantChecker(host::HostModel& host, InvariantConfig cfg = {})
+      : host_(host),
+        cfg_(cfg),
+        timer_(host.simulator(), cfg.period, [this] { check_now(); }) {
+    // Observed MSR reads must be monotonic per register; the raw registers
+    // are checked on the periodic cadence.
+    host_.msrs().set_read_observer([this](char reg, double v) {
+      double& last = reg == 'o' ? last_obs_rocc_ : last_obs_rins_;
+      if (v < last - kEps) {
+        fail(InvariantClass::kMsrMonotonic, "observed %s read regressed: %.1f -> %.1f",
+             reg == 'o' ? "ROCC" : "RINS", last, v);
+      }
+      if (v > last) last = v;
+    });
+  }
+
+  void start() { timer_.start(); }
+  void stop() { timer_.stop(); }
+
+  void check_now() {
+    ++checks_;
+    const host::NicRx& nic = host_.nic();
+    const host::IioBuffer& iio = host_.iio();
+    const host::PcieLink& pcie = host_.pcie();
+    const host::HostConfig& cfg = host_.config();
+
+    // Credit-byte ledger across the PCIe channel.
+    const sim::Bytes in_transit = nic.in_transit_bytes();
+    if (in_transit < 0) {
+      fail(InvariantClass::kPcieCredits, "in-transit credit bytes negative: %lld",
+           static_cast<long long>(in_transit));
+    }
+    if (pcie.transferred_bytes() != in_transit + iio.total_inserted()) {
+      fail(InvariantClass::kPcieCredits,
+           "credit ledger: transferred %lld != in_transit %lld + inserted %lld",
+           static_cast<long long>(pcie.transferred_bytes()), static_cast<long long>(in_transit),
+           static_cast<long long>(iio.total_inserted()));
+    }
+
+    // IIO ledger.
+    if (iio.total_inserted() != iio.occupancy_bytes() + iio.total_admitted()) {
+      fail(InvariantClass::kByteConservation,
+           "iio ledger: inserted %lld != occupancy %lld + admitted %lld",
+           static_cast<long long>(iio.total_inserted()),
+           static_cast<long long>(iio.occupancy_bytes()),
+           static_cast<long long>(iio.total_admitted()));
+    }
+
+    // NIC wire-byte ledger.
+    const auto& s = nic.stats();
+    const sim::Bytes wire_accounted =
+        s.dropped_bytes + nic.queued_bytes() + nic.dma_wire_bytes() + nic.dma_remaining_bytes();
+    if (s.arrived_bytes != wire_accounted) {
+      fail(InvariantClass::kByteConservation,
+           "nic ledger: arrived %lld != dropped+queued+dma %lld",
+           static_cast<long long>(s.arrived_bytes), static_cast<long long>(wire_accounted));
+    }
+
+    // Credit pool bounds IIO residence (with pipelining slack).
+    const double bdp_bytes = cfg.pcie_raw.bits_per_sec() / 8.0 * cfg.pcie_latency.sec();
+    const double max_chunk = static_cast<double>(cfg.dma_chunk_bytes) *
+                                 (1.0 + cfg.tlp_overhead_base) +
+                             cfg.tlp_overhead_per_packet_bytes + 1.0;
+    const auto cap = static_cast<sim::Bytes>(static_cast<double>(pcie.credit_pool()) +
+                                             bdp_bytes + 2.0 * max_chunk);
+    if (iio.occupancy_bytes() > cap) {
+      fail(InvariantClass::kIioCapacity, "iio occupancy %lld exceeds credit bound %lld",
+           static_cast<long long>(iio.occupancy_bytes()), static_cast<long long>(cap));
+    }
+    if (nic.free_descriptors() < 0 || nic.free_descriptors() > cfg.rx_descriptors) {
+      fail(InvariantClass::kIioCapacity, "descriptor count %d outside [0, %d]",
+           nic.free_descriptors(), cfg.rx_descriptors);
+    }
+
+    // Raw registers are cumulative counters.
+    const host::MsrBank& msrs = host_.msrs();
+    if (msrs.rocc_raw() < last_raw_rocc_ - kEps || msrs.rins_raw() < last_raw_rins_ - kEps) {
+      fail(InvariantClass::kMsrMonotonic, "raw register regressed: ROCC %.1f->%.1f RINS %.1f->%.1f",
+           last_raw_rocc_, msrs.rocc_raw(), last_raw_rins_, msrs.rins_raw());
+    }
+    last_raw_rocc_ = msrs.rocc_raw();
+    last_raw_rins_ = msrs.rins_raw();
+  }
+
+  std::uint64_t checks_run() const { return checks_; }
+  std::uint64_t total_violations() const { return total_violations_; }
+  std::uint64_t violations_of(InvariantClass c) const {
+    return by_class_[static_cast<int>(c)];
+  }
+  const std::vector<Violation>& violations() const { return recorded_; }
+
+  // True when every violation (if any) belongs to `cls` — the acceptance
+  // check for fault runs whose injected fault legitimately trips one class.
+  bool only_class(InvariantClass cls) const {
+    for (int i = 0; i < kInvariantClasses; ++i) {
+      if (i != static_cast<int>(cls) && by_class_[i] != 0) return false;
+    }
+    return true;
+  }
+
+  std::string report() const {
+    if (total_violations_ == 0) return "invariants: OK (" + std::to_string(checks_) + " checks)";
+    std::string out = "invariants: " + std::to_string(total_violations_) + " violation(s) in " +
+                      std::to_string(checks_) + " checks\n";
+    for (int i = 0; i < kInvariantClasses; ++i) {
+      if (by_class_[i] == 0) continue;
+      out += "  " + std::string(invariant_class_name(static_cast<InvariantClass>(i))) + ": " +
+             std::to_string(by_class_[i]) + "\n";
+    }
+    for (const Violation& v : recorded_) {
+      char line[64];
+      std::snprintf(line, sizeof(line), "  [%10.3fus] %s: ", v.at.us(),
+                    invariant_class_name(v.cls));
+      out += line + v.detail + "\n";
+    }
+    if (total_violations_ > recorded_.size()) {
+      out += "  ... (" + std::to_string(total_violations_ - recorded_.size()) +
+             " further violations not recorded)\n";
+    }
+    return out;
+  }
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.counter_fn(prefix + "/checks", [this] { return checks_; });
+    reg.counter_fn(prefix + "/violations", [this] { return total_violations_; });
+    for (int i = 0; i < kInvariantClasses; ++i) {
+      reg.counter_fn(prefix + "/" + invariant_class_name(static_cast<InvariantClass>(i)),
+                     [this, i] { return by_class_[i]; });
+    }
+  }
+
+ private:
+  // Tolerance for the floating-point registers (counts; far below one).
+  static constexpr double kEps = 1e-6;
+
+  template <typename... Args>
+  void fail(InvariantClass cls, const char* fmt, Args... args) {
+    ++total_violations_;
+    ++by_class_[static_cast<int>(cls)];
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    const sim::Time now = host_.simulator().now();
+    OBS_LOG(obs::LogLevel::kError, now, "faults/invariants", "%s: %s",
+            invariant_class_name(cls), buf);
+    if (recorded_.size() < cfg_.max_recorded) {
+      recorded_.push_back({now, cls, std::string(buf)});
+    }
+  }
+
+  host::HostModel& host_;
+  InvariantConfig cfg_;
+  sim::PeriodicTimer timer_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t total_violations_ = 0;
+  std::uint64_t by_class_[kInvariantClasses] = {0, 0, 0, 0};
+  std::vector<Violation> recorded_;
+  double last_obs_rocc_ = 0.0;
+  double last_obs_rins_ = 0.0;
+  double last_raw_rocc_ = 0.0;
+  double last_raw_rins_ = 0.0;
+};
+
+}  // namespace hostcc::faults

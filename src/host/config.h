@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "sim/time.h"
 #include "sim/units.h"
@@ -182,6 +184,60 @@ struct HostConfig {
 // (§2.2: 1x..3x by increasing MApp cores; 8 cores per socket).
 inline int mapp_cores_for_degree(double degree) {
   return static_cast<int>(degree * 8.0 + 0.5);
+}
+
+// Startup validation: one actionable message per problem. Scenario
+// construction runs this (and the hostcc equivalent) before building any
+// component, so a bad config fails loudly at startup instead of producing
+// a silently miscalibrated run.
+inline std::vector<std::string> validate(const HostConfig& cfg) {
+  std::vector<std::string> errs;
+  const auto positive = [&errs](double v, const char* field) {
+    if (v <= 0.0) {
+      errs.push_back(std::string("host.") + field + " must be > 0 (got " + std::to_string(v) +
+                     ")");
+    }
+  };
+  positive(static_cast<double>(cfg.nic_rx_buffer_bytes), "nic_rx_buffer_bytes");
+  positive(static_cast<double>(cfg.rx_descriptors), "rx_descriptors");
+  positive(cfg.pcie_raw.bits_per_sec(), "pcie_raw");
+  positive(static_cast<double>(cfg.pcie_credit_bytes), "pcie_credit_bytes");
+  positive(static_cast<double>(cfg.dma_chunk_bytes), "dma_chunk_bytes");
+  positive(cfg.dram_bandwidth.bits_per_sec(), "dram_bandwidth");
+  positive(cfg.mc_quantum.sec(), "mc_quantum");
+  positive(static_cast<double>(cfg.net_cores), "net_cores");
+  positive(static_cast<double>(cfg.socket_buffer_bytes), "socket_buffer_bytes");
+  positive(cfg.iio_clock_hz, "iio_clock_hz");
+  if (cfg.dma_chunk_bytes > cfg.pcie_credit_bytes) {
+    errs.push_back("host.dma_chunk_bytes (" + std::to_string(cfg.dma_chunk_bytes) +
+                   ") must not exceed host.pcie_credit_bytes (" +
+                   std::to_string(cfg.pcie_credit_bytes) + "): a single chunk could never clear "
+                   "the credit gate and DMA would deadlock");
+  }
+  if (cfg.tlp_overhead_base < 0.0 || cfg.tlp_overhead_per_packet_bytes < 0.0) {
+    errs.push_back("host.tlp_overhead_* must be >= 0");
+  }
+  if (cfg.iotlb_miss_rate < 0.0 || cfg.iotlb_miss_rate > 1.0) {
+    errs.push_back("host.iotlb_miss_rate must be in [0,1] (got " +
+                   std::to_string(cfg.iotlb_miss_rate) + ")");
+  }
+  for (int i = 0; i < 4; ++i) {
+    if (cfg.mba_level_latency_ns[i] < 0.0) {
+      errs.push_back("host.mba_level_latency_ns[" + std::to_string(i) + "] must be >= 0");
+    }
+    if (i > 0 && cfg.mba_level_latency_ns[i] < cfg.mba_level_latency_ns[i - 1]) {
+      errs.push_back("host.mba_level_latency_ns must be non-decreasing (level " +
+                     std::to_string(i) + " adds less latency than level " +
+                     std::to_string(i - 1) + ")");
+    }
+  }
+  if (cfg.mba_msr_write_latency < sim::Time::zero()) {
+    errs.push_back("host.mba_msr_write_latency must be >= 0");
+  }
+  if (cfg.msr_read_latency_mean < sim::Time::zero() || cfg.msr_read_latency_stddev < sim::Time::zero()) {
+    errs.push_back("host.msr_read_latency_* must be >= 0");
+  }
+  return errs;
 }
 
 }  // namespace hostcc::host

@@ -7,9 +7,17 @@
 //   - the latency-vs-level curve is coarse and non-linear (Fig. 9, [37]);
 //   - a level change takes effect only ~22us after it is requested, the
 //     measured MBA MSR write latency (§4.2/§6), and writes are serialized.
+//
+// Robustness: out-of-range level requests are clamped and logged in every
+// build (no assert-only validation — NDEBUG must not change behaviour),
+// and the FaultInjector can delay or fail the MSR write. A failed write
+// completes after its latency but does not latch; the write-result
+// observer lets HostLocalResponse retry with backoff instead of the
+// throttle silently re-issuing forever.
 #pragma once
 
-#include <cassert>
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 
 #include "host/config.h"
@@ -29,11 +37,26 @@ class MbaThrottle {
 
   // Requests a level change (a single MSR write). Takes effect after the
   // MSR write latency; if a write is already in flight, the most recent
-  // request is applied when the in-flight write completes.
+  // request is applied when the in-flight write completes. Out-of-range
+  // levels are clamped (and counted) rather than trusted — the controller
+  // validates its config at startup, but a buggy policy must degrade to a
+  // legal level, not corrupt the actuator.
   void request_level(int level) {
-    assert(level >= kMinLevel && level <= kMaxLevel);
+    if (level < kMinLevel || level > kMaxLevel) {
+      ++out_of_range_requests_;
+      const int clamped = std::clamp(level, kMinLevel, kMaxLevel);
+      OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "host/mba",
+              "out-of-range level request %d clamped to %d", level, clamped);
+      level = clamped;
+    }
     requested_ = level;
     if (!write_in_flight_) issue_write();
+  }
+
+  // Re-issues the write for the pending request (retry after a failed
+  // write). No-op if a write is in flight or nothing is pending.
+  void retry_write() {
+    if (!write_in_flight_ && requested_ != effective_) issue_write();
   }
 
   // The level currently in force (what the cores actually experience).
@@ -52,15 +75,33 @@ class MbaThrottle {
   }
 
   std::int64_t msr_writes_issued() const { return msr_writes_; }
+  std::uint64_t msr_write_failures() const { return write_failures_; }
+  std::uint64_t out_of_range_requests() const { return out_of_range_requests_; }
 
   // Observer for telemetry (fires when a level takes effect).
   void set_on_level_change(std::function<void(int)> fn) { on_change_ = std::move(fn); }
+  // Fires when an MSR write completes: success (level latched) or failure
+  // (fault-injected; the level did not change). On failure the throttle
+  // does NOT auto-retry — the observer owns the retry/backoff policy.
+  void set_on_write_result(std::function<void(bool ok, int level)> fn) {
+    on_write_result_ = std::move(fn);
+  }
+
+  // --- fault hooks (FaultInjector) ---
+  // While failing, writes complete after their latency without latching.
+  void fault_write_fail(bool on) { write_fail_ = on; }
+  // Multiplies the MSR write latency (1.0 = nominal).
+  void fault_write_delay(double factor) { write_delay_factor_ = factor < 0.0 ? 0.0 : factor; }
+
+  sim::Simulator& simulator() { return sim_; }
 
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
     reg.gauge(prefix + "/effective_level", [this] { return static_cast<double>(effective_); });
     reg.gauge(prefix + "/requested_level", [this] { return static_cast<double>(requested_); });
     reg.counter_fn(prefix + "/msr_writes",
                    [this] { return static_cast<std::uint64_t>(msr_writes_); });
+    reg.counter_fn(prefix + "/msr_write_failures", [this] { return write_failures_; });
+    reg.counter_fn(prefix + "/out_of_range_requests", [this] { return out_of_range_requests_; });
   }
 
  private:
@@ -68,16 +109,26 @@ class MbaThrottle {
     write_in_flight_ = true;
     writing_ = requested_;
     ++msr_writes_;
-    sim_.after(cfg_.mba_msr_write_latency, [this] {
+    const sim::Time latency =
+        sim::Time::seconds(cfg_.mba_msr_write_latency.sec() * write_delay_factor_);
+    sim_.after(latency, [this] {
+      write_in_flight_ = false;
+      if (write_fail_) {
+        ++write_failures_;
+        OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "host/mba",
+                "MSR write for level %d failed (fault-injected)", writing_);
+        if (on_write_result_) on_write_result_(false, writing_);
+        return;  // no latch, no auto-retry: the observer decides
+      }
       const int prev = effective_;
       effective_ = writing_;
-      write_in_flight_ = false;
       if (effective_ != prev) {
         OBS_LOG(obs::LogLevel::kInfo, sim_.now(), "host/mba", "level %d -> %d", prev,
                 effective_);
       }
       if (on_change_) on_change_(effective_);
-      if (requested_ != effective_) issue_write();  // apply latest request
+      if (on_write_result_) on_write_result_(true, effective_);
+      if (requested_ != effective_ && !write_in_flight_) issue_write();  // apply latest request
     });
   }
 
@@ -88,7 +139,12 @@ class MbaThrottle {
   int writing_ = 0;
   bool write_in_flight_ = false;
   std::int64_t msr_writes_ = 0;
+  std::uint64_t write_failures_ = 0;
+  std::uint64_t out_of_range_requests_ = 0;
+  bool write_fail_ = false;
+  double write_delay_factor_ = 1.0;
   std::function<void(int)> on_change_;
+  std::function<void(bool, int)> on_write_result_;
 };
 
 }  // namespace hostcc::host

@@ -5,9 +5,17 @@
 // plus the TSC. Reads cost realistic latency (~600ns for MSRs, ~2ns TSC)
 // but are off the NIC-to-memory datapath: they never contend for DRAM
 // bandwidth, which is the property §3.1 highlights (Fig. 7).
+//
+// Real MSR reads misbehave: they can stall for tens of microseconds (SMI,
+// bus contention), return frozen values (counter latch wedged), or tear
+// (non-atomic 64-bit read observing a mix of old and new halves). The
+// fault hooks below model those failure modes for the FaultInjector; the
+// underlying registers keep integrating truthfully so the InvariantChecker
+// can distinguish a corrupted *read* from a corrupted *counter*.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "host/config.h"
 #include "sim/random.h"
@@ -40,8 +48,16 @@ class MsrBank {
   };
 
   // Reading an MSR is slow (§4.1: "<~600ns per MSR read call").
-  Read read_rocc() { return {rocc_, msr_latency()} ; }
-  Read read_rins() { return {rins_, msr_latency()}; }
+  Read read_rocc() {
+    const double v = observe(rocc_, frozen_rocc_);
+    if (on_read_) on_read_('o', v);
+    return {v, msr_latency()};
+  }
+  Read read_rins() {
+    const double v = observe(rins_, frozen_rins_);
+    if (on_read_) on_read_('i', v);
+    return {v, msr_latency()};
+  }
 
   // Reading the TSC is nearly free (§4.1: "<2ns").
   Read read_tsc() {
@@ -50,14 +66,57 @@ class MsrBank {
 
   double iio_clock_hz() const { return iio_clock_hz_; }
 
-  // Raw accessors for tests.
+  // Raw accessors for tests and the invariant checker (always truthful,
+  // regardless of injected read faults).
   double rocc_raw() const { return rocc_; }
   double rins_raw() const { return rins_; }
 
+  // --- fault hooks (FaultInjector) ---
+
+  // Adds `extra` to every subsequent MSR read's latency (zero clears).
+  void fault_stall(sim::Time extra) { stall_extra_ = extra; }
+  sim::Time stalled_by() const { return stall_extra_; }
+
+  // Freezes ROCC/RINS reads at their current values until cleared.
+  void fault_freeze(bool on) {
+    if (on && !frozen_) {
+      frozen_rocc_ = rocc_;
+      frozen_rins_ = rins_;
+    }
+    frozen_ = on;
+  }
+  bool frozen() const { return frozen_; }
+
+  // Each subsequent read is corrupted (torn) with probability `prob`. The
+  // corruption stream uses its own rng so fault runs stay deterministic
+  // without perturbing the latency jitter stream.
+  void fault_torn(double prob, std::uint64_t seed) {
+    torn_prob_ = prob;
+    if (prob > 0.0) fault_rng_ = sim::Rng(seed);
+  }
+  double torn_probability() const { return torn_prob_; }
+
+  // Observer invoked with every observed (possibly faulty) ROCC ('o') /
+  // RINS ('i') read value; the InvariantChecker uses it to verify that the
+  // values software acts on are monotonic.
+  void set_read_observer(std::function<void(char reg, double value)> fn) {
+    on_read_ = std::move(fn);
+  }
+
  private:
   sim::Time msr_latency() {
-    return sim::Time::nanoseconds(rng_.normal_nonneg(
+    return stall_extra_ + sim::Time::nanoseconds(rng_.normal_nonneg(
         cfg_.msr_read_latency_mean.ns(), cfg_.msr_read_latency_stddev.ns()));
+  }
+
+  double observe(double live, double frozen) {
+    double v = frozen_ ? frozen : live;
+    if (torn_prob_ > 0.0 && fault_rng_.bernoulli(torn_prob_)) {
+      // A torn 64-bit read mixes a stale high half with a fresh low half:
+      // the observed value regresses by an arbitrary fraction.
+      v *= 1.0 - fault_rng_.uniform(0.0, 0.5);
+    }
+    return v;
   }
 
   sim::Simulator& sim_;
@@ -67,6 +126,15 @@ class MsrBank {
   double rocc_ = 0.0;
   double rins_ = 0.0;
   sim::Time last_integrate_ = sim::Time::zero();
+
+  // Fault state.
+  sim::Time stall_extra_ = sim::Time::zero();
+  bool frozen_ = false;
+  double frozen_rocc_ = 0.0;
+  double frozen_rins_ = 0.0;
+  double torn_prob_ = 0.0;
+  sim::Rng fault_rng_{0};
+  std::function<void(char, double)> on_read_;
 };
 
 }  // namespace hostcc::host

@@ -105,6 +105,7 @@ void NicRx::start_next_chunk() {
   }
 
   dma_sent_ += wire_chunk;
+  dma_wire_bytes_ += wire_chunk;
   const bool last = dma_sent_ == dma_pkt_.size;
   const net::Packet pkt = dma_pkt_;
   const LlcDdio::Placement place = dma_place_;

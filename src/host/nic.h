@@ -54,6 +54,8 @@ class NicRx {
                    [this] { return static_cast<std::uint64_t>(stats_.arrived_bytes); });
     reg.counter_fn(prefix + "/dropped_bytes",
                    [this] { return static_cast<std::uint64_t>(stats_.dropped_bytes); });
+    reg.counter_fn(prefix + "/dma_wire_bytes",
+                   [this] { return static_cast<std::uint64_t>(dma_wire_bytes_); });
     reg.counter_fn(prefix + "/descriptor_stalls", [this] { return stats_.descriptor_stalls; });
     reg.counter_fn(prefix + "/credit_stalls", [this] { return stats_.credit_stalls; });
     reg.gauge(prefix + "/queued_bytes", [this] { return static_cast<double>(q_bytes_); });
@@ -82,6 +84,14 @@ class NicRx {
   sim::Bytes pcie_credits_available() const;
   sim::Bytes in_transit_bytes() const { return in_transit_; }
 
+  // Wire-byte ledger for the invariant checker: every arrived byte is
+  // either dropped, still queued, awaiting DMA of the current packet, or
+  // has been chunked onto PCIe.
+  sim::Bytes dma_wire_bytes() const { return dma_wire_bytes_; }
+  sim::Bytes dma_remaining_bytes() const {
+    return dma_active_ ? dma_pkt_.size - dma_sent_ : 0;
+  }
+
   // Queueing delay tap (time from arrival to DMA start), for Fig. 4 analysis.
   const sim::Histogram& queueing_delay() const { return queue_delay_hist_; }
 
@@ -108,7 +118,8 @@ class NicRx {
   // In-progress DMA state.
   bool dma_active_ = false;
   net::Packet dma_pkt_;
-  sim::Bytes dma_sent_ = 0;        // wire bytes already chunked out
+  sim::Bytes dma_sent_ = 0;        // wire bytes already chunked out (this packet)
+  sim::Bytes dma_wire_bytes_ = 0;  // wire bytes ever chunked onto PCIe
   sim::Bytes in_transit_ = 0;      // credit bytes on the PCIe wire
   LlcDdio::Placement dma_place_;
 

@@ -7,11 +7,24 @@
 //      receiver ingress hook).
 // Either mechanism can be disabled independently (the Fig. 18 ablation),
 // and the policy producing B_T is pluggable.
+//
+// Graceful degradation: a watchdog timer (independent of the sampler, so
+// it keeps beating when the sampler thread is preempted) checks signal
+// health every watchdog.period. When the signals go dark — no completed
+// sample within watchdog.stale_timeout, or the registers frozen — the
+// controller suspends the regime logic and forces the configured
+// safe-fallback MBA level: a stale "all clear" must not unthrottle the
+// host-local class in the middle of real congestion, and a stale "panic"
+// must not pin it at pause. When fresh samples flow again the controller
+// releases the fallback and normal control resumes. Every transition is
+// recorded through the decision log and the metrics registry.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "host/host.h"
 #include "hostcc/ecn_echo.h"
@@ -19,9 +32,26 @@
 #include "hostcc/response.h"
 #include "hostcc/signals.h"
 #include "obs/decision_log.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace hostcc::core {
+
+struct WatchdogConfig {
+  bool enabled = true;
+  // Cadence of the health check. Must be >> the sampler period (~1.3us)
+  // and << the control timescales it protects.
+  sim::Time period = sim::Time::microseconds(10);
+  // Signals older than this are stale. Nominal signal age is ~1.3us, but
+  // under heavy throttle churn a fault-free iteration's four serialized
+  // MSR reads can each wait out a 22us in-flight MBA write (~90us total),
+  // so the default must clear that before declaring the signals dark.
+  sim::Time stale_timeout = sim::Time::microseconds(150);
+  // MBA level to force while degraded. Level 2 keeps host-local traffic
+  // alive but bounded — safe whether the blackout hides congestion or
+  // idleness (docs/ROBUSTNESS.md discusses the choice).
+  int fallback_level = 2;
+};
 
 struct HostCcConfig {
   double iio_threshold = 70.0;  // I_T (the paper uses 50 when DDIO is on)
@@ -29,7 +59,47 @@ struct HostCcConfig {
   SignalConfig signals;
   bool local_response_enabled = true;  // idea 2 (Fig. 18: "host-local")
   bool echo_enabled = true;            // idea 3 (Fig. 18: "echo")
+  WatchdogConfig watchdog;
+  ResponseConfig response_tuning;      // retry/backoff bounds (threshold and
+                                       // enabled are taken from the fields above)
 };
+
+// Startup validation with actionable messages (one per problem). Catches
+// the configs that would otherwise produce silently wrong control: a
+// fallback level outside the MBA range, EWMA weights outside (0,1], a
+// watchdog that can never fire.
+inline std::vector<std::string> validate(const HostCcConfig& cfg) {
+  std::vector<std::string> errs;
+  if (cfg.iio_threshold <= 0.0)
+    errs.push_back("hostcc.iio_threshold must be > 0 cachelines (got " +
+                   std::to_string(cfg.iio_threshold) + ")");
+  if (cfg.target_bandwidth.bits_per_sec() <= 0.0)
+    errs.push_back("hostcc.target_bandwidth must be > 0");
+  for (const auto& [w, name] : {std::pair{cfg.signals.is_ewma_weight, "is_ewma_weight"},
+                                std::pair{cfg.signals.bs_ewma_weight, "bs_ewma_weight"}}) {
+    if (w <= 0.0 || w > 1.0)
+      errs.push_back(std::string("hostcc.signals.") + name + " must be in (0,1] (got " +
+                     std::to_string(w) + ")");
+  }
+  if (cfg.signals.freeze_samples < 1)
+    errs.push_back("hostcc.signals.freeze_samples must be >= 1");
+  if (cfg.watchdog.enabled) {
+    if (cfg.watchdog.period <= sim::Time::zero())
+      errs.push_back("hostcc.watchdog.period must be > 0");
+    if (cfg.watchdog.stale_timeout <= sim::Time::zero())
+      errs.push_back("hostcc.watchdog.stale_timeout must be > 0");
+    if (cfg.watchdog.fallback_level < host::MbaThrottle::kMinLevel ||
+        cfg.watchdog.fallback_level > host::MbaThrottle::kMaxLevel)
+      errs.push_back("hostcc.watchdog.fallback_level must be an MBA level 0.." +
+                     std::to_string(host::MbaThrottle::kMaxLevel) + " (got " +
+                     std::to_string(cfg.watchdog.fallback_level) + ")");
+  }
+  if (cfg.response_tuning.max_write_retries < 0)
+    errs.push_back("hostcc.response_tuning.max_write_retries must be >= 0");
+  if (cfg.response_tuning.retry_backoff <= sim::Time::zero())
+    errs.push_back("hostcc.response_tuning.retry_backoff must be > 0");
+  return errs;
+}
 
 class HostCcController {
  public:
@@ -42,20 +112,39 @@ class HostCcController {
                        : std::make_unique<FixedTargetPolicy>(cfg.target_bandwidth)),
         sampler_(host, cfg.signals),
         response_(host.mba(), sampler_, *policy_,
-                  {.iio_threshold = cfg.iio_threshold, .enabled = cfg.local_response_enabled}),
-        echo_(sampler_, {.iio_threshold = cfg.iio_threshold, .enabled = cfg.echo_enabled}) {
+                  [&cfg] {
+                    ResponseConfig rc = cfg.response_tuning;
+                    rc.iio_threshold = cfg.iio_threshold;
+                    rc.enabled = cfg.local_response_enabled;
+                    return rc;
+                  }()),
+        echo_(sampler_, {.iio_threshold = cfg.iio_threshold, .enabled = cfg.echo_enabled}),
+        watchdog_(host.simulator(), cfg.watchdog.period, [this] { watchdog_tick(); }) {
     host_.set_ingress_filter([this](net::Packet& p) { echo_.filter(p); });
     sampler_.set_on_sample([this] { on_sample(); });
+    response_.set_on_actuation_event(
+        [this](obs::DecisionReason r) { record_event(r); });
   }
 
-  void start() { sampler_.start(); }
-  void stop() { sampler_.stop(); }
+  void start() {
+    sampler_.start();
+    if (cfg_.watchdog.enabled) watchdog_.start();
+  }
+  void stop() {
+    sampler_.stop();
+    watchdog_.stop();
+  }
 
   SignalSampler& sampler() { return sampler_; }
   HostLocalResponse& response() { return response_; }
   EcnEcho& echo() { return echo_; }
   AllocationPolicy& policy() { return *policy_; }
   const HostCcConfig& config() const { return cfg_; }
+
+  // True while the watchdog holds the controller in safe-fallback mode.
+  bool degraded() const { return degraded_; }
+  std::uint64_t fallbacks() const { return fallbacks_; }
+  std::uint64_t recoveries() const { return recoveries_; }
 
   // Decision telemetry: every sampler tick produces one obs::Decision
   // (I_S, B_S, B_T, MBA levels, transition reason). Attach a log to keep
@@ -68,10 +157,14 @@ class HostCcController {
 
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
     sampler_.register_metrics(reg, prefix + "/signals");
+    response_.register_metrics(reg, prefix + "/response");
     reg.counter_fn(prefix + "/level_ups", [this] { return response_.level_ups(); });
     reg.counter_fn(prefix + "/level_downs", [this] { return response_.level_downs(); });
     reg.counter_fn(prefix + "/ecn_marked", [this] { return echo_.packets_marked(); });
     reg.counter_fn(prefix + "/ecn_seen", [this] { return echo_.packets_seen(); });
+    reg.counter_fn(prefix + "/fallbacks", [this] { return fallbacks_; });
+    reg.counter_fn(prefix + "/recoveries", [this] { return recoveries_; });
+    reg.gauge(prefix + "/degraded", [this] { return degraded_ ? 1.0 : 0.0; });
     reg.gauge(prefix + "/target_gbps", [this] {
       return policy_->target_bandwidth(host_.simulator().now()).as_gbps();
     });
@@ -81,6 +174,38 @@ class HostCcController {
   void on_sample() {
     const sim::Time now = host_.simulator().now();
     const obs::DecisionReason reason = response_.evaluate(now);
+    record(reason, now);
+  }
+
+  void watchdog_tick() {
+    const sim::Time now = host_.simulator().now();
+    const bool stale =
+        sampler_.signal_age(now) > cfg_.watchdog.stale_timeout || sampler_.frozen();
+    if (stale && !degraded_) {
+      degraded_ = true;
+      ++fallbacks_;
+      response_.set_degraded(true);
+      response_.force_level(cfg_.watchdog.fallback_level);
+      OBS_LOG(obs::LogLevel::kWarn, now, "hostcc/watchdog",
+              "signals dark (age %.1fus, frozen=%d): falling back to MBA level %d",
+              sampler_.signal_age(now).us(), sampler_.frozen() ? 1 : 0,
+              cfg_.watchdog.fallback_level);
+      record(obs::DecisionReason::kFallback, now);
+    } else if (!stale && degraded_) {
+      degraded_ = false;
+      ++recoveries_;
+      response_.set_degraded(false);
+      OBS_LOG(obs::LogLevel::kInfo, now, "hostcc/watchdog",
+              "signals recovered: releasing fallback, resuming control");
+      record(obs::DecisionReason::kRecovered, now);
+    }
+  }
+
+  void record_event(obs::DecisionReason reason) {
+    record(reason, host_.simulator().now());
+  }
+
+  void record(obs::DecisionReason reason, sim::Time now) {
     if (decision_log_ == nullptr && !on_decision_) return;
     obs::Decision d;
     d.at = now;
@@ -100,8 +225,12 @@ class HostCcController {
   SignalSampler sampler_;
   HostLocalResponse response_;
   EcnEcho echo_;
+  sim::PeriodicTimer watchdog_;
   obs::DecisionLog* decision_log_ = nullptr;
   std::function<void(const obs::Decision&)> on_decision_;
+  bool degraded_ = false;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace hostcc::core

@@ -14,32 +14,50 @@
 // Steps are one level at a time and gated on the previous MBA MSR write
 // having taken effect (~22us), which produces the level-3/level-4
 // oscillation of Fig. 19.
+//
+// Actuation is bounded: when an MBA MSR write fails (fault-injected, or on
+// real hardware a write that does not latch), the response retries with
+// exponential backoff up to max_write_retries, then gives up until the
+// next regime transition asks for a level again — it never spins on the
+// serialized (and slow, ~22us) MSR write path. While the controller's
+// watchdog has declared the signals stale (set_degraded), regime logic is
+// suspended entirely: stale inputs must not drive the actuator.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "host/mba.h"
 #include "hostcc/policy.h"
 #include "hostcc/signals.h"
 #include "obs/decision_log.h"
+#include "sim/simulator.h"
 
 namespace hostcc::core {
 
 struct ResponseConfig {
   double iio_threshold = 70.0;  // I_T, cachelines (50 when DDIO is on, §5.2)
   bool enabled = true;
+  // Retry/backoff bounds for failed MBA MSR writes. The first retry waits
+  // retry_backoff, doubling each attempt; after max_write_retries failures
+  // the pending request is abandoned (kActuationFailed).
+  int max_write_retries = 6;
+  sim::Time retry_backoff = sim::Time::microseconds(22);
 };
 
 class HostLocalResponse {
  public:
   HostLocalResponse(host::MbaThrottle& mba, const SignalSampler& signals,
                     AllocationPolicy& policy, ResponseConfig cfg)
-      : mba_(mba), signals_(signals), policy_(policy), cfg_(cfg) {}
+      : mba_(mba), signals_(signals), policy_(policy), cfg_(cfg) {
+    mba_.set_on_write_result([this](bool ok, int level) { on_write_result(ok, level); });
+  }
 
   // Called on every sampler tick. Returns why the tick did (or didn't)
   // move the MBA level — the hostCC decision log records it verbatim.
   obs::DecisionReason evaluate(sim::Time now) {
     if (!cfg_.enabled) return obs::DecisionReason::kDisabled;
+    if (degraded_) return obs::DecisionReason::kDegradedHold;
     const bool host_congested = signals_.is_value() > cfg_.iio_threshold;
     const bool target_met = signals_.bs_value() >= policy_.target_bandwidth(now);
 
@@ -51,7 +69,7 @@ class HostLocalResponse {
 
     if (host_congested && !target_met) {
       if (mba_.effective_level() < host::MbaThrottle::kMaxLevel) {
-        mba_.request_level(mba_.effective_level() + 1);
+        request(mba_.effective_level() + 1);
         ++level_ups_;
         return obs::DecisionReason::kThrottleUp;
       }
@@ -59,7 +77,7 @@ class HostLocalResponse {
     }
     if (!host_congested && target_met) {
       if (mba_.effective_level() > host::MbaThrottle::kMinLevel) {
-        mba_.request_level(mba_.effective_level() - 1);
+        request(mba_.effective_level() - 1);
         ++level_downs_;
         return obs::DecisionReason::kThrottleDown;
       }
@@ -70,18 +88,73 @@ class HostLocalResponse {
                           : obs::DecisionReason::kHoldTargetMissed;
   }
 
+  // Forces a level outside the regime logic (the watchdog's safe-fallback
+  // path). Resets the retry budget: a fallback request deserves its full
+  // retry allowance even if a previous request just exhausted its own.
+  void force_level(int level) {
+    request(level);
+  }
+
+  // Watchdog verdict: while degraded, evaluate() holds every tick.
+  void set_degraded(bool on) { degraded_ = on; }
+  bool degraded() const { return degraded_; }
+
+  // Fires on retry/exhaustion transitions so the controller can record
+  // them in the decision log.
+  void set_on_actuation_event(std::function<void(obs::DecisionReason)> fn) {
+    on_actuation_event_ = std::move(fn);
+  }
+
   const ResponseConfig& config() const { return cfg_; }
   void set_threshold(double it) { cfg_.iio_threshold = it; }
   std::uint64_t level_ups() const { return level_ups_; }
   std::uint64_t level_downs() const { return level_downs_; }
+  std::uint64_t write_retries() const { return write_retries_; }
+  std::uint64_t retries_exhausted() const { return retries_exhausted_; }
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.counter_fn(prefix + "/write_retries", [this] { return write_retries_; });
+    reg.counter_fn(prefix + "/retries_exhausted", [this] { return retries_exhausted_; });
+  }
 
  private:
+  void request(int level) {
+    retries_left_ = cfg_.max_write_retries;
+    backoff_ = cfg_.retry_backoff;
+    mba_.request_level(level);
+  }
+
+  void on_write_result(bool ok, int level) {
+    (void)level;
+    if (ok) {
+      retries_left_ = cfg_.max_write_retries;
+      backoff_ = cfg_.retry_backoff;
+      return;
+    }
+    if (retries_left_ <= 0) {
+      ++retries_exhausted_;
+      if (on_actuation_event_) on_actuation_event_(obs::DecisionReason::kActuationFailed);
+      return;
+    }
+    --retries_left_;
+    ++write_retries_;
+    if (on_actuation_event_) on_actuation_event_(obs::DecisionReason::kWriteRetry);
+    mba_.simulator().after(backoff_, [this] { mba_.retry_write(); });
+    backoff_ = backoff_ + backoff_;  // exponential
+  }
+
   host::MbaThrottle& mba_;
   const SignalSampler& signals_;
   AllocationPolicy& policy_;
   ResponseConfig cfg_;
+  bool degraded_ = false;
   std::uint64_t level_ups_ = 0;
   std::uint64_t level_downs_ = 0;
+  std::uint64_t write_retries_ = 0;
+  std::uint64_t retries_exhausted_ = 0;
+  int retries_left_ = 6;
+  sim::Time backoff_ = sim::Time::microseconds(22);
+  std::function<void(obs::DecisionReason)> on_actuation_event_;
 };
 
 }  // namespace hostcc::core

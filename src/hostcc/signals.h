@@ -8,6 +8,19 @@
 // B_S, §4.1). The loop's cadence is bounded by the MSR read latency
 // (~600ns per register), so signals update at sub-microsecond timescales,
 // independent of host congestion (Fig. 7) — the reads are off-datapath.
+//
+// Robustness: the sampler tracks its own health so the controller's
+// watchdog can tell "signals say all-clear" apart from "signals are dead".
+//   - signal_age(now): time since the last completed sample. Grows when
+//     the sampling thread is preempted (preempt_for) or MSR reads stall.
+//   - frozen(): consecutive samples whose register deltas are exactly zero.
+//     From inside the sampler a wedged counter latch and an idle datapath
+//     look identical, so the watchdog disambiguates against ground truth
+//     (PCIe bytes moving while the registers claim stillness — see
+//     docs/ROBUSTNESS.md).
+//   - zero-elapsed TSC intervals (frozen TSC, or two reads landing at the
+//     same instant under fault injection) are counted and skipped instead
+//     of dividing by zero.
 #pragma once
 
 #include <functional>
@@ -32,12 +45,19 @@ struct SignalConfig {
   double bs_ewma_weight = 1.0 / 32.0;
   // Extra software overhead per sampling iteration beyond the MSR reads.
   sim::Time loop_overhead = sim::Time::nanoseconds(100);
+  // Freeze detection: report the registers still after this many
+  // consecutive zero-delta samples. The sampler alone cannot tell a
+  // wedged counter latch from a genuinely idle datapath — the
+  // controller's watchdog disambiguates by checking whether PCIe bytes
+  // actually moved while the registers claimed stillness.
+  int freeze_samples = 16;
 };
 
 class SignalSampler {
  public:
   SignalSampler(host::HostModel& host, SignalConfig cfg = {})
       : sim_(host.simulator()),
+        host_(host),
         msrs_(host.msrs()),
         cfg_(cfg),
         is_ewma_(cfg.is_ewma_weight),
@@ -51,10 +71,21 @@ class SignalSampler {
     prev_tsc_bs_ = prev_tsc_is_;
     prev_rocc_ = msrs_.read_rocc().value;
     prev_rins_ = msrs_.read_rins().value;
+    prev_wire_ = host_.pcie().transferred_bytes();
+    last_sample_at_ = sim_.now();
     sim_.after(cfg_.loop_overhead, [this] { sample(); });
   }
 
   void stop() { running_ = false; }
+
+  // Emulates scheduler preemption of the sampling thread (the paper's
+  // kernel thread is not immune to it): no new sampling iteration starts
+  // before now + d. Extends any pause already in force.
+  void preempt_for(sim::Time d) {
+    const sim::Time until = sim_.now() + d;
+    if (until > paused_until_) paused_until_ = until;
+    ++preemptions_;
+  }
 
   // Smoothed signals (what the congestion response consumes).
   double is_value() const { return is_ewma_.value(); }          // cachelines
@@ -74,6 +105,20 @@ class SignalSampler {
   double is_raw() const { return is_raw_; }
   sim::Bandwidth bs_raw() const { return sim::Bandwidth::bits_per_sec(bs_raw_); }
 
+  // --- signal health (stale-signal watchdog inputs) ---
+
+  // Time since the last completed sampling iteration.
+  sim::Time signal_age(sim::Time now) const { return now - last_sample_at_; }
+  sim::Time last_sample_at() const { return last_sample_at_; }
+
+  // True when the registers have produced `freeze_samples` consecutive
+  // zero-delta readings over intervals where PCIe bytes actually moved —
+  // the signature of a wedged counter latch, not an idle datapath.
+  bool frozen() const { return freeze_run_ >= cfg_.freeze_samples; }
+
+  std::uint64_t zero_interval_samples() const { return zero_dt_samples_; }
+  std::uint64_t preemptions() const { return preemptions_; }
+
   // Measurement-latency distributions (Fig. 7).
   const sim::Histogram& is_read_latency() const { return is_read_lat_; }
   const sim::Histogram& bs_read_latency() const { return bs_read_lat_; }
@@ -89,6 +134,10 @@ class SignalSampler {
     reg.gauge(prefix + "/is_cachelines", [this] { return is_value(); });
     reg.gauge(prefix + "/bs_gbps", [this] { return bs_value().as_gbps(); });
     reg.gauge(prefix + "/host_delay_ns", [this] { return host_delay().ns(); });
+    reg.gauge(prefix + "/signal_age_us", [this] { return signal_age(sim_.now()).us(); });
+    reg.gauge(prefix + "/frozen", [this] { return frozen() ? 1.0 : 0.0; });
+    reg.counter_fn(prefix + "/zero_interval_samples", [this] { return zero_dt_samples_; });
+    reg.counter_fn(prefix + "/preemptions", [this] { return preemptions_; });
     reg.histogram(prefix + "/is_read_latency_ps", &is_read_lat_);
     reg.histogram(prefix + "/bs_read_latency_ps", &bs_read_lat_);
   }
@@ -96,38 +145,61 @@ class SignalSampler {
  private:
   void sample() {
     if (!running_) return;
+    // Preempted: resume the loop when the scheduler gives the thread back.
+    if (sim_.now() < paused_until_) {
+      sim_.at(paused_until_, [this] { sample(); });
+      return;
+    }
     // Read TSC + ROCC, then TSC + RINS, modelling the serialized register
     // reads of §4.1; each signal's measurement latency is its reads' cost.
     const auto tsc = msrs_.read_tsc();
     const auto rocc = msrs_.read_rocc();
+    // Ground truth captured at the same instant as the register reads, so
+    // the freeze check compares stillness and movement over one interval.
+    const sim::Bytes wire = host_.pcie().transferred_bytes();
     const sim::Time is_cost = tsc.latency + rocc.latency;
     is_read_lat_.record_time(is_cost);
 
-    sim_.after(is_cost, [this, tsc, rocc] {
+    sim_.after(is_cost, [this, tsc, rocc, wire] {
       const auto tsc2 = msrs_.read_tsc();
       const auto rins = msrs_.read_rins();
       const sim::Time bs_cost = tsc2.latency + rins.latency;
       bs_read_lat_.record_time(bs_cost);
 
-      sim_.after(bs_cost + cfg_.loop_overhead, [this, tsc, rocc, tsc2, rins] {
+      sim_.after(bs_cost + cfg_.loop_overhead, [this, tsc, rocc, tsc2, rins, wire] {
         // Each register delta is divided by the elapsed time between *its
         // own* paired TSC reads — mixing baselines would bias the signals.
+        // A zero (or negative) elapsed interval means the TSC itself is
+        // faulty; the iteration is counted but must not divide by it.
         const double dt_is = (tsc.value - prev_tsc_is_) * 1e-12;  // TSC in ps
         const double dt_bs = (tsc2.value - prev_tsc_bs_) * 1e-12;
-        if (dt_is > 0) {
-          is_raw_ = (rocc.value - prev_rocc_) / (dt_is * msrs_.iio_clock_hz());
+        if (dt_is <= 0.0 || dt_bs <= 0.0) ++zero_dt_samples_;
+        const double d_rocc = rocc.value - prev_rocc_;
+        const double d_rins = rins.value - prev_rins_;
+        if (dt_is > 0.0) {
+          is_raw_ = d_rocc / (dt_is * msrs_.iio_clock_hz());
           is_ewma_.add(is_raw_);
         }
-        if (dt_bs > 0) {
-          bs_raw_ = (rins.value - prev_rins_) * static_cast<double>(sim::kCacheline) * 8.0 /
-                    dt_bs;
+        if (dt_bs > 0.0) {
+          bs_raw_ = d_rins * static_cast<double>(sim::kCacheline) * 8.0 / dt_bs;
           bs_ewma_.add(bs_raw_);
         }
+        // Freeze run: both registers exactly still over an interval where
+        // the PCIe ground truth moved. An idle (or MBA-paused) datapath
+        // produces zero deltas AND zero wire bytes, so it never extends
+        // the run; only a wedged latch claims stillness while bytes flow.
+        if (d_rocc == 0.0 && d_rins == 0.0 && wire > prev_wire_) {
+          if (freeze_run_ < cfg_.freeze_samples) ++freeze_run_;
+        } else if (d_rocc != 0.0 || d_rins != 0.0) {
+          freeze_run_ = 0;
+        }
+        prev_wire_ = wire;
         prev_tsc_is_ = tsc.value;
         prev_tsc_bs_ = tsc2.value;
         prev_rocc_ = rocc.value;
         prev_rins_ = rins.value;
         ++samples_;
+        last_sample_at_ = sim_.now();
         if (on_sample_) on_sample_();
         sample();
       });
@@ -135,6 +207,7 @@ class SignalSampler {
   }
 
   sim::Simulator& sim_;
+  host::HostModel& host_;
   host::MsrBank& msrs_;
   SignalConfig cfg_;
 
@@ -152,6 +225,12 @@ class SignalSampler {
   sim::Histogram bs_read_lat_;
   std::function<void()> on_sample_;
   std::uint64_t samples_ = 0;
+  std::uint64_t zero_dt_samples_ = 0;
+  std::uint64_t preemptions_ = 0;
+  int freeze_run_ = 0;
+  sim::Bytes prev_wire_ = 0;
+  sim::Time last_sample_at_ = sim::Time::zero();
+  sim::Time paused_until_ = sim::Time::zero();
   bool running_ = false;
 };
 

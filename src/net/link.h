@@ -1,6 +1,11 @@
 // A unidirectional link: serialization at a fixed rate plus propagation
 // delay, with an unbounded FIFO (senders self-limit via TCP; the bounded,
 // ECN-marking queue lives in the switch).
+//
+// Fault surface (FaultInjector): the link can lose carrier (set_down —
+// frames queue but nothing serializes, like a flapping port with NIC-side
+// buffering) or degrade (set_rate_factor — serialization slows, modelling
+// a renegotiated lower line rate). Both are deterministic and reversible.
 #pragma once
 
 #include <deque>
@@ -9,6 +14,8 @@
 #include <utility>
 
 #include "net/packet.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 #include "sim/units.h"
@@ -30,25 +37,59 @@ class Link {
   void send(const Packet& p) {
     meter_.add(p.size);
     q_.push_back(p);
-    if (!busy_) transmit_next();
+    if (!busy_ && !down_) transmit_next();
   }
+
+  // --- fault hooks ---
+
+  // Carrier loss: while down, frames stay queued and nothing serializes.
+  // A frame mid-serialization completes (the PHY finishes the symbol).
+  void set_down(bool down) {
+    if (down == down_) return;
+    down_ = down;
+    OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "net/link", "%s carrier %s", name_.c_str(),
+            down ? "lost" : "restored");
+    if (down) {
+      ++flaps_;
+    } else if (!busy_) {
+      transmit_next();
+    }
+  }
+  bool down() const { return down_; }
+
+  // Degraded line rate: serialization runs at rate * factor (factor in
+  // (0, 1]; 1.0 restores the nominal rate).
+  void set_rate_factor(double factor) {
+    rate_factor_ = factor <= 0.0 ? 1.0 : factor;
+    OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "net/link", "%s rate factor %.3f", name_.c_str(),
+            rate_factor_);
+  }
+  double rate_factor() const { return rate_factor_; }
 
   const std::string& name() const { return name_; }
   sim::Bandwidth rate() const { return rate_; }
   sim::Time propagation() const { return prop_; }
   sim::IntervalMeter& meter() { return meter_; }
   std::size_t queue_len() const { return q_.size(); }
+  std::uint64_t flaps() const { return flaps_; }
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.gauge(prefix + "/queue_len", [this] { return static_cast<double>(q_.size()); });
+    reg.gauge(prefix + "/down", [this] { return down_ ? 1.0 : 0.0; });
+    reg.gauge(prefix + "/rate_factor", [this] { return rate_factor_; });
+    reg.counter_fn(prefix + "/flaps", [this] { return flaps_; });
+  }
 
  private:
   void transmit_next() {
-    if (q_.empty()) {
+    if (q_.empty() || down_) {
       busy_ = false;
       return;
     }
     busy_ = true;
     const Packet p = q_.front();
     q_.pop_front();
-    sim_.after(rate_.transfer_time(p.size), [this, p] {
+    sim_.after((rate_ * rate_factor_).transfer_time(p.size), [this, p] {
       sim_.after(prop_, [this, p] {
         if (sink_) sink_(p);
       });
@@ -65,6 +106,9 @@ class Link {
   SinkFn on_dequeue_;
   std::deque<Packet> q_;
   bool busy_ = false;
+  bool down_ = false;
+  double rate_factor_ = 1.0;
+  std::uint64_t flaps_ = 0;
   sim::IntervalMeter meter_;
 };
 

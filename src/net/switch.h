@@ -1,6 +1,10 @@
 // Output-queued switch with DCTCP-style ECN marking (mark on enqueue when
 // the output queue exceeds threshold K) and drop-tail queues. This is the
 // locus of *network fabric* congestion; host congestion lives in host/.
+//
+// Fault surface (FaultInjector): an output port can be taken down —
+// transmission halts, the queue fills, and drop-tail takes over, exactly
+// what a wedged egress port does to a real fabric.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +15,8 @@
 #include <utility>
 
 #include "net/packet.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/units.h"
@@ -47,7 +53,19 @@ class Switch {
   // Packet arriving on any input port.
   void ingress(const Packet& p) {
     auto it = ports_.find(p.dst);
-    if (it == ports_.end()) return;  // no route: drop silently
+    if (it == ports_.end()) {
+      // A no-route packet indicates a miswired topology or a corrupted
+      // destination — never silently ignorable.
+      if (no_route_drops_ == 0) {
+        OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "net/switch",
+                "dropping packet for unknown host %llu (flow %llu); "
+                "counting further no-route drops silently",
+                static_cast<unsigned long long>(p.dst),
+                static_cast<unsigned long long>(p.flow));
+      }
+      ++no_route_drops_;
+      return;
+    }
     Port& port = it->second;
 
     if (port.q_bytes + p.size > cfg_.port_buffer) {
@@ -61,7 +79,7 @@ class Switch {
     }
     port.q.push_back(q);
     port.q_bytes += q.size;
-    if (!port.busy) transmit_next(port);
+    if (!port.busy && !port.down) transmit_next(port);
   }
 
   struct PortStats {
@@ -75,19 +93,53 @@ class Switch {
     return {it->second.drops, it->second.marks, it->second.q_bytes};
   }
 
+  std::uint64_t no_route_drops() const { return no_route_drops_; }
+
+  // --- fault hooks ---
+
+  // Takes the output port toward `host` down (transmission halts; the
+  // queue drop-tails) or brings it back up.
+  void set_port_down(HostId host, bool down) {
+    auto it = ports_.find(host);
+    if (it == ports_.end()) return;
+    Port& port = it->second;
+    if (port.down == down) return;
+    port.down = down;
+    OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "net/switch", "port %llu %s",
+            static_cast<unsigned long long>(host), down ? "down" : "up");
+    if (!down && !port.busy) transmit_next(port);
+  }
+  bool port_down(HostId host) const {
+    auto it = ports_.find(host);
+    return it != ports_.end() && it->second.down;
+  }
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.counter_fn(prefix + "/no_route_drops", [this] { return no_route_drops_; });
+    for (const auto& [host, port] : ports_) {
+      const std::string p = prefix + "/port" + std::to_string(host);
+      const Port* pp = &port;
+      reg.counter_fn(p + "/drops", [pp] { return pp->drops; });
+      reg.counter_fn(p + "/marks", [pp] { return pp->marks; });
+      reg.gauge(p + "/queue_bytes", [pp] { return static_cast<double>(pp->q_bytes); });
+      reg.gauge(p + "/down", [pp] { return pp->down ? 1.0 : 0.0; });
+    }
+  }
+
  private:
   struct Port {
     PortSink sink;
     std::deque<Packet> q;
     sim::Bytes q_bytes = 0;
     bool busy = false;
+    bool down = false;
     std::uint64_t drops = 0;
     std::uint64_t marks = 0;
     sim::Time last_out;
   };
 
   void transmit_next(Port& port) {
-    if (port.q.empty()) {
+    if (port.q.empty() || port.down) {
       port.busy = false;
       return;
     }
@@ -114,6 +166,7 @@ class Switch {
   SwitchConfig cfg_;
   sim::Rng rng_;
   std::unordered_map<HostId, Port> ports_;
+  std::uint64_t no_route_drops_ = 0;
 };
 
 }  // namespace hostcc::net

@@ -24,6 +24,11 @@ enum class DecisionReason : std::uint8_t {
   kHoldAtLimit,      // would step, but already at the level bound
   kAwaitMsrWrite,    // previous MBA MSR write has not taken effect yet
   kDisabled,         // host-local response disabled (ablation)
+  kDegradedHold,     // signals stale/frozen: regime logic suspended
+  kFallback,         // watchdog engaged the safe-fallback MBA level
+  kRecovered,        // signals fresh again: watchdog released fallback
+  kWriteRetry,       // MBA MSR write failed; retrying with backoff
+  kActuationFailed,  // MBA MSR write retries exhausted; giving up
 };
 
 inline const char* reason_name(DecisionReason r) {
@@ -35,6 +40,11 @@ inline const char* reason_name(DecisionReason r) {
     case DecisionReason::kHoldAtLimit: return "hold_at_limit";
     case DecisionReason::kAwaitMsrWrite: return "await_msr_write";
     case DecisionReason::kDisabled: return "disabled";
+    case DecisionReason::kDegradedHold: return "degraded_hold";
+    case DecisionReason::kFallback: return "fallback";
+    case DecisionReason::kRecovered: return "recovered";
+    case DecisionReason::kWriteRetry: return "write_retry";
+    case DecisionReason::kActuationFailed: return "actuation_failed";
   }
   return "?";
 }

@@ -23,7 +23,7 @@ std::string serialize(const exp::ScenarioResults& r) {
      << r.drop_rate_pct << ',' << r.mapp_mem_gbps << ',' << r.net_mem_gbps << ',' << r.mem_util
      << ',' << r.mapp_mem_util << ',' << r.net_mem_util << ',' << r.avg_iio_occupancy << ','
      << r.avg_pcie_gbps << ',' << r.sender_timeouts << ',' << r.sender_fast_retransmits << ','
-     << r.ecn_marked_pkts;
+     << r.ecn_marked_pkts << ',' << r.invariant_violations;
   for (const sim::LatencySummary& l : r.rpc_latency) {
     os << ',' << l.count << ',' << l.p50.ps() << ',' << l.p99.ps() << ',' << l.max.ps();
   }
@@ -71,6 +71,31 @@ TEST(DeterminismTest, RepeatedRunsAreByteIdentical) {
   EXPECT_EQ(a.events, b.events);
   EXPECT_FALSE(a.trace.empty());
   EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+// Fault runs are as deterministic as fault-free ones: identical seeds +
+// identical FaultPlan produce byte-identical artifacts.
+TEST(DeterminismTest, FaultRunsAreByteIdentical) {
+  const auto run_faulted = [] {
+    exp::ScenarioConfig cfg = mini_config();
+    for (const char* spec : {"msr_stall@3500+500:80", "msr_torn@4000+500:0.4", "mba_fail@3500+1000",
+                             "link_down@4200+200:1", "sampler_pause@5000+100"}) {
+      EXPECT_FALSE(cfg.faults.add_spec(spec).has_value()) << spec;
+    }
+    exp::Scenario s(cfg);
+    Artifacts a;
+    a.results = serialize(s.run());
+    a.events = s.simulator().events_executed();
+    std::ostringstream m;
+    s.metrics().write_json(m, s.simulator().now());
+    a.metrics = m.str();
+    return a;
+  };
+  const Artifacts a = run_faulted();
+  const Artifacts b = run_faulted();
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.metrics, b.metrics);
 }
 

@@ -42,6 +42,49 @@ TEST(MbaTest, ConcurrentRequestsCoalesceToLatest) {
   EXPECT_EQ(mba.msr_writes_issued(), 2);
 }
 
+TEST(MbaTest, RapidChurnCoalescesWithoutIntermediateLevels) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MbaThrottle mba(sim, cfg);
+  std::vector<int> applied;
+  mba.set_on_level_change([&](int lvl) { applied.push_back(lvl); });
+  // A burst of requests while the first write is in flight must collapse
+  // to exactly one follow-up write for the most recent level — the
+  // skipped intermediates (4, 3) never become effective.
+  mba.request_level(1);
+  mba.request_level(4);
+  mba.request_level(3);
+  mba.request_level(2);
+  sim.run_until(sim::Time::microseconds(23));
+  EXPECT_EQ(mba.effective_level(), 1);
+  sim.run_until(sim::Time::microseconds(60));
+  EXPECT_EQ(mba.effective_level(), 2);
+  EXPECT_EQ(mba.msr_writes_issued(), 2);
+  EXPECT_EQ(applied, (std::vector<int>{1, 2}));
+  // A second burst: the first request starts a write immediately (the
+  // actuator is idle), the second coalesces behind it.
+  mba.request_level(4);
+  mba.request_level(0);
+  sim.run_until(sim::Time::microseconds(120));
+  EXPECT_EQ(mba.effective_level(), 0);
+  EXPECT_EQ(mba.msr_writes_issued(), 4);
+  EXPECT_EQ(applied, (std::vector<int>{1, 2, 4, 0}));
+}
+
+TEST(MbaTest, OutOfRangeRequestsClampAndCount) {
+  sim::Simulator sim;
+  HostConfig cfg;
+  MbaThrottle mba(sim, cfg);
+  mba.request_level(9);  // buggy policy: clamp, count, keep running
+  sim.run_until(sim::Time::microseconds(25));
+  EXPECT_EQ(mba.effective_level(), MbaThrottle::kMaxLevel);
+  EXPECT_EQ(mba.out_of_range_requests(), 1u);
+  mba.request_level(-2);
+  sim.run_until(sim::Time::microseconds(50));
+  EXPECT_EQ(mba.effective_level(), MbaThrottle::kMinLevel);
+  EXPECT_EQ(mba.out_of_range_requests(), 2u);
+}
+
 TEST(MbaTest, PauseLevelHasNoAddedLatencyButPauses) {
   sim::Simulator sim;
   HostConfig cfg;

@@ -125,6 +125,38 @@ TEST(TableTest, AlignsColumnsAndPrintsAllRows) {
   EXPECT_NE(out.find("---"), std::string::npos);
 }
 
+// Invalid configs must fail loudly at build time with every problem
+// listed, not assert deep inside the run.
+TEST(ScenarioValidationTest, RejectsInvalidConfigsWithActionableErrors) {
+  {
+    ScenarioConfig cfg;
+    cfg.senders = 0;
+    EXPECT_THROW(Scenario s(cfg), std::invalid_argument);
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.host.dma_chunk_bytes = cfg.host.pcie_credit_bytes + 1;  // would deadlock
+    try {
+      Scenario s(cfg);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("dma_chunk_bytes"), std::string::npos) << e.what();
+    }
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.hostcc_enabled = true;
+    cfg.hostcc.watchdog.fallback_level = 9;
+    EXPECT_THROW(Scenario s(cfg), std::invalid_argument);
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.faults.events.push_back(
+        {faults::FaultKind::kMsrTorn, sim::Time::zero(), sim::Time::zero(), 2.0, -1});
+    EXPECT_THROW(Scenario s(cfg), std::invalid_argument);
+  }
+}
+
 TEST(TableTest, FormatHelpers) {
   EXPECT_EQ(fmt(3.14159, 2), "3.14");
   EXPECT_EQ(fmt(2.0, 0), "2");

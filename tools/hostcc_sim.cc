@@ -50,6 +50,12 @@ namespace {
                "  --warmup MS         warmup milliseconds                [250]\n"
                "  --measure MS        measurement milliseconds           [150]\n"
                "  --seed N            RNG seed                           [1]\n"
+               "  --fault SPEC        inject a fault (repeat); SPEC is\n"
+               "                      <kind>@<start_us>+<dur_us>[:<param>][:<target>]\n"
+               "                      kinds: msr_stall msr_freeze msr_torn mba_fail\n"
+               "                      mba_delay link_down link_degrade port_down\n"
+               "                      sampler_pause (dur 0 = until end of run)\n"
+               "  --no-invariants     disable the runtime invariant checker\n"
                "  --signals           record and report I_S/B_S averages\n"
                "  --json              machine-readable output\n"
                "  --trace FILE        packet-lifecycle Chrome trace JSON\n"
@@ -129,6 +135,13 @@ int main(int argc, char** argv) {
       cfg.measure = sim::Time::milliseconds(num_arg(argc, argv, i));
     } else if (a == "--seed") {
       cfg.host.seed = static_cast<std::uint64_t>(num_arg(argc, argv, i));
+    } else if (a == "--fault") {
+      if (auto err = cfg.faults.add_spec(str_arg(argc, argv, i))) {
+        std::fprintf(stderr, "%s\n", err->c_str());
+        return 2;
+      }
+    } else if (a == "--no-invariants") {
+      cfg.check_invariants = false;
     } else if (a == "--signals") {
       cfg.record_signals = true;
     } else if (a == "--json") {
@@ -152,6 +165,9 @@ int main(int argc, char** argv) {
   const auto wall_start = std::chrono::steady_clock::now();
   exp::Scenario s(cfg);
   const exp::ScenarioResults r = s.run();
+  if (s.invariants() != nullptr && r.invariant_violations > 0) {
+    std::fprintf(stderr, "%s", s.invariants()->report().c_str());
+  }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
           .count();
@@ -220,6 +236,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.ecn_marked_pkts));
     std::printf("  \"sender_timeouts\": %llu,\n",
                 static_cast<unsigned long long>(r.sender_timeouts));
+    std::printf("  \"invariant_violations\": %llu,\n",
+                static_cast<unsigned long long>(r.invariant_violations));
     std::printf("  \"rpc\": [");
     for (std::size_t i = 0; i < r.rpc_latency.size(); ++i) {
       const auto& l = r.rpc_latency[i];
@@ -245,6 +263,9 @@ int main(int argc, char** argv) {
   }
   if (cfg.hostcc_enabled) {
     t.add_row({"host ECN marks", std::to_string(r.ecn_marked_pkts)});
+  }
+  if (cfg.check_invariants) {
+    t.add_row({"invariant violations", std::to_string(r.invariant_violations)});
   }
   for (std::size_t i = 0; i < r.rpc_latency.size(); ++i) {
     const auto& l = r.rpc_latency[i];
