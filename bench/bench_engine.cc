@@ -4,6 +4,7 @@
 // disabled-path overhead on the host datapath.
 #include <benchmark/benchmark.h>
 
+#include "exp/scenario.h"
 #include "host/config.h"
 #include "host/host.h"
 #include "host/memctrl.h"
@@ -52,17 +53,19 @@ void BM_EventCancellation(benchmark::State& state) {
 }
 BENCHMARK(BM_EventCancellation);
 
-// The datapath's characteristic event: a lambda carrying a full Packet.
-// Must stay within the event pool's inline storage (no allocation).
-void BM_EventQueuePushPopPacketCapture(benchmark::State& state) {
+// The datapath's characteristic event: a lambda carrying a pooled packet
+// handle (packets ride through the event core as 8-byte PacketRefs, never
+// by value). Must stay within the event pool's inline storage.
+void BM_EventQueuePushPopRefCapture(benchmark::State& state) {
   sim::EventQueue q;
-  net::Packet pkt;
-  pkt.payload = 4030;
+  net::PacketPool pool;
+  net::PacketRef pkt = pool.make();
+  pkt->payload = 4030;
   std::int64_t t = 0;
   std::int64_t sink = 0;
   for (auto _ : state) {
     for (int i = 0; i < 64; ++i) {
-      q.push(sim::Time::picoseconds(t + (i * 37) % 1000), [&sink, pkt] { sink += pkt.payload; });
+      q.push(sim::Time::picoseconds(t + (i * 37) % 1000), [&sink, pkt] { sink += pkt->payload; });
     }
     while (!q.empty()) {
       auto [when, fn] = q.pop();
@@ -73,7 +76,7 @@ void BM_EventQueuePushPopPacketCapture(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 64);
 }
-BENCHMARK(BM_EventQueuePushPopPacketCapture);
+BENCHMARK(BM_EventQueuePushPopRefCapture);
 
 void BM_SimulatorTimerChurn(benchmark::State& state) {
   for (auto _ : state) {
@@ -176,14 +179,17 @@ void BM_HostDatapathTracer(benchmark::State& state) {
     // per-flow serialized) so the NIC never overflows, every packet
     // completes, and every mode does identical datapath work.
     const sim::Time gap = sim::Time::nanoseconds(410);
+    net::PacketPool pool;
     for (int i = 0; i < kPackets; ++i) {
-      net::Packet p;
-      p.id = static_cast<std::uint64_t>(i) + 1;
-      p.flow = 5 + static_cast<net::FlowId>(i % 4);
-      p.dst = 0;
-      p.payload = kPayload;
-      p.size = kPayload + net::kHeaderBytes;
-      sim.after(gap * i, [&host, p] { host.receive_from_wire(p); });
+      net::PacketRef p = pool.make();
+      p->id = static_cast<std::uint64_t>(i) + 1;
+      p->flow = 5 + static_cast<net::FlowId>(i % 4);
+      p->dst = 0;
+      p->payload = kPayload;
+      p->size = kPayload + net::kHeaderBytes;
+      sim.after(gap * i, [&host, p = std::move(p)]() mutable {
+        host.receive_from_wire(std::move(p));
+      });
     }
     // The host's periodic timers never drain the queue; run a fixed sim
     // horizon comfortably past the last arrival instead.
@@ -197,6 +203,35 @@ void BM_HostDatapathTracer(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_HostDatapathTracer)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+// The PR-level headline metric: wall-clock packet throughput of a warm
+// end-to-end scenario (sender transport -> wire -> switch -> receiver NIC
+// -> PCIe -> IIO -> MC -> CPU -> transport, ACKs clocking back). Setup and
+// warmup run outside the timed region; each iteration advances the warm
+// simulation by a fixed slice, so items/sec is delivered packets per
+// second of wall time.
+//   /0: plain datapath
+//   /1: hostCC enabled with contending MApp (sampler + MBA active)
+void BM_ScenarioPacketsPerSecond(benchmark::State& state) {
+  exp::ScenarioConfig cfg;
+  cfg.warmup = sim::Time::milliseconds(20);
+  cfg.measure = sim::Time::milliseconds(5);
+  if (state.range(0) == 1) {
+    cfg.hostcc_enabled = true;
+    cfg.mapp_degree = 2.0;
+  }
+  exp::Scenario s(std::move(cfg));
+  s.run_warmup();
+  s.run_for(sim::Time::milliseconds(5));  // settle past slow start's tail
+  std::uint64_t pkts = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = s.receiver().nic().stats().arrived_pkts;
+    s.run_for(sim::Time::milliseconds(1));
+    pkts += s.receiver().nic().stats().arrived_pkts - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pkts));
+}
+BENCHMARK(BM_ScenarioPacketsPerSecond)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

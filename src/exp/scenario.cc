@@ -1,6 +1,8 @@
 #include "exp/scenario.h"
 
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 namespace hostcc::exp {
 
@@ -68,6 +70,11 @@ void Scenario::build() {
     throw std::invalid_argument(joined);
   }
 
+  bool coalesced = cfg_.coalesced_drains;
+  if (const char* mode = std::getenv("HOSTCC_DRAIN_MODE")) {
+    coalesced = std::string_view(mode) != "per_packet";
+  }
+
   fabric_ = std::make_unique<net::Switch>(sim_, cfg_.fabric);
 
   // Receiver host + stack + downlink.
@@ -76,14 +83,21 @@ void Scenario::build() {
       std::make_unique<transport::Stack>(sim_, *receiver_, kReceiverId, cfg_.transport);
   {
     auto up = std::make_unique<net::Link>(sim_, "rx-uplink", cfg_.link_rate, cfg_.link_delay);
-    up->set_sink([this](const net::Packet& p) { fabric_->ingress(p); });
+    up->set_sink([this](const net::PacketRef& p) { fabric_->ingress(p); });
     up->set_on_dequeue([h = receiver_.get()](const net::Packet& p) { h->wire_dequeued(p); });
-    receiver_->set_egress([lnk = up.get()](const net::Packet& p) { lnk->send(p); });
+    receiver_->set_egress([lnk = up.get()](const net::PacketRef& p) { lnk->send(p); });
     links_.push_back(std::move(up));
     const sim::Time delay = cfg_.link_delay;
-    fabric_->connect(kReceiverId, [this, delay](const net::Packet& p) {
-      sim_.after(delay, [this, p] { receiver_->receive_from_wire(p); });
-    });
+    if (coalesced) {
+      // Coalesced drain: the switch delivers directly at out + delay.
+      fabric_->connect(
+          kReceiverId, [this](const net::PacketRef& p) { receiver_->receive_from_wire(p); },
+          delay);
+    } else {
+      fabric_->connect(kReceiverId, [this, delay](const net::PacketRef& p) {
+        sim_.after(delay, [this, p] { receiver_->receive_from_wire(p); });
+      });
+    }
   }
 
   // Sender hosts.
@@ -94,14 +108,19 @@ void Scenario::build() {
     auto stack = std::make_unique<transport::Stack>(sim_, *h, id, cfg_.transport);
     auto up = std::make_unique<net::Link>(sim_, "tx-uplink" + std::to_string(s),
                                           cfg_.link_rate, cfg_.link_delay);
-    up->set_sink([this](const net::Packet& p) { fabric_->ingress(p); });
+    up->set_sink([this](const net::PacketRef& p) { fabric_->ingress(p); });
     up->set_on_dequeue([hp = h.get()](const net::Packet& p) { hp->wire_dequeued(p); });
-    h->set_egress([lnk = up.get()](const net::Packet& p) { lnk->send(p); });
+    h->set_egress([lnk = up.get()](const net::PacketRef& p) { lnk->send(p); });
     const sim::Time delay = cfg_.link_delay;
     host::HostModel* hp = h.get();
-    fabric_->connect(id, [this, hp, delay](const net::Packet& p) {
-      sim_.after(delay, [hp, p] { hp->receive_from_wire(p); });
-    });
+    if (coalesced) {
+      fabric_->connect(
+          id, [hp](const net::PacketRef& p) { hp->receive_from_wire(p); }, delay);
+    } else {
+      fabric_->connect(id, [this, hp, delay](const net::PacketRef& p) {
+        sim_.after(delay, [hp, p] { hp->receive_from_wire(p); });
+      });
+    }
     links_.push_back(std::move(up));
     sender_hosts_.push_back(std::move(h));
     sender_stacks_.push_back(std::move(stack));

@@ -64,6 +64,14 @@ struct ScenarioConfig {
   bool record_signals = false;            // capture I_S/B_S/level series
   bool trace_packets = false;             // per-packet lifecycle tracing (receiver)
   bool record_decisions = false;          // keep the full hostCC decision log
+
+  // Coalesced drains (default): the switch folds the fabric->host
+  // propagation delay into its own delivery event instead of the scenario
+  // relaying every packet through an extra scheduled hop — identical
+  // arrival times, one fewer event per packet per direction. Set false (or
+  // export HOSTCC_DRAIN_MODE=per_packet, which overrides at build time) to
+  // restore the seed's per-packet relay for A/B determinism checks.
+  bool coalesced_drains = true;
 };
 
 struct ScenarioResults {

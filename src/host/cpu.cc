@@ -12,16 +12,16 @@ CpuComplex::CpuComplex(sim::Simulator& sim, const HostConfig& cfg, MemoryControl
                        LlcDdio& ddio)
     : sim_(sim), cfg_(cfg), mc_(mc), ddio_(ddio), cores_(cfg.net_cores) {}
 
-void CpuComplex::deliver(const net::Packet& p, bool from_llc) {
-  const std::size_t core = p.flow % cores_.size();
-  cores_[core].q.push_back({p, from_llc});
-  flow_backlog_[p.flow] += p.payload;
-  total_backlog_ += p.payload;
+void CpuComplex::deliver(net::PacketRef p, bool from_llc) {
+  const std::size_t core = p->flow % cores_.size();
+  flow_backlog_[p->flow] += p->payload;
+  total_backlog_ += p->payload;
+  cores_[core].q.push_back({std::move(p), from_llc});
   maybe_start(core);
 }
 
 sim::Time CpuComplex::processing_time(const Work& w) const {
-  if (w.pkt.payload == 0) {
+  if (w.pkt->payload == 0) {
     // Pure ACK/control: fixed protocol-processing cost.
     return cfg_.cpu_per_packet_overhead;
   }
@@ -30,7 +30,7 @@ sim::Time CpuComplex::processing_time(const Work& w) const {
   const double ns_per_byte =
       cfg_.cpu_ns_per_byte_base + cfg_.cpu_mem_stalls_per_byte * l_mem.ns();
   return cfg_.cpu_per_packet_overhead +
-         sim::Time::nanoseconds(ns_per_byte * static_cast<double>(w.pkt.payload));
+         sim::Time::nanoseconds(ns_per_byte * static_cast<double>(w.pkt->payload));
 }
 
 void CpuComplex::maybe_start(std::size_t core_idx) {
@@ -52,25 +52,31 @@ void CpuComplex::finish(std::size_t core_idx, Work w) {
   core.busy = false;
   busy_cores_ -= 1.0;
 
-  auto it = flow_backlog_.find(w.pkt.flow);
+  const net::Packet& pkt = *w.pkt;
+  auto it = flow_backlog_.find(pkt.flow);
   if (it != flow_backlog_.end()) {
-    it->second -= w.pkt.payload;
-    if (it->second <= 0) flow_backlog_.erase(it);
+    // Entries are kept at zero instead of erased: flows are long-lived, so
+    // keeping the node avoids per-packet rehash/erase churn in the warm
+    // steady state (the zero-allocation hook test pins this).
+    it->second -= pkt.payload;
+    if (it->second < 0) it->second = 0;
   }
-  total_backlog_ -= w.pkt.payload;
+  total_backlog_ -= pkt.payload;
 
   // Copy traffic: what the copy-to-user costs in DRAM bandwidth depends on
   // whether the packet was still LLC-resident (§2.2 / DDIO discussion).
   const double amp = w.from_llc ? cfg_.copy_llc_amplification : cfg_.copy_amplification;
-  copy_backlog_ += amp * static_cast<double>(w.pkt.payload);
-  if (w.from_llc) ddio_.consumed(w.pkt.payload);
+  copy_backlog_ += amp * static_cast<double>(pkt.payload);
+  if (w.from_llc) ddio_.consumed(pkt.payload);
 
   ++processed_pkts_;
-  processed_bytes_ += w.pkt.payload;
-  if (tracer_) tracer_->stage(obs::PacketStage::kDelivered, w.pkt, sim_.now());
+  processed_bytes_ += pkt.payload;
+  if (tracer_) tracer_->stage(obs::PacketStage::kDelivered, pkt, sim_.now());
   if (nic_ != nullptr) nic_->descriptor_returned();
 
-  net::Packet out = w.pkt;
+  // The stack reads the pooled packet in place (the ingress filter may
+  // mutate it first); no copy is made on the delivery path.
+  net::Packet& out = *w.pkt;
   if (ingress_) ingress_(out);
   if (stack_rx_) stack_rx_(out);
 

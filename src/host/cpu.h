@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +17,7 @@
 #include "host/memctrl.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
+#include "sim/ring_queue.h"
 #include "sim/simulator.h"
 
 namespace hostcc::obs {
@@ -30,7 +30,9 @@ class NicRx;
 
 class CpuComplex : public MemSource {
  public:
-  using StackRxFn = std::function<void(net::Packet)>;
+  // The transport reads (and the ingress filter may have mutated) the
+  // pooled packet in place; the ref is released when processing returns.
+  using StackRxFn = std::function<void(net::Packet&)>;
   // May mutate the packet (e.g. set CE) before it reaches the transport.
   using IngressFilter = std::function<void(net::Packet&)>;
 
@@ -52,7 +54,7 @@ class CpuComplex : public MemSource {
   }
 
   // Called by the IIO when a packet lands in host memory / LLC.
-  void deliver(const net::Packet& p, bool from_llc);
+  void deliver(net::PacketRef p, bool from_llc);
 
   // Unprocessed backlog for `flow` (drives the advertised receive window).
   sim::Bytes backlog_bytes(net::FlowId flow) const {
@@ -74,7 +76,7 @@ class CpuComplex : public MemSource {
   sim::Bytes queued_payload_bytes() const {
     sim::Bytes n = 0;
     for (const auto& c : cores_) {
-      for (const auto& w : c.q) n += w.pkt.payload;
+      for (std::size_t i = 0; i < c.q.size(); ++i) n += c.q[i].pkt->payload;
     }
     return n;
   }
@@ -86,11 +88,11 @@ class CpuComplex : public MemSource {
 
  private:
   struct Work {
-    net::Packet pkt;
+    net::PacketRef pkt;
     bool from_llc = false;
   };
   struct Core {
-    std::deque<Work> q;
+    sim::RingQueue<Work> q;
     bool busy = false;
   };
 

@@ -17,7 +17,8 @@ HostModel::HostModel(sim::Simulator& sim, HostConfig cfg, std::string name)
   cpu_ = std::make_unique<CpuComplex>(sim_, cfg_, *mc_, *ddio_);
   tx_ = std::make_unique<TxPath>(cfg_);
 
-  iio_->set_deliver([this](const net::Packet& p, bool from_llc) { cpu_->deliver(p, from_llc); });
+  iio_->set_deliver(
+      [this](net::PacketRef p, bool from_llc) { cpu_->deliver(std::move(p), from_llc); });
   iio_->set_memctrl(mc_.get());
   cpu_->set_nic(nic_.get());
 

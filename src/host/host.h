@@ -39,12 +39,21 @@ class HostModel {
   const HostConfig& config() const { return cfg_; }
 
   // --- fabric side ---
-  void receive_from_wire(const net::Packet& p) { nic_->packet_from_wire(p); }
+  // Pooled fast path: the ref travels NIC -> PCIe -> IIO -> CPU unchanged.
+  void receive_from_wire(net::PacketRef p) { nic_->packet_from_wire(std::move(p)); }
+  // By-value bridge for callers holding a plain Packet (tests, loopback
+  // fabrics): the packet is staged into this host's pool on entry.
+  void receive_from_wire(const net::Packet& p) { receive_from_wire(pool_.make(p)); }
   void set_egress(TxPath::EgressFn fn) { tx_->set_egress(std::move(fn)); }
-  void send(const net::Packet& p) {
-    tx_queued_[p.flow] += p.size;
-    tx_->send(p);
+  void send(net::PacketRef p) {
+    tx_queued_[p->flow] += p->size;
+    tx_->send(std::move(p));
   }
+  void send(const net::Packet& p) { send(pool_.make(p)); }
+
+  // The pool backing this host's datapath; the transport allocates its
+  // outbound packets here so egress is zero-copy too.
+  net::PacketPool& packet_pool() { return pool_; }
 
   // --- TSQ-style egress accounting ---
   // The fabric notifies the host when a packet leaves the local NIC queue
@@ -52,8 +61,10 @@ class HostModel {
   void wire_dequeued(const net::Packet& p) {
     auto it = tx_queued_.find(p.flow);
     if (it != tx_queued_.end()) {
+      // Kept at zero, not erased: avoids per-packet node churn (see the
+      // steady-state allocation test).
       it->second -= p.size;
-      if (it->second <= 0) tx_queued_.erase(it);
+      if (it->second < 0) it->second = 0;
     }
     if (on_tx_drained_) on_tx_drained_(p.flow);
   }
@@ -135,6 +146,7 @@ class HostModel {
   std::unique_ptr<CpuComplex> cpu_;
   std::unique_ptr<TxPath> tx_;
 
+  net::PacketPool pool_;
   std::unordered_map<net::FlowId, sim::Bytes> tx_queued_;
   std::function<void(net::FlowId)> on_tx_drained_;
 };

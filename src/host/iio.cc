@@ -31,7 +31,7 @@ sim::Time IioBuffer::iommu_extra() {
   return rng_.bernoulli(cfg_.iotlb_miss_rate) ? cfg_.iotlb_miss_penalty : sim::Time::zero();
 }
 
-void IioBuffer::insert(const net::Packet& pkt, sim::Bytes credit_bytes, bool to_memory,
+void IioBuffer::insert(net::PacketRef pkt, sim::Bytes credit_bytes, bool to_memory,
                        bool eviction, bool last_chunk) {
   assert(credit_bytes > 0);
   msrs_.count_insertions(static_cast<double>(credit_bytes) /
@@ -39,10 +39,10 @@ void IioBuffer::insert(const net::Packet& pkt, sim::Bytes credit_bytes, bool to_
   total_inserted_ += credit_bytes;
 
   const sim::Time now = sim_.now();
-  if (tracer_ && last_chunk) tracer_->stage(obs::PacketStage::kIioAdmit, pkt, now);
+  if (tracer_ && last_chunk) tracer_->stage(obs::PacketStage::kIioAdmit, *pkt, now);
   if (to_memory) {
     Entry e;
-    if (last_chunk) e.pkt = pkt;
+    if (last_chunk) e.pkt = std::move(pkt);
     e.remaining = credit_bytes;
     e.admit_after = now + cfg_.iio_admit_latency + congestion_extra() + iommu_extra() +
                     (eviction ? cfg_.ddio_eviction_penalty : sim::Time::zero());
@@ -54,24 +54,26 @@ void IioBuffer::insert(const net::Packet& pkt, sim::Bytes credit_bytes, bool to_
   }
 
   // DDIO hit: the write goes straight to the LLC after the short IIO->LLC
-  // latency, without consuming DRAM bandwidth.
+  // latency, without consuming DRAM bandwidth. Completion keeps the pooled
+  // ref only if this is the tail chunk.
   change_occupancy(0, credit_bytes);
-  // Copy what completion needs; the packet itself only if this is the tail.
-  net::Packet done = last_chunk ? pkt : net::Packet{};
-  sim_.after(cfg_.iio_ddio_hit_latency, [this, done, credit_bytes, last_chunk] {
-    change_occupancy(0, -credit_bytes);
-    total_admitted_ += credit_bytes;
-    pcie_.release(credit_bytes);
-    if (last_chunk) {
-      if (tracer_) tracer_->stage(obs::PacketStage::kWriteIssued, done, sim_.now());
-      if (deliver_) deliver_(done, /*from_llc=*/true);
-    }
-  });
+  net::PacketRef done = last_chunk ? std::move(pkt) : net::PacketRef{};
+  sim_.after(cfg_.iio_ddio_hit_latency,
+             [this, done = std::move(done), credit_bytes, last_chunk]() mutable {
+               change_occupancy(0, -credit_bytes);
+               total_admitted_ += credit_bytes;
+               pcie_.release(credit_bytes);
+               if (last_chunk) {
+                 if (tracer_) tracer_->stage(obs::PacketStage::kWriteIssued, *done, sim_.now());
+                 if (deliver_) deliver_(std::move(done), /*from_llc=*/true);
+               }
+             });
 }
 
 MemSource::Offer IioBuffer::mem_offer(sim::Time now, sim::Time /*quantum*/) {
   sim::Bytes eligible = 0;
-  for (const auto& e : memq_) {
+  for (std::size_t i = 0; i < memq_.size(); ++i) {
+    const Entry& e = memq_[i];
     if (e.admit_after > now) break;  // FIFO with uniform latency: monotone
     eligible += e.remaining;
   }
@@ -86,6 +88,12 @@ void IioBuffer::mem_granted(sim::Time now, double bytes) {
   auto budget = static_cast<sim::Bytes>(grant_carry_);
   grant_carry_ -= static_cast<double>(budget);
 
+  // Credits freed by this drain are released in one batch after the loop
+  // (coalesced drain): PCIe is serialized, so at most one stalled DMA chunk
+  // can start per instant regardless of how many release() callbacks fire —
+  // batching collapses per-entry on_credit invocations into one without
+  // changing when that chunk begins.
+  sim::Bytes released = 0;
   while (budget > 0 && !memq_.empty()) {
     Entry& head = memq_.front();
     if (head.admit_after > now) break;
@@ -94,17 +102,18 @@ void IioBuffer::mem_granted(sim::Time now, double bytes) {
     budget -= take;
     change_occupancy(-take, 0);
     total_admitted_ += take;
-    pcie_.release(take);
+    released += take;
     if (head.remaining == 0) {
       const bool was_last = head.last;
-      const net::Packet done = head.pkt;
+      net::PacketRef done = std::move(head.pkt);
       memq_.pop_front();
       if (was_last) {
-        if (tracer_) tracer_->stage(obs::PacketStage::kWriteIssued, done, now);
-        if (deliver_) deliver_(done, /*from_llc=*/false);
+        if (tracer_) tracer_->stage(obs::PacketStage::kWriteIssued, *done, now);
+        if (deliver_) deliver_(std::move(done), /*from_llc=*/false);
       }
     }
   }
+  if (released > 0) pcie_.release(released);
   // Any unused budget (entries not yet eligible) is forfeited: DRAM slots
   // are not bankable across quanta.
   grant_carry_ = std::min(grant_carry_, 63.0);

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
 #include "host/config.h"
@@ -17,6 +16,7 @@
 #include "net/packet.h"
 #include "obs/metrics.h"
 #include "sim/random.h"
+#include "sim/ring_queue.h"
 #include "sim/simulator.h"
 
 namespace hostcc::obs {
@@ -28,8 +28,9 @@ namespace hostcc::host {
 class IioBuffer : public MemSource {
  public:
   // Fires when the last byte of a packet has been issued toward memory/LLC
-  // (the packet is now "in host memory" and visible to the CPU).
-  using DeliverFn = std::function<void(const net::Packet&, bool from_llc)>;
+  // (the packet is now "in host memory" and visible to the CPU). Ownership
+  // of the pooled packet transfers to the sink.
+  using DeliverFn = std::function<void(net::PacketRef, bool from_llc)>;
 
   IioBuffer(sim::Simulator& sim, const HostConfig& cfg, MsrBank& msrs, PcieLink& pcie)
       : sim_(sim), cfg_(cfg), msrs_(msrs), pcie_(pcie), rng_(cfg.seed ^ 0x110ULL) {}
@@ -43,7 +44,7 @@ class IioBuffer : public MemSource {
   // A DMA chunk arrived over PCIe. `credit_bytes` is the PCIe credit the
   // chunk holds (returned on admission). `last_chunk` marks completion of
   // `pkt`. Placement was decided at DMA start (see LlcDdio).
-  void insert(const net::Packet& pkt, sim::Bytes credit_bytes, bool to_memory, bool eviction,
+  void insert(net::PacketRef pkt, sim::Bytes credit_bytes, bool to_memory, bool eviction,
               bool last_chunk);
 
   // Instantaneous occupancy in cachelines — the physical quantity behind
@@ -77,7 +78,7 @@ class IioBuffer : public MemSource {
 
  private:
   struct Entry {
-    net::Packet pkt;  // meaningful only when `last` is set
+    net::PacketRef pkt;  // engaged only when `last` is set
     sim::Bytes remaining = 0;
     sim::Time admit_after;
     bool eviction = false;
@@ -102,7 +103,7 @@ class IioBuffer : public MemSource {
   const MemoryController* mc_ = nullptr;
   DeliverFn deliver_;
 
-  std::deque<Entry> memq_;
+  sim::RingQueue<Entry> memq_;
   sim::Bytes mem_bytes_ = 0;  // occupancy attributable to the memory path
   sim::Bytes llc_bytes_ = 0;  // occupancy attributable to in-flight DDIO hits
   double grant_carry_ = 0.0;  // sub-byte grant remainder across quanta

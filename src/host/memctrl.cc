@@ -7,7 +7,7 @@ namespace hostcc::host {
 
 void MemoryController::quantum() {
   const sim::Time now = sim_.now();
-  const double cap = cfg_.dram_bandwidth.bytes_per_sec() * cfg_.mc_quantum.sec();
+  const double cap = quantum_cap_bytes_;
 
   const std::size_t n = sources_.size();
   offers_.resize(n);
@@ -36,11 +36,12 @@ void MemoryController::quantum() {
       if (grants_[i] < offers_[i].demand_bytes) active_pressure += offers_[i].pressure_bytes;
     }
     if (active_pressure <= 0.0) break;
+    const double fill_per_pressure = cap_left / active_pressure;
     double distributed = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const double want = offers_[i].demand_bytes - grants_[i];
       if (want <= 0.0) continue;
-      const double share = cap_left * offers_[i].pressure_bytes / active_pressure;
+      const double share = fill_per_pressure * offers_[i].pressure_bytes;
       const double take = std::min(want, share);
       grants_[i] += take;
       distributed += take;
@@ -54,7 +55,7 @@ void MemoryController::quantum() {
       sources_[i]->mem_granted(now, grants_[i]);
       granted_[i].total_bytes += static_cast<sim::Bytes>(grants_[i] + 0.5);
     }
-    rate_ewma_[i].add(grants_[i] * 8.0 / cfg_.mc_quantum.sec());
+    rate_ewma_[i].add(grants_[i] * grant_rate_scale_);
     pressure_ewma_[i].add(offers_[i].pressure_bytes);
   }
 
@@ -63,9 +64,8 @@ void MemoryController::quantum() {
   // capacity) and a contention wait from resident request bytes (Little).
   double served = 0.0;
   for (std::size_t i = 0; i < n; ++i) served += grants_[i];
-  const double backlog_penalty =
-      cap > 0.0 ? std::min((total_demand - served) / cap, 0.3) : 0.0;
-  const double rho = cap > 0.0 ? served / cap + std::max(backlog_penalty, 0.0) : 0.0;
+  const double backlog_penalty = std::min((total_demand - served) * inv_quantum_cap_, 0.3);
+  const double rho = served * inv_quantum_cap_ + std::max(backlog_penalty, 0.0);
   util_ewma_.add(rho);
 
   const auto& curve = HostConfig::kDramExtraCurve;

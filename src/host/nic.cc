@@ -31,27 +31,27 @@ double NicRx::overhead_fraction(sim::Bytes pkt_size) const {
   return cfg_.tlp_overhead_base + cfg_.tlp_overhead_per_packet_bytes / static_cast<double>(pkt_size);
 }
 
-void NicRx::packet_from_wire(const net::Packet& p) {
+void NicRx::packet_from_wire(net::PacketRef p) {
   ++stats_.arrived_pkts;
-  stats_.arrived_bytes += p.size;
+  stats_.arrived_bytes += p->size;
   // Admission reserves headroom for a maximum-size frame (hardware FIFOs
   // commonly do), so small packets share the same drop fate as large ones
   // when the buffer is effectively full.
   constexpr sim::Bytes kMaxFrame = 9216;
-  const sim::Bytes needed = std::max(p.size, kMaxFrame);
+  const sim::Bytes needed = std::max(p->size, kMaxFrame);
   if (q_bytes_ + needed > cfg_.nic_rx_buffer_bytes) {
     ++stats_.dropped_pkts;
-    stats_.dropped_bytes += p.size;
+    stats_.dropped_bytes += p->size;
     OBS_LOG(obs::LogLevel::kDebug, sim_.now(), "host/nic", "drop pkt=%llu flow=%llu size=%lld",
-            static_cast<unsigned long long>(p.id), static_cast<unsigned long long>(p.flow),
-            static_cast<long long>(p.size));
-    if (tracer_) tracer_->drop(p, sim_.now());
-    if (on_drop_) on_drop_(p);
+            static_cast<unsigned long long>(p->id), static_cast<unsigned long long>(p->flow),
+            static_cast<long long>(p->size));
+    if (tracer_) tracer_->drop(*p, sim_.now());
+    if (on_drop_) on_drop_(*p);
     return;
   }
-  q_.push_back({p, sim_.now()});
-  q_bytes_ += p.size;
-  if (tracer_) tracer_->stage(obs::PacketStage::kNicArrive, p, sim_.now());
+  q_bytes_ += p->size;
+  if (tracer_) tracer_->stage(obs::PacketStage::kNicArrive, *p, sim_.now());
+  q_.push_back({std::move(p), sim_.now()});
   try_start_dma();
 }
 
@@ -69,15 +69,15 @@ void NicRx::try_start_dma() {
       ++stats_.descriptor_stalls;
       return;  // retried from descriptor_returned()
     }
-    const Queued& head = q_.front();
-    dma_pkt_ = head.pkt;
+    Queued& head = q_.front();
+    dma_pkt_ = std::move(head.pkt);
     dma_sent_ = 0;
-    dma_place_ = ddio_.place(head.pkt.payload, pollution_fn_());
+    dma_place_ = ddio_.place(dma_pkt_->payload, pollution_fn_());
     queue_delay_hist_.record_time(sim_.now() - head.arrived);
-    if (tracer_) tracer_->stage(obs::PacketStage::kDmaStart, head.pkt, sim_.now());
+    if (tracer_) tracer_->stage(obs::PacketStage::kDmaStart, *dma_pkt_, sim_.now());
     // "The packet can be safely removed from the NIC buffer as soon as DMA
     // is initiated" (§2.1): buffer space frees at DMA start.
-    q_bytes_ -= head.pkt.size;
+    q_bytes_ -= dma_pkt_->size;
     q_.pop_front();
     --descriptors_;
     dma_active_ = true;
@@ -88,11 +88,11 @@ void NicRx::try_start_dma() {
 void NicRx::start_next_chunk() {
   if (!dma_active_ || pcie_.busy()) return;
 
-  const sim::Bytes wire_left = dma_pkt_.size - dma_sent_;
+  const sim::Bytes wire_left = dma_pkt_->size - dma_sent_;
   assert(wire_left > 0);
   const sim::Bytes wire_chunk = std::min(cfg_.dma_chunk_bytes, wire_left);
   const auto credit_chunk = static_cast<sim::Bytes>(
-      static_cast<double>(wire_chunk) * (1.0 + overhead_fraction(dma_pkt_.size)) + 0.5);
+      static_cast<double>(wire_chunk) * (1.0 + overhead_fraction(dma_pkt_->size)) + 0.5);
 
   // PCIe credits bound the bytes resident in the IIO buffer: I_S saturates
   // at the pool size under congestion (Fig. 8), and uncongested drain is
@@ -106,15 +106,17 @@ void NicRx::start_next_chunk() {
 
   dma_sent_ += wire_chunk;
   dma_wire_bytes_ += wire_chunk;
-  const bool last = dma_sent_ == dma_pkt_.size;
-  const net::Packet pkt = dma_pkt_;
+  const bool last = dma_sent_ == dma_pkt_->size;
+  // The completion lambda shares the pooled slot; on the last chunk the
+  // NIC's own ref is handed off so the slot frees as soon as IIO is done.
+  net::PacketRef pkt = last ? std::move(dma_pkt_) : dma_pkt_;
   const LlcDdio::Placement place = dma_place_;
   if (last) dma_active_ = false;
 
   in_transit_ += credit_chunk;
-  pcie_.transfer(credit_chunk, [this, pkt, credit_chunk, place, last] {
+  pcie_.transfer(credit_chunk, [this, pkt = std::move(pkt), credit_chunk, place, last]() mutable {
     in_transit_ -= credit_chunk;
-    iio_.insert(pkt, credit_chunk, place.to_memory, place.eviction, last);
+    iio_.insert(std::move(pkt), credit_chunk, place.to_memory, place.eviction, last);
   });
   // The channel-idle callback advances to the next chunk (or next packet).
 }

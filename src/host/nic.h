@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
 #include "host/config.h"
@@ -15,6 +14,7 @@
 #include "host/pcie.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
+#include "sim/ring_queue.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
@@ -34,8 +34,10 @@ class NicRx {
         LlcDdio& ddio, std::function<double()> pollution_fn);
 
   // A packet arrived from the wire. Enqueued, or dropped if the buffer is
-  // full (the paper's host-congestion packet drops).
-  void packet_from_wire(const net::Packet& p);
+  // full (the paper's host-congestion packet drops). The NIC takes shared
+  // ownership of the pooled packet; the same slot travels through PCIe,
+  // IIO and the CPU without being copied.
+  void packet_from_wire(net::PacketRef p);
 
   // The driver returns a descriptor after the CPU processed a packet.
   void descriptor_returned();
@@ -89,7 +91,7 @@ class NicRx {
   // has been chunked onto PCIe.
   sim::Bytes dma_wire_bytes() const { return dma_wire_bytes_; }
   sim::Bytes dma_remaining_bytes() const {
-    return dma_active_ ? dma_pkt_.size - dma_sent_ : 0;
+    return dma_active_ ? dma_pkt_->size - dma_sent_ : 0;
   }
 
   // Queueing delay tap (time from arrival to DMA start), for Fig. 4 analysis.
@@ -108,16 +110,16 @@ class NicRx {
   std::function<double()> pollution_fn_;
 
   struct Queued {
-    net::Packet pkt;
+    net::PacketRef pkt;
     sim::Time arrived;
   };
-  std::deque<Queued> q_;
+  sim::RingQueue<Queued> q_;
   sim::Bytes q_bytes_ = 0;
   int descriptors_;
 
   // In-progress DMA state.
   bool dma_active_ = false;
-  net::Packet dma_pkt_;
+  net::PacketRef dma_pkt_;
   sim::Bytes dma_sent_ = 0;        // wire bytes already chunked out (this packet)
   sim::Bytes dma_wire_bytes_ = 0;  // wire bytes ever chunked onto PCIe
   sim::Bytes in_transit_ = 0;      // credit bytes on the PCIe wire

@@ -7,36 +7,42 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <functional>
+#include <utility>
 
 #include "host/config.h"
 #include "host/memctrl.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
+#include "sim/ring_queue.h"
 #include "sim/simulator.h"
 
 namespace hostcc::host {
 
 class TxPath : public MemSource {
  public:
-  using EgressFn = std::function<void(const net::Packet&)>;
+  // Downstream consumers (links, test fabrics) receive the pooled ref;
+  // PoolRef's implicit conversion also lets `const net::Packet&` lambdas
+  // bind unchanged.
+  using EgressFn = std::function<void(const net::PacketRef&)>;
 
   explicit TxPath(const HostConfig& cfg) : cfg_(cfg) {}
 
   void set_egress(EgressFn fn) { egress_ = std::move(fn); }
 
-  void send(const net::Packet& p) {
+  void send(net::PacketRef p) {
     ++sent_pkts_;
-    sent_bytes_ += p.size;
+    sent_bytes_ += p->size;
     if (cfg_.tx_amplification <= 0.0) {
       if (egress_) egress_(p);
       return;
     }
-    q_.push_back(p);
-    queued_cost_ += cost(p);
+    queued_cost_ += cost(*p);
+    q_.push_back(std::move(p));
     pump();
   }
+  // By-value bridge (unit tests / standalone use): stages into a local pool.
+  void send(const net::Packet& p) { send(pool_.make(p)); }
 
   sim::Bytes queued_packets() const { return static_cast<sim::Bytes>(q_.size()); }
 
@@ -68,11 +74,11 @@ class TxPath : public MemSource {
   }
 
   void pump() {
-    while (!q_.empty() && budget_ + 0.5 >= cost(q_.front())) {
-      const net::Packet p = q_.front();
+    while (!q_.empty() && budget_ + 0.5 >= cost(*q_.front())) {
+      net::PacketRef p = std::move(q_.front());
       q_.pop_front();
-      budget_ -= cost(p);
-      queued_cost_ -= cost(p);
+      budget_ -= cost(*p);
+      queued_cost_ -= cost(*p);
       if (egress_) egress_(p);
     }
     if (q_.empty()) {
@@ -83,7 +89,8 @@ class TxPath : public MemSource {
 
   const HostConfig& cfg_;
   EgressFn egress_;
-  std::deque<net::Packet> q_;
+  net::PacketPool pool_;
+  sim::RingQueue<net::PacketRef> q_;
   double queued_cost_ = 0.0;
   double budget_ = 0.0;
   std::uint64_t sent_pkts_ = 0;

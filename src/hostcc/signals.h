@@ -160,22 +160,26 @@ class SignalSampler {
     const sim::Time is_cost = tsc.latency + rocc.latency;
     is_read_lat_.record_time(is_cost);
 
-    sim_.after(is_cost, [this, tsc, rocc, wire] {
+    // Only the register *values* ride in the captures (the latencies are
+    // consumed above): this keeps both continuation lambdas within the
+    // event slab's inline storage, so the sampling loop never allocates.
+    sim_.after(is_cost, [this, tsc1 = tsc.value, rocc1 = rocc.value, wire] {
       const auto tsc2 = msrs_.read_tsc();
       const auto rins = msrs_.read_rins();
       const sim::Time bs_cost = tsc2.latency + rins.latency;
       bs_read_lat_.record_time(bs_cost);
 
-      sim_.after(bs_cost + cfg_.loop_overhead, [this, tsc, rocc, tsc2, rins, wire] {
+      sim_.after(bs_cost + cfg_.loop_overhead,
+                 [this, tsc1, rocc1, tsc2 = tsc2.value, rins = rins.value, wire] {
         // Each register delta is divided by the elapsed time between *its
         // own* paired TSC reads — mixing baselines would bias the signals.
         // A zero (or negative) elapsed interval means the TSC itself is
         // faulty; the iteration is counted but must not divide by it.
-        const double dt_is = (tsc.value - prev_tsc_is_) * 1e-12;  // TSC in ps
-        const double dt_bs = (tsc2.value - prev_tsc_bs_) * 1e-12;
+        const double dt_is = (tsc1 - prev_tsc_is_) * 1e-12;  // TSC in ps
+        const double dt_bs = (tsc2 - prev_tsc_bs_) * 1e-12;
         if (dt_is <= 0.0 || dt_bs <= 0.0) ++zero_dt_samples_;
-        const double d_rocc = rocc.value - prev_rocc_;
-        const double d_rins = rins.value - prev_rins_;
+        const double d_rocc = rocc1 - prev_rocc_;
+        const double d_rins = rins - prev_rins_;
         if (dt_is > 0.0) {
           is_raw_ = d_rocc / (dt_is * msrs_.iio_clock_hz());
           is_ewma_.add(is_raw_);
@@ -194,10 +198,10 @@ class SignalSampler {
           freeze_run_ = 0;
         }
         prev_wire_ = wire;
-        prev_tsc_is_ = tsc.value;
-        prev_tsc_bs_ = tsc2.value;
-        prev_rocc_ = rocc.value;
-        prev_rins_ = rins.value;
+        prev_tsc_is_ = tsc1;
+        prev_tsc_bs_ = tsc2;
+        prev_rocc_ = rocc1;
+        prev_rins_ = rins;
         ++samples_;
         last_sample_at_ = sim_.now();
         if (on_sample_) on_sample_();

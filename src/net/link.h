@@ -8,7 +8,6 @@
 // a renegotiated lower line rate). Both are deterministic and reversible.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <string>
 #include <utility>
@@ -16,6 +15,7 @@
 #include "net/packet.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "sim/ring_queue.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 #include "sim/units.h"
@@ -24,7 +24,10 @@ namespace hostcc::net {
 
 class Link {
  public:
-  using SinkFn = std::function<void(const Packet&)>;
+  // Delivery hands over the pooled ref (implicitly convertible to
+  // `const Packet&` for legacy sinks).
+  using SinkFn = std::function<void(const PacketRef&)>;
+  using DequeueFn = std::function<void(const Packet&)>;
 
   Link(sim::Simulator& sim, std::string name, sim::Bandwidth rate, sim::Time propagation)
       : sim_(sim), name_(std::move(name)), rate_(rate), prop_(propagation) {}
@@ -32,13 +35,15 @@ class Link {
   void set_sink(SinkFn fn) { sink_ = std::move(fn); }
   // Fires when a packet finishes serialization (leaves the local queue);
   // used for TSQ-style egress backpressure at the sending host.
-  void set_on_dequeue(SinkFn fn) { on_dequeue_ = std::move(fn); }
+  void set_on_dequeue(DequeueFn fn) { on_dequeue_ = std::move(fn); }
 
-  void send(const Packet& p) {
-    meter_.add(p.size);
-    q_.push_back(p);
+  void send(PacketRef p) {
+    meter_.add(p->size);
+    q_.push_back(std::move(p));
     if (!busy_ && !down_) transmit_next();
   }
+  // By-value bridge (tests / standalone use): stages into the link's pool.
+  void send(const Packet& p) { send(pool_.make(p)); }
 
   // --- fault hooks ---
 
@@ -87,13 +92,16 @@ class Link {
       return;
     }
     busy_ = true;
-    const Packet p = q_.front();
+    PacketRef p = std::move(q_.front());
     q_.pop_front();
-    sim_.after((rate_ * rate_factor_).transfer_time(p.size), [this, p] {
+    // Serialization time must be read before the init-capture below moves
+    // `p` (argument evaluation order is unspecified).
+    const sim::Time ser = (rate_ * rate_factor_).transfer_time(p->size);
+    sim_.after(ser, [this, p = std::move(p)]() mutable {
       sim_.after(prop_, [this, p] {
         if (sink_) sink_(p);
       });
-      if (on_dequeue_) on_dequeue_(p);
+      if (on_dequeue_) on_dequeue_(*p);
       transmit_next();
     });
   }
@@ -103,8 +111,9 @@ class Link {
   sim::Bandwidth rate_;
   sim::Time prop_;
   SinkFn sink_;
-  SinkFn on_dequeue_;
-  std::deque<Packet> q_;
+  DequeueFn on_dequeue_;
+  PacketPool pool_;
+  sim::RingQueue<PacketRef> q_;
   bool busy_ = false;
   bool down_ = false;
   double rate_factor_ = 1.0;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <ostream>
 
+#include "sim/pool.h"
 #include "sim/time.h"
 #include "sim/units.h"
 
@@ -64,6 +65,14 @@ struct Packet {
 
   SeqNum end_seq() const { return seq + payload; }
 };
+
+// Pooled packet handle: the datapath allocates Packets from a per-host
+// sim::Pool and passes this 8-byte ref through NIC → PCIe → IIO → MC →
+// CPU → transport instead of copying the ~168-byte struct at every hop.
+// PoolRef's implicit `const Packet&` conversion keeps `const Packet&`
+// call sites working unchanged.
+using PacketPool = sim::Pool<Packet>;
+using PacketRef = sim::PoolRef<Packet>;
 
 inline constexpr sim::Bytes kHeaderBytes = 66;  // Eth+IP+TCP headers + CRC
 

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -18,6 +17,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "sim/random.h"
+#include "sim/ring_queue.h"
 #include "sim/simulator.h"
 #include "sim/units.h"
 
@@ -39,20 +39,25 @@ struct SwitchConfig {
 
 class Switch {
  public:
-  using PortSink = std::function<void(const Packet&)>;
+  using PortSink = std::function<void(const PacketRef&)>;
 
   Switch(sim::Simulator& sim, SwitchConfig cfg) : sim_(sim), cfg_(cfg), rng_(cfg.seed) {}
 
   // Routes packets destined to `host` into a dedicated output port.
-  void connect(HostId host, PortSink sink) {
+  // `delivery_extra` is folded into the delivery timestamp: it lets the
+  // scenario collapse its per-packet "propagate to host" relay event into
+  // the switch's own delivery event (coalesced drain) — the packet arrives
+  // at the same simulated time either way, with one fewer scheduled event.
+  void connect(HostId host, PortSink sink, sim::Time delivery_extra = sim::Time::zero()) {
     Port port;
     port.sink = std::move(sink);
+    port.extra_delay = delivery_extra;
     ports_.emplace(host, std::move(port));
   }
 
   // Packet arriving on any input port.
-  void ingress(const Packet& p) {
-    auto it = ports_.find(p.dst);
+  void ingress(PacketRef p) {
+    auto it = ports_.find(p->dst);
     if (it == ports_.end()) {
       // A no-route packet indicates a miswired topology or a corrupted
       // destination — never silently ignorable.
@@ -60,27 +65,31 @@ class Switch {
         OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "net/switch",
                 "dropping packet for unknown host %llu (flow %llu); "
                 "counting further no-route drops silently",
-                static_cast<unsigned long long>(p.dst),
-                static_cast<unsigned long long>(p.flow));
+                static_cast<unsigned long long>(p->dst),
+                static_cast<unsigned long long>(p->flow));
       }
       ++no_route_drops_;
       return;
     }
     Port& port = it->second;
 
-    if (port.q_bytes + p.size > cfg_.port_buffer) {
+    if (port.q_bytes + p->size > cfg_.port_buffer) {
       ++port.drops;
       return;
     }
-    Packet q = p;
-    if (port.q_bytes >= cfg_.ecn_threshold && q.ecn == Ecn::kEct0) {
-      q.ecn = Ecn::kCe;
+    // ECN is marked in place on the pooled packet: at this point the
+    // switch is the only stage still routing it (upstream hops released
+    // their refs when serialization finished).
+    if (port.q_bytes >= cfg_.ecn_threshold && p->ecn == Ecn::kEct0) {
+      p->ecn = Ecn::kCe;
       ++port.marks;
     }
-    port.q.push_back(q);
-    port.q_bytes += q.size;
+    port.q_bytes += p->size;
+    port.q.push_back(std::move(p));
     if (!port.busy && !port.down) transmit_next(port);
   }
+  // By-value bridge (tests / apps driving the fabric directly).
+  void ingress(const Packet& p) { ingress(pool_.make(p)); }
 
   struct PortStats {
     std::uint64_t drops = 0;
@@ -129,13 +138,14 @@ class Switch {
  private:
   struct Port {
     PortSink sink;
-    std::deque<Packet> q;
+    sim::RingQueue<PacketRef> q;
     sim::Bytes q_bytes = 0;
     bool busy = false;
     bool down = false;
     std::uint64_t drops = 0;
     std::uint64_t marks = 0;
     sim::Time last_out;
+    sim::Time extra_delay;  // folded downstream propagation (see connect)
   };
 
   void transmit_next(Port& port) {
@@ -144,10 +154,13 @@ class Switch {
       return;
     }
     port.busy = true;
-    const Packet p = port.q.front();
+    PacketRef p = std::move(port.q.front());
     port.q.pop_front();
-    port.q_bytes -= p.size;
-    sim_.after(cfg_.port_rate.transfer_time(p.size), [this, &port, p] {
+    port.q_bytes -= p->size;
+    // Serialization time must be read before the init-capture below moves
+    // `p` (argument evaluation order is unspecified).
+    const sim::Time ser = cfg_.port_rate.transfer_time(p->size);
+    sim_.after(ser, [this, &port, p = std::move(p)]() mutable {
       const sim::Time jitter =
           cfg_.forward_jitter_max > sim::Time::zero()
               ? sim::Time::nanoseconds(rng_.uniform(0.0, cfg_.forward_jitter_max.ns()))
@@ -157,7 +170,7 @@ class Switch {
       sim::Time out = sim_.now() + cfg_.forward_latency + jitter;
       if (out < port.last_out) out = port.last_out;
       port.last_out = out;
-      sim_.at(out, [&port, p] { port.sink(p); });
+      sim_.at(out + port.extra_delay, [&port, p = std::move(p)] { port.sink(p); });
       transmit_next(port);
     });
   }
@@ -165,6 +178,7 @@ class Switch {
   sim::Simulator& sim_;
   SwitchConfig cfg_;
   sim::Rng rng_;
+  PacketPool pool_;
   std::unordered_map<HostId, Port> ports_;
   std::uint64_t no_route_drops_ = 0;
 };

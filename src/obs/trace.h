@@ -60,6 +60,17 @@ class PacketTracer {
     if (!enabled_) return;
     drop_slow(p, now);
   }
+  // PacketRef hooks: the tracer never takes ownership or copies the
+  // struct — stage_slow records only the scalar fields it needs (id,
+  // flow, size), so pooled packets pass through untouched.
+  void stage(PacketStage s, const net::PacketRef& p, sim::Time now) {
+    if (!enabled_) return;
+    stage_slow(s, *p, now);
+  }
+  void drop(const net::PacketRef& p, sim::Time now) {
+    if (!enabled_) return;
+    drop_slow(*p, now);
+  }
 
   // --- results ---
   // Latency of the interval ending at `to` (kNicArrive has no interval).

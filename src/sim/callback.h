@@ -68,6 +68,17 @@ class InlineCallback {
 
   void operator()() { ops_->invoke(buf_); }
 
+  // Invokes the callable once and leaves this callback empty, in a single
+  // indirect call (vs. three for move-out + invoke + destroy). The callable
+  // is moved to the caller's stack before it runs, so the invocation is
+  // safe even if it reuses or relocates this object's storage (the event
+  // queue recycles the slot into which new events may be pushed).
+  void consume() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->consume(buf_);
+  }
+
   // True if a callable of type D would be stored without heap allocation.
   template <typename D>
   static constexpr bool fits_inline =
@@ -79,6 +90,7 @@ class InlineCallback {
     void (*invoke)(void* buf);
     void (*relocate)(void* src, void* dst) noexcept;  // move into dst, destroy src
     void (*destroy)(void* buf) noexcept;
+    void (*consume)(void* buf);  // move out, destroy src, invoke
   };
 
   template <typename D>
@@ -90,6 +102,12 @@ class InlineCallback {
         s->~D();
       },
       [](void* buf) noexcept { std::launder(reinterpret_cast<D*>(buf))->~D(); },
+      [](void* buf) {
+        D* s = std::launder(reinterpret_cast<D*>(buf));
+        D local(std::move(*s));
+        s->~D();
+        local();
+      },
   };
 
   template <typename D>
@@ -99,6 +117,11 @@ class InlineCallback {
         ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
       },
       [](void* buf) noexcept { delete *std::launder(reinterpret_cast<D**>(buf)); },
+      [](void* buf) {
+        D* p = *std::launder(reinterpret_cast<D**>(buf));
+        (*p)();
+        delete p;
+      },
   };
 
   const Ops* ops_ = nullptr;

@@ -29,12 +29,14 @@
 
 namespace hostcc::sim {
 
-// Inline capture capacity for scheduled callbacks. The datapath's largest
-// steady-state lambdas carry a net::Packet (~168 bytes) plus a few words
-// (NIC delivery, IIO DDIO-hit completion, CPU work completion: 192 bytes);
-// 208 covers them with headroom. A static check in event_queue_test.cc
-// pins the assumption.
-inline constexpr std::size_t kEventInlineBytes = 208;
+// Inline capture capacity for scheduled callbacks. The datapath passes
+// packets as 8-byte net::PacketRef handles, so its largest steady-state
+// lambdas are a handful of words (NIC DMA chunk completion: this + ref +
+// bytes + placement + flag ≈ 32 bytes; CPU work completion ≈ 32 bytes);
+// 64 covers them with headroom while keeping the event slab dense —
+// slot size dropped ~2.5x versus the 208-byte era of by-value Packet
+// captures. A static check in event_queue_test.cc pins the assumption.
+inline constexpr std::size_t kEventInlineBytes = 64;
 using EventFn = InlineCallback<kEventInlineBytes>;
 
 class EventQueue;
@@ -91,6 +93,39 @@ class EventQueue {
   Time next_time() {
     drop_dead_tops();
     return heap_.empty() ? Time::max() : heap_.front().when;
+  }
+
+  // Insertion sequence of the earliest live event. Only meaningful right
+  // after next_time() returned a finite value (tombstones dropped, heap
+  // non-empty); the simulator uses it to order periodic-lane ticks against
+  // heap events exactly as if the ticks had been pushed.
+  std::uint64_t top_seq() const {
+    assert(!heap_.empty());
+    return heap_.front().seq;
+  }
+
+  // Claims the next insertion sequence number without pushing an event.
+  // Periodic lanes draw their tick ordering from the same counter the heap
+  // uses, which makes the lane/heap merge order identical to the order a
+  // pushed tick event would have had.
+  std::uint64_t take_seq() { return next_seq_++; }
+
+  // Pops the earliest live event and invokes it in one step, skipping the
+  // move-out/destroy round trip of pop(). Caller must have established via
+  // next_time() that a live event is at the top. The slot is released
+  // before the callback runs (the callable itself is moved to the stack
+  // first), so events pushed from inside the callback may reuse it.
+  void pop_top_and_run() {
+    assert(!heap_.empty());
+    const HeapEntry top = heap_.front();
+    Slot& s = slots_[top.slot];
+    assert(s.armed && s.generation == top.generation);
+    s.armed = false;
+    ++s.generation;
+    pop_heap_top();
+    release_slot(top.slot);
+    --live_;
+    slots_[top.slot].fn.consume();
   }
 
   // Removes and returns the earliest live event. Requires !empty().

@@ -1,0 +1,188 @@
+// Slab object pool with free-list recycling and a lightweight refcounted
+// handle (PoolRef). Built for the packet datapath: a net::Packet is ~168
+// bytes, and the seed datapath copied it by value at every hop (NIC queue,
+// PCIe completion lambda, IIO entry, CPU work item, transport dispatch) —
+// a dozen-plus copies per delivered packet plus the deque churn behind
+// them. A PoolRef is a single pointer: hops hand the same slot around and
+// the slab is reused once the pool reaches its high-water mark, so a warm
+// steady-state scenario performs no allocation in the packet path at all
+// (pinned by tests/datapath_alloc_test.cc).
+//
+// Ownership model: the pool's storage (Impl) is heap-allocated and
+// self-owning. Pool is a handle; destroying it while refs are still live
+// (e.g. captured in not-yet-executed simulator events) merely orphans the
+// Impl, which deletes itself when the last ref drops. This removes every
+// member-declaration-order constraint between pools, queues and the
+// simulator — refs may outlive the Pool object safely.
+//
+// Refcounts are plain (non-atomic) ints: a pool and all its refs belong to
+// one scenario, and SweepRunner gives each scenario its own thread. Not
+// thread-safe by design.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace hostcc::sim {
+
+template <typename T>
+class Pool;
+
+namespace detail {
+
+template <typename T>
+struct PoolImpl;
+
+template <typename T>
+struct PoolSlot {
+  T value{};
+  PoolImpl<T>* owner = nullptr;
+  PoolSlot* next_free = nullptr;
+  std::uint32_t refs = 0;
+};
+
+template <typename T>
+struct PoolImpl {
+  std::vector<std::unique_ptr<PoolSlot<T>[]>> slabs;
+  PoolSlot<T>* free_head = nullptr;
+  std::size_t live = 0;
+  std::size_t high_water = 0;
+  bool orphaned = false;
+};
+
+template <typename T>
+inline void pool_unref(PoolSlot<T>* s) noexcept {
+  assert(s->refs > 0);
+  if (--s->refs != 0) return;
+  PoolImpl<T>* im = s->owner;
+  s->next_free = im->free_head;
+  im->free_head = s;
+  --im->live;
+  if (im->orphaned && im->live == 0) delete im;
+}
+
+}  // namespace detail
+
+// Shared handle to one pooled slot. 8 bytes — cheap to copy into event
+// captures and FIFO slots. Copying bumps the (non-atomic) refcount; the
+// slot returns to its pool's free list when the last ref drops. The
+// implicit `const T&` conversion lets code written against
+// `const net::Packet&` callbacks keep working unchanged.
+template <typename T>
+class PoolRef {
+ public:
+  PoolRef() = default;
+  PoolRef(const PoolRef& o) noexcept : s_(o.s_) {
+    if (s_) ++s_->refs;
+  }
+  PoolRef(PoolRef&& o) noexcept : s_(o.s_) { o.s_ = nullptr; }
+  PoolRef& operator=(const PoolRef& o) noexcept {
+    if (s_ != o.s_) {
+      reset();
+      s_ = o.s_;
+      if (s_) ++s_->refs;
+    }
+    return *this;
+  }
+  PoolRef& operator=(PoolRef&& o) noexcept {
+    if (this != &o) {
+      reset();
+      s_ = o.s_;
+      o.s_ = nullptr;
+    }
+    return *this;
+  }
+  ~PoolRef() { reset(); }
+
+  void reset() noexcept {
+    if (s_) {
+      detail::pool_unref(s_);
+      s_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return s_ != nullptr; }
+  T& operator*() const {
+    assert(s_);
+    return s_->value;
+  }
+  T* operator->() const {
+    assert(s_);
+    return &s_->value;
+  }
+  T* get() const { return s_ ? &s_->value : nullptr; }
+  operator const T&() const {
+    assert(s_);
+    return s_->value;
+  }
+  std::uint32_t use_count() const { return s_ ? s_->refs : 0; }
+
+ private:
+  friend class Pool<T>;
+  explicit PoolRef(detail::PoolSlot<T>* s) noexcept : s_(s) {}
+  detail::PoolSlot<T>* s_ = nullptr;
+};
+
+template <typename T>
+class Pool {
+ public:
+  // Slots are allocated kSlabSlots at a time; 64 packets ≈ one slab per
+  // typical in-flight window, so most scenarios touch 1-3 slabs total.
+  static constexpr std::size_t kSlabSlots = 64;
+
+  Pool() : impl_(new detail::PoolImpl<T>) {}
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+  ~Pool() {
+    impl_->orphaned = true;
+    if (impl_->live == 0) delete impl_;
+  }
+
+  // Fresh slot with a value-initialized T (recycled slots are reset).
+  PoolRef<T> make() {
+    detail::PoolSlot<T>* s = acquire();
+    s->value = T{};
+    return PoolRef<T>(s);
+  }
+
+  // Fresh slot initialized as a copy of `v` (bridge for by-value callers).
+  PoolRef<T> make(const T& v) {
+    detail::PoolSlot<T>* s = acquire();
+    s->value = v;
+    return PoolRef<T>(s);
+  }
+
+  std::size_t live() const { return impl_->live; }
+  std::size_t high_water() const { return impl_->high_water; }
+  std::size_t allocated_slots() const { return impl_->slabs.size() * kSlabSlots; }
+
+ private:
+  detail::PoolSlot<T>* acquire() {
+    detail::PoolImpl<T>* im = impl_;
+    if (im->free_head == nullptr) grow(im);
+    detail::PoolSlot<T>* s = im->free_head;
+    im->free_head = s->next_free;
+    s->next_free = nullptr;
+    s->refs = 1;
+    if (++im->live > im->high_water) im->high_water = im->live;
+    return s;
+  }
+
+  static void grow(detail::PoolImpl<T>* im) {
+    auto slab = std::make_unique<detail::PoolSlot<T>[]>(kSlabSlots);
+    for (std::size_t i = 0; i < kSlabSlots; ++i) {
+      slab[i].owner = im;
+      slab[i].next_free = im->free_head;
+      im->free_head = &slab[i];
+    }
+    im->slabs.push_back(std::move(slab));
+  }
+
+  detail::PoolImpl<T>* impl_;
+};
+
+}  // namespace hostcc::sim

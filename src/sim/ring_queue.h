@@ -1,0 +1,110 @@
+// Power-of-two ring buffer FIFO replacing the std::deque queues on the
+// packet datapath (NIC rx queue, IIO memory queue, switch ports, links,
+// TX path, CPU per-core work queues). libstdc++'s deque allocates a
+// ~512-byte block per chunk and frees it again as the queue drains, so a
+// steady-state scenario paid allocator traffic proportional to packet
+// rate. RingQueue grows by doubling to its high-water mark during warmup
+// and never allocates again.
+//
+// T must be default-constructible and move-assignable. pop_front() resets
+// the vacated slot to T{} so resource handles (e.g. net::PacketRef) are
+// released the moment they leave the queue, not when the slot is
+// overwritten much later.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hostcc::sim {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+  explicit RingQueue(std::size_t min_capacity) { reserve(min_capacity); }
+
+  // Ensures capacity for at least `n` elements (rounded up to a power of
+  // two). Existing contents and FIFO order are preserved.
+  void reserve(std::size_t n) {
+    if (n > buf_.size()) regrow(pow2_at_least(n));
+  }
+
+  void push_back(T v) {
+    if (count_ == buf_.size()) {
+      regrow(buf_.empty() ? kMinCapacity : buf_.size() * 2);
+    }
+    buf_[(head_ + count_) & mask_] = std::move(v);
+    ++count_;
+  }
+
+  void pop_front() {
+    assert(count_ > 0);
+    buf_[head_] = T{};
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  T& front() {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+  const T& front() const {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+  T& back() {
+    assert(count_ > 0);
+    return buf_[(head_ + count_ - 1) & mask_];
+  }
+  const T& back() const {
+    assert(count_ > 0);
+    return buf_[(head_ + count_ - 1) & mask_];
+  }
+
+  // i-th element from the front (0 == front). Used by IIO's mem_offer
+  // scan and the CPU backlog accounting, which iterate without popping.
+  T& operator[](std::size_t i) {
+    assert(i < count_);
+    return buf_[(head_ + i) & mask_];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < count_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void clear() {
+    while (count_ > 0) pop_front();
+  }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t capacity() const { return buf_.size(); }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+
+  static std::size_t pow2_at_least(std::size_t n) {
+    std::size_t c = kMinCapacity;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  void regrow(std::size_t cap) {
+    std::vector<T> nb(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      nb[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(nb);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace hostcc::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "obs/log.h"
 #include "transport/stack.h"
@@ -58,7 +59,10 @@ void TcpConnection::try_send() {
 }
 
 void TcpConnection::send_segment(net::SeqNum seq, sim::Bytes len, bool is_retx, bool is_tlp) {
-  net::Packet p;
+  // Build directly in the host's packet pool; the ref rides the TX path
+  // and fabric without the struct ever being copied.
+  net::PacketRef pr = stack_.packet_pool().make();
+  net::Packet& p = *pr;
   p.id = stack_.next_packet_id();
   p.flow = flow_;
   p.src = self_;
@@ -85,7 +89,7 @@ void TcpConnection::send_segment(net::SeqNum seq, sim::Bytes len, bool is_retx, 
 
   ++stats_.data_packets_sent;
   if (is_retx) stats_.retransmitted_bytes += len;
-  stack_.output(p);
+  stack_.output(std::move(pr));
 }
 
 void TcpConnection::on_packet(const net::Packet& p) {
@@ -145,7 +149,8 @@ void TcpConnection::receive_data(const net::Packet& p) {
 }
 
 void TcpConnection::send_ack(const net::Packet& trigger) {
-  net::Packet a;
+  net::PacketRef ar = stack_.packet_pool().make();
+  net::Packet& a = *ar;
   a.id = stack_.next_packet_id();
   a.flow = flow_;
   a.src = self_;
@@ -167,7 +172,7 @@ void TcpConnection::send_ack(const net::Packet& trigger) {
   a.sent_at = sim_.now();
 
   ++stats_.acks_sent;
-  stack_.output(a);
+  stack_.output(std::move(ar));
 }
 
 // ------------------------------------------------------------------ sender
@@ -327,21 +332,65 @@ void TcpConnection::arm_timers() {
   const bool tlp_eligible = cfg_.tlp_enabled && inflight_packets() > 1 && !in_recovery_ &&
                             srtt_ > sim::Time::zero();
   if (tlp_eligible) {
-    if (!tlp_timer_.pending()) {
-      rto_timer_.cancel();
+    if (tlp_deadline_ == sim::Time::max()) {
+      rto_deadline_ = sim::Time::max();
       const sim::Time pto = std::max(srtt_ * 2.0, cfg_.tlp_min);
-      tlp_timer_ = sim_.after(pto, [this] { on_tlp(); });
+      schedule_tlp(sim_.now() + pto);
     }
-  } else if (!rto_timer_.pending()) {
-    tlp_timer_.cancel();
-    rto_timer_ = sim_.after(rto_ * static_cast<double>(rto_backoff_), [this] { on_rto(); });
+  } else if (rto_deadline_ == sim::Time::max()) {
+    tlp_deadline_ = sim::Time::max();
+    schedule_rto(sim_.now() + rto_ * static_cast<double>(rto_backoff_));
   }
 }
 
+// Timers are lazy deadlines (see connection.h): arming just moves the
+// deadline; the scheduled event re-checks it when it fires and either acts,
+// re-arms for the remainder, or no-ops if disarmed. ACK clocking moves the
+// deadline thousands of times per RTO, so this trades per-ACK event-heap
+// cancel+push for one push per deadline chase.
 void TcpConnection::cancel_timers() {
-  rto_timer_.cancel();
-  tlp_timer_.cancel();
+  rto_deadline_ = sim::Time::max();
+  tlp_deadline_ = sim::Time::max();
   rack_timer_.cancel();
+}
+
+void TcpConnection::schedule_rto(sim::Time deadline) {
+  rto_deadline_ = deadline;
+  // A pending event that fires at or before the deadline re-checks then.
+  if (rto_timer_.pending() && rto_event_at_ <= deadline) return;
+  rto_timer_.cancel();
+  rto_event_at_ = deadline;
+  rto_timer_ = sim_.at(deadline, [this] { rto_event(); });
+}
+
+void TcpConnection::rto_event() {
+  if (rto_deadline_ == sim::Time::max()) return;  // disarmed since scheduling
+  if (sim_.now() < rto_deadline_) {               // deadline moved later: chase it
+    rto_event_at_ = rto_deadline_;
+    rto_timer_ = sim_.at(rto_deadline_, [this] { rto_event(); });
+    return;
+  }
+  rto_deadline_ = sim::Time::max();
+  on_rto();
+}
+
+void TcpConnection::schedule_tlp(sim::Time deadline) {
+  tlp_deadline_ = deadline;
+  if (tlp_timer_.pending() && tlp_event_at_ <= deadline) return;
+  tlp_timer_.cancel();
+  tlp_event_at_ = deadline;
+  tlp_timer_ = sim_.at(deadline, [this] { tlp_event(); });
+}
+
+void TcpConnection::tlp_event() {
+  if (tlp_deadline_ == sim::Time::max()) return;
+  if (sim_.now() < tlp_deadline_) {
+    tlp_event_at_ = tlp_deadline_;
+    tlp_timer_ = sim_.at(tlp_deadline_, [this] { tlp_event(); });
+    return;
+  }
+  tlp_deadline_ = sim::Time::max();
+  on_tlp();
 }
 
 
@@ -351,8 +400,7 @@ void TcpConnection::on_tlp() {
   auto last = std::prev(segs_.end());
   ++stats_.tlp_probes;
   send_segment(last->first, last->second.len, /*is_retx=*/true, /*is_tlp=*/true);
-  rto_timer_.cancel();
-  rto_timer_ = sim_.after(rto_ * static_cast<double>(rto_backoff_), [this] { on_rto(); });
+  schedule_rto(sim_.now() + rto_ * static_cast<double>(rto_backoff_));
 }
 
 void TcpConnection::on_rto() {

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <memory_resource>
 #include <utility>
 #include <vector>
 
@@ -77,13 +78,21 @@ class TcpConnection {
   net::SeqNum snd_una() const { return snd_una_; }
   net::SeqNum snd_nxt() const { return snd_nxt_; }
   net::SeqNum rcv_nxt() const { return rcv_nxt_; }
-  std::vector<std::pair<net::SeqNum, net::SeqNum>> ooo_ranges() const {
-    return {ooo_.begin(), ooo_.end()};
+  // Both views fill a reusable member buffer instead of returning a fresh
+  // vector: the buffers keep their high-water capacity, so repeated calls
+  // (per-ACK diagnostics, polling tests) stop hitting the allocator. The
+  // returned reference is invalidated by the next call.
+  const std::vector<std::pair<net::SeqNum, net::SeqNum>>& ooo_ranges() const {
+    ooo_scratch_.clear();
+    ooo_scratch_.reserve(ooo_.size());
+    ooo_scratch_.insert(ooo_scratch_.end(), ooo_.begin(), ooo_.end());
+    return ooo_scratch_;
   }
-  std::vector<std::pair<net::SeqNum, bool>> segment_sack_map() const {
-    std::vector<std::pair<net::SeqNum, bool>> v;
-    for (const auto& [seq, seg] : segs_) v.emplace_back(seq, seg.sacked);
-    return v;
+  const std::vector<std::pair<net::SeqNum, bool>>& segment_sack_map() const {
+    sack_scratch_.clear();
+    sack_scratch_.reserve(segs_.size());
+    for (const auto& [seq, seg] : segs_) sack_scratch_.emplace_back(seq, seg.sacked);
+    return sack_scratch_;
   }
   bool in_recovery() const { return in_recovery_; }
 
@@ -120,6 +129,10 @@ class TcpConnection {
   void process_ack(const net::Packet& p);
   void arm_timers();
   void cancel_timers();
+  void schedule_rto(sim::Time deadline);
+  void schedule_tlp(sim::Time deadline);
+  void rto_event();
+  void tlp_event();
   void on_rto();
   void on_tlp();
   sim::Bytes send_window() const;
@@ -143,7 +156,12 @@ class TcpConnection {
   net::SeqNum write_limit_ = 0;  // last byte the app has produced
   bool infinite_source_ = false;
   sim::Bytes peer_rwnd_;
-  std::map<net::SeqNum, Segment> segs_;  // in-flight segments by seq
+  // Map nodes are recycled through a per-connection pool resource: the
+  // per-ACK erase/emplace churn in process_ack and the receive-side
+  // interval merging otherwise hit the global allocator on every ACK.
+  // Declared before the maps that use it (destroyed after them).
+  std::pmr::unsynchronized_pool_resource map_mem_;
+  std::pmr::map<net::SeqNum, Segment> segs_{&map_mem_};  // in-flight segments by seq
   int dup_acks_ = 0;
   bool in_recovery_ = false;
   net::SeqNum recovery_point_ = 0;
@@ -153,18 +171,30 @@ class TcpConnection {
   sim::Time rttvar_ = sim::Time::zero();
   sim::Time rto_;
   int rto_backoff_ = 1;
+  // Retransmission timers are lazy deadlines: every ACK moves the deadline
+  // field, but the scheduled event is only (re)pushed when it fires early
+  // and finds the deadline still in the future. This turns per-ACK
+  // cancel+push churn in the event heap into roughly one push per RTO.
+  // Time::max() means disarmed; the in-flight event no-ops.
+  sim::Time rto_deadline_ = sim::Time::max();
+  sim::Time tlp_deadline_ = sim::Time::max();
+  sim::Time rto_event_at_ = sim::Time::max();  // fire time of the pending event
+  sim::Time tlp_event_at_ = sim::Time::max();
   sim::EventHandle rto_timer_;
   sim::EventHandle tlp_timer_;
   sim::EventHandle rack_timer_;  // recovery self-clock (RFC 8985-style)
 
   // --- receiver state ---
   net::SeqNum rcv_nxt_ = 0;
-  std::map<net::SeqNum, net::SeqNum> ooo_;  // disjoint [begin,end) intervals
+  // Disjoint [begin,end) intervals; nodes recycled via map_mem_.
+  std::pmr::map<net::SeqNum, net::SeqNum> ooo_{&map_mem_};
   sim::Bytes ooo_bytes_ = 0;
   sim::Bytes delivered_bytes_ = 0;
 
   std::function<void(sim::Bytes)> on_delivered_;
   Stats stats_;
+  mutable std::vector<std::pair<net::SeqNum, net::SeqNum>> ooo_scratch_;
+  mutable std::vector<std::pair<net::SeqNum, bool>> sack_scratch_;
 };
 
 }  // namespace hostcc::transport

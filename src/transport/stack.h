@@ -20,7 +20,7 @@ class Stack {
  public:
   Stack(sim::Simulator& sim, host::HostModel& host, net::HostId id, TransportConfig cfg)
       : sim_(sim), host_(host), id_(id), cfg_(cfg) {
-    host_.set_stack_rx([this](net::Packet p) { dispatch(p); });
+    host_.set_stack_rx([this](net::Packet& p) { dispatch(p); });
     host_.set_on_tx_drained([this](net::FlowId f) {
       auto it = conns_.find(f);
       if (it != conns_.end()) it->second->on_tx_drained();
@@ -45,8 +45,19 @@ class Stack {
   host::HostModel& host() { return host_; }
 
   // --- used by TcpConnection ---
-  void output(const net::Packet& p) { host_.send(p); }
-  std::uint64_t next_packet_id() { return (static_cast<std::uint64_t>(id_) << 40) | ++pkt_seq_; }
+  // Connections build their outbound packets directly in the host's pool
+  // and hand the ref down; no Packet is copied on the egress path.
+  void output(net::PacketRef p) { host_.send(std::move(p)); }
+  net::PacketPool& packet_pool() { return host_.packet_pool(); }
+  std::uint64_t next_packet_id() {
+    // Packet ids pack (host id << 40 | per-host sequence). The sequence
+    // must never spill into the host-id bits: at ~10M packets per simulated
+    // second, 2^40 covers ~30 hours of simulated time, so this is a
+    // wraparound guard, not a practical limit.
+    ++pkt_seq_;
+    assert(pkt_seq_ < (1ULL << 40) && "Packet::id sequence overflow into host-id bits");
+    return (static_cast<std::uint64_t>(id_) << 40) | pkt_seq_;
+  }
   sim::Bytes advertised_window(net::FlowId flow, sim::Bytes ooo_bytes) const {
     const sim::Bytes w = host_.rwnd_for(flow) - ooo_bytes;
     return w > 0 ? w : 0;

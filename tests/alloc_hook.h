@@ -1,0 +1,22 @@
+// Global operator-new hook shared by allocation-sensitive tests: counts
+// allocations while armed, so tests can assert that a steady-state path
+// (event core, packet datapath) never touches the heap. The replacement
+// operators live in alloc_hook.cc and affect the whole test binary; they
+// forward to malloc and only bump a counter when a test arms them.
+#pragma once
+
+#include <cstdint>
+
+namespace hostcc::testing {
+
+// Zeroes the counter (typically right before arming).
+void reset_alloc_count();
+
+// Arms/disarms counting. Disarmed by default; keep the armed window tight
+// around the code under test.
+void set_alloc_counting(bool on);
+
+// Allocations observed while armed since the last reset.
+std::uint64_t alloc_count();
+
+}  // namespace hostcc::testing

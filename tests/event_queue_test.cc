@@ -4,35 +4,11 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
 #include <memory>
-#include <new>
 #include <vector>
 
+#include "alloc_hook.h"
 #include "net/packet.h"
-
-// Global operator-new hook: counts allocations while armed, so tests can
-// assert the event core's steady-state path never touches the heap.
-// Replacing these affects the whole test binary; they forward to malloc
-// and only bump a counter when a test arms them.
-namespace {
-std::atomic<bool> g_count_allocs{false};
-std::atomic<std::uint64_t> g_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  if (g_count_allocs.load(std::memory_order_relaxed)) {
-    g_allocs.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace hostcc::sim {
 namespace {
@@ -170,13 +146,19 @@ TEST(EventQueueTest, CancelReleasesCapturesImmediately) {
 
 TEST(EventQueueTest, SteadyStatePushPopDoesNotAllocate) {
   EventQueue q;
-  net::Packet pkt;
-  pkt.payload = 4000;
+  net::PacketPool pool;
+  net::PacketRef pkt = pool.make();
+  pkt->payload = 4000;
   int sink = 0;
-  const auto make_event = [&sink, pkt] { sink += static_cast<int>(pkt.payload); };
-  // The datapath's biggest common capture (a Packet plus a few words) must
-  // stay within the pool's inline storage.
+  const auto make_event = [&sink, pkt] { sink += static_cast<int>(pkt->payload); };
+  // The datapath's common capture shape — a pooled ref plus a few words —
+  // must stay within the event pool's inline storage...
   static_assert(EventFn::fits_inline<decltype(make_event)>);
+  // ...while a by-value Packet capture deliberately does NOT fit anymore:
+  // the slab slot was shrunk when the datapath moved to PacketRef, and a
+  // regression back to struct captures would silently heap-allocate.
+  const auto by_value = [&sink, p = net::Packet{}] { sink += static_cast<int>(p.payload); };
+  static_assert(!EventFn::fits_inline<decltype(by_value)>);
 
   std::vector<EventHandle> hs;
   hs.reserve(64);
@@ -193,11 +175,12 @@ TEST(EventQueueTest, SteadyStatePushPopDoesNotAllocate) {
   };
   churn(4);  // warm the slab and the heap vector up to capacity
 
-  g_allocs.store(0);
-  g_count_allocs.store(true);
+  hostcc::testing::reset_alloc_count();
+  hostcc::testing::set_alloc_counting(true);
   churn(8);
-  g_count_allocs.store(false);
-  EXPECT_EQ(g_allocs.load(), 0u) << "event push/pop/cancel hit the heap at steady state";
+  hostcc::testing::set_alloc_counting(false);
+  EXPECT_EQ(hostcc::testing::alloc_count(), 0u)
+      << "event push/pop/cancel hit the heap at steady state";
   EXPECT_GT(sink, 0);
 }
 

@@ -23,13 +23,13 @@ class Testbed {
     // Order matters: schedule this packet's delivery before notifying the
     // TSQ drain (which re-enters the stack and may emit the next packet);
     // net::Link preserves the same ordering.
-    a_host.set_egress([this, one_way](const net::Packet& p) {
+    a_host.set_egress([this, one_way](const net::PacketRef& p) {
       sim.after(one_way, [this, p] { b_host.receive_from_wire(p); });
-      a_host.wire_dequeued(p);
+      a_host.wire_dequeued(*p);
     });
-    b_host.set_egress([this, one_way](const net::Packet& p) {
+    b_host.set_egress([this, one_way](const net::PacketRef& p) {
       sim.after(one_way, [this, p] { a_host.receive_from_wire(p); });
-      b_host.wire_dequeued(p);
+      b_host.wire_dequeued(*p);
     });
   }
 

@@ -30,13 +30,15 @@ import subprocess
 import sys
 from pathlib import Path
 
-# The engine's fast hot-path microbenchmarks. BM_HostDatapathTracer is
-# excluded from the default smoke set: it runs full millisecond-scale
-# datapath simulations and its acceptance criterion (disabled-tracer
-# overhead) is relative, not absolute.
+# The engine's fast hot-path microbenchmarks plus the end-to-end scenario
+# packet-throughput headline. BM_HostDatapathTracer is excluded from the
+# default smoke set: it runs full millisecond-scale datapath simulations
+# and its acceptance criterion (disabled-tracer overhead) is relative, not
+# absolute.
 DEFAULT_FILTER = (
-    "BM_EventQueuePushPop$|BM_EventCancellation|BM_EventQueuePushPopPacketCapture|"
-    "BM_SimulatorTimerChurn|BM_EwmaAdd|BM_HistogramRecord|BM_MemControllerQuantum"
+    "BM_EventQueuePushPop$|BM_EventCancellation|BM_EventQueuePushPopRefCapture|"
+    "BM_SimulatorTimerChurn|BM_EwmaAdd|BM_HistogramRecord|BM_MemControllerQuantum|"
+    "BM_ScenarioPacketsPerSecond"
 )
 
 
