@@ -4,6 +4,7 @@
 // disabled-path overhead on the host datapath.
 #include <benchmark/benchmark.h>
 
+#include "exp/fabric_scenario.h"
 #include "exp/scenario.h"
 #include "host/config.h"
 #include "host/host.h"
@@ -232,6 +233,32 @@ void BM_ScenarioPacketsPerSecond(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(pkts));
 }
 BENCHMARK(BM_ScenarioPacketsPerSecond)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Rack-scale headline: wall-clock packet throughput of a warm multi-switch
+// fabric run (N full HostModels incasting through a shared-buffer
+// leaf-spine with ECMP). Arg = participating hosts; the topology stays
+// leaf-spine:4x4 so the switch count is fixed while host fan-in scales.
+// items/sec is packets arriving at the incast destination's NIC per second
+// of wall time.
+void BM_FabricHostScaling(benchmark::State& state) {
+  exp::FabricScenarioConfig cfg;
+  cfg.topology = "leaf-spine:4x4";
+  cfg.hosts = static_cast<int>(state.range(0));
+  cfg.mapp_degree = 0.0;
+  cfg.warmup = sim::Time::milliseconds(5);
+  cfg.measure = sim::Time::milliseconds(2);
+  exp::FabricScenario s(std::move(cfg));
+  s.run_warmup();
+  s.run_for(sim::Time::milliseconds(5));  // settle past slow start's tail
+  std::uint64_t pkts = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = s.host(0).nic().stats().arrived_pkts;
+    s.run_for(sim::Time::milliseconds(1));
+    pkts += s.host(0).nic().stats().arrived_pkts - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pkts));
+}
+BENCHMARK(BM_FabricHostScaling)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,315 @@
+#include "exp/fabric_scenario.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+
+namespace hostcc::exp {
+
+namespace {
+
+// Deterministic per-host seed differentiation (mirrors the fabric's
+// per-switch mixer so host i is reproducible independent of host count).
+std::uint64_t mix_host_seed(std::uint64_t seed, std::uint64_t idx) {
+  std::uint64_t x = seed ^ (0xd1b54a32d192ed03ull * (idx + 1));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Full startup validation, aggregated (HostConfig pattern): topology
+// grammar and graph checks, host/hostCC/fault-plan checks, and
+// fabric-specific knobs, all collected before anything is built.
+std::vector<std::string> validate(const FabricScenarioConfig& cfg,
+                                  const std::optional<fabric::Topology>& topo,
+                                  const std::string& topo_err) {
+  std::vector<std::string> errs = host::validate(cfg.host);
+  if (cfg.hostcc_enabled) {
+    for (auto& e : core::validate(cfg.hostcc)) errs.push_back(std::move(e));
+  }
+  for (auto& e : cfg.faults.validate()) errs.push_back(std::move(e));
+  if (!topo) {
+    errs.push_back("fabric_scenario.topology: " + topo_err);
+  } else {
+    for (auto& e : topo->validate()) errs.push_back(std::move(e));
+  }
+  if (cfg.flows_per_pair < 1) {
+    errs.push_back("fabric_scenario.flows_per_pair must be >= 1 (got " +
+                   std::to_string(cfg.flows_per_pair) + ")");
+  }
+  if (cfg.mapp_degree < 0.0) errs.push_back("fabric_scenario.mapp_degree must be >= 0");
+  if (cfg.congested_hosts < 0) errs.push_back("fabric_scenario.congested_hosts must be >= 0");
+  if (cfg.warmup < sim::Time::zero() || cfg.measure < sim::Time::zero()) {
+    errs.push_back("fabric_scenario.warmup/measure must be >= 0");
+  }
+  if (cfg.flow_stagger < sim::Time::zero()) {
+    errs.push_back("fabric_scenario.flow_stagger must be >= 0");
+  }
+  if (topo) {
+    const int avail = topo->host_count();
+    if (cfg.hosts < 0 || cfg.hosts > avail) {
+      errs.push_back("fabric_scenario.hosts must be in [0, " + std::to_string(avail) +
+                     "] for topology '" + cfg.topology + "' (got " + std::to_string(cfg.hosts) +
+                     ")");
+    } else if (const int n = cfg.hosts > 0 ? cfg.hosts : avail; n < 2) {
+      errs.push_back("fabric_scenario: need >= 2 participating hosts (topology '" +
+                     cfg.topology + "' with hosts=" + std::to_string(cfg.hosts) + " gives " +
+                     std::to_string(n) + ")");
+    }
+    // Edge-name fault targets must exist in this topology.
+    for (const faults::FaultEvent& ev : cfg.faults.events) {
+      if (ev.target_edge.empty()) continue;
+      bool found = false;
+      for (const fabric::TopoArc& a : topo->arcs()) {
+        if (a.link == ev.target_edge) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        errs.push_back(std::string("fault ") + faults::fault_kind_name(ev.kind) + ": edge '" +
+                       ev.target_edge + "' does not exist in topology '" + cfg.topology + "'");
+      }
+    }
+  }
+  return errs;
+}
+
+}  // namespace
+
+FabricScenario::FabricScenario(FabricScenarioConfig cfg) : cfg_(std::move(cfg)) { build(); }
+FabricScenario::~FabricScenario() = default;
+
+core::HostCcController* FabricScenario::controller(int i) {
+  return i < static_cast<int>(controllers_.size()) ? controllers_[i].get() : nullptr;
+}
+
+void FabricScenario::build() {
+  std::string topo_err;
+  std::optional<fabric::Topology> topo = fabric::Topology::parse(cfg_.topology, &topo_err);
+  if (auto errs = validate(cfg_, topo, topo_err); !errs.empty()) {
+    std::string joined = "invalid fabric scenario config:";
+    for (const std::string& e : errs) joined += "\n  - " + e;
+    throw std::invalid_argument(joined);
+  }
+
+  bool coalesced = cfg_.coalesced_drains;
+  if (const char* mode = std::getenv("HOSTCC_DRAIN_MODE")) {
+    coalesced = std::string_view(mode) != "per_packet";
+  }
+
+  const std::vector<int> host_nodes = topo->host_nodes();
+  const int n_hosts = cfg_.hosts > 0 ? cfg_.hosts : static_cast<int>(host_nodes.size());
+
+  fabric_ = std::make_unique<fabric::Fabric>(sim_, *topo, cfg_.fabric, coalesced);
+
+  // Flow destinations: incast concentrates on host 0; all-to-all makes
+  // every host a destination. MApps/hostCC ride the first
+  // `congested_hosts` destinations.
+  destinations_.clear();
+  if (cfg_.traffic == FabricTraffic::kIncast) {
+    destinations_.push_back(0);
+  } else {
+    for (int i = 0; i < n_hosts; ++i) destinations_.push_back(i);
+  }
+  const auto is_destination = [this](int i) {
+    for (int d : destinations_)
+      if (d == i) return true;
+    return false;
+  };
+
+  // Hosts + stacks + fabric attachment, in HostId order.
+  for (int i = 0; i < n_hosts; ++i) {
+    const net::HostId id = static_cast<net::HostId>(i);
+    host::HostConfig hc = cfg_.host;
+    hc.seed = mix_host_seed(cfg_.host.seed, static_cast<std::uint64_t>(i));
+    // Pure senders are unloaded; the datapath choice is moot there (same
+    // convention as exp::Scenario's sender hosts).
+    if (!is_destination(i)) hc.ddio_enabled = false;
+    const std::string& name = topo->nodes()[host_nodes[i]].name;
+    auto h = std::make_unique<host::HostModel>(sim_, hc, name);
+    auto stack = std::make_unique<transport::Stack>(sim_, *h, id, cfg_.transport);
+
+    host::HostModel* hp = h.get();
+    net::Link& up = fabric_->attach_host(
+        id, name, [hp](const net::PacketRef& p) { hp->receive_from_wire(p); });
+    up.set_on_dequeue([hp](const net::Packet& p) { hp->wire_dequeued(p); });
+    hp->set_egress([lnk = &up](const net::PacketRef& p) { lnk->send(p); });
+
+    hosts_.push_back(std::move(h));
+    stacks_.push_back(std::move(stack));
+  }
+  fabric_->finalize();
+
+  // Long flows: one ThroughputApp per (sender, destination) pair with
+  // globally unique flow ids.
+  {
+    net::FlowId fid = 100;
+    for (int dst : destinations_) {
+      for (int src = 0; src < n_hosts; ++src) {
+        if (src == dst) continue;
+        tput_apps_.push_back(std::make_unique<apps::ThroughputApp>(
+            *stacks_[src], *stacks_[dst], cfg_.flows_per_pair, fid, cfg_.flow_stagger));
+        fid += static_cast<net::FlowId>(cfg_.flows_per_pair);
+      }
+    }
+  }
+
+  // MApp interference + optional hostCC on the congested destinations.
+  const int congested = std::min(cfg_.congested_hosts, static_cast<int>(destinations_.size()));
+  for (int c = 0; c < congested; ++c) {
+    const int hid = destinations_[c];
+    if (cfg_.mapp_degree > 0.0) {
+      mapps_.push_back(std::make_unique<apps::MemApp>(
+          *hosts_[hid], host::mapp_cores_for_degree(cfg_.mapp_degree)));
+    }
+    if (cfg_.hostcc_enabled) {
+      auto ctl = std::make_unique<core::HostCcController>(*hosts_[hid], cfg_.hostcc);
+      ctl->start();
+      controllers_.push_back(std::move(ctl));
+      controller_host_.push_back(hid);
+    }
+  }
+  if (controllers_.empty()) {
+    passive_sampler_ = std::make_unique<core::SignalSampler>(*hosts_[0], cfg_.hostcc.signals);
+    passive_sampler_->start();
+  }
+
+  // Invariant audit: per-host conservation laws on every host, plus the
+  // fabric-wide shared-buffer ledger. Read-only either way.
+  if (cfg_.check_invariants) {
+    for (auto& h : hosts_) {
+      host_checkers_.push_back(std::make_unique<faults::InvariantChecker>(*h));
+      host_checkers_.back()->start();
+    }
+    fabric_checker_ = std::make_unique<faults::FabricInvariantChecker>(sim_, *fabric_);
+    fabric_checker_->start();
+  }
+
+  // Fault injection: numeric link targets are uplink indices (= HostIds);
+  // named targets resolve through the fabric's edge surface.
+  if (!cfg_.faults.empty()) {
+    injector_ = std::make_unique<faults::FaultInjector>(sim_, cfg_.faults);
+    injector_->attach_msrs(hosts_[0]->msrs());
+    injector_->attach_mba(hosts_[0]->mba());
+    for (int i = 0; i < n_hosts; ++i) {
+      if (net::Link* up = fabric_->uplink(static_cast<net::HostId>(i))) {
+        injector_->attach_link(i, *up);
+      }
+    }
+    injector_->attach_fabric(*fabric_);
+    injector_->attach_sampler(controllers_.empty() ? *passive_sampler_
+                                                   : controllers_[0]->sampler());
+    injector_->arm();
+  }
+
+  // Observability. Host metric prefixes are the topology host names, so
+  // per-switch and per-host series line up with docs/TOPOLOGY.md.
+  metrics_.gauge("sim/events_executed",
+                 [this] { return static_cast<double>(sim_.events_executed()); });
+  for (auto& h : hosts_) h->register_metrics(metrics_);
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    stacks_[i]->register_metrics(metrics_, hosts_[i]->name() + "/transport");
+  }
+  for (std::size_t c = 0; c < controllers_.size(); ++c) {
+    controllers_[c]->register_metrics(metrics_,
+                                      hosts_[controller_host_[c]]->name() + "/hostcc");
+  }
+  if (passive_sampler_) {
+    passive_sampler_->register_metrics(metrics_, hosts_[0]->name() + "/hostcc/signals");
+  }
+  fabric_->register_metrics(metrics_, "fabric");
+  for (std::size_t i = 0; i < host_checkers_.size(); ++i) {
+    host_checkers_[i]->register_metrics(metrics_, hosts_[i]->name() + "/invariants");
+  }
+  if (fabric_checker_) fabric_checker_->register_metrics(metrics_, "fabric/invariants");
+  if (injector_) injector_->register_metrics(metrics_, "faults");
+}
+
+void FabricScenario::run_for(sim::Time d) { sim_.run_until(sim_.now() + d); }
+
+void FabricScenario::run_warmup() {
+  run_for(cfg_.warmup);
+  mark_measurement_start();
+}
+
+void FabricScenario::mark_measurement_start() {
+  const sim::Time now = sim_.now();
+  const fabric::FabricSwitch::Totals t = fabric_->totals();
+  base_fabric_drops_ = t.drops;
+  base_fabric_marks_ = t.marks;
+  base_dst_arrived_ = 0;
+  base_dst_dropped_ = 0;
+  for (int d : destinations_) {
+    base_dst_arrived_ += hosts_[d]->nic().stats().arrived_pkts;
+    base_dst_dropped_ += hosts_[d]->nic().stats().dropped_pkts;
+  }
+  for (auto& app : tput_apps_) app->goodput_since_mark(now);
+  measure_start_ = now;
+}
+
+FabricScenarioResults FabricScenario::run_measure() {
+  run_for(cfg_.measure);
+  const sim::Time now = sim_.now();
+
+  FabricScenarioResults r;
+  double tput = 0.0;
+  for (auto& app : tput_apps_) tput += app->goodput_since_mark(now).as_gbps();
+  r.net_tput_gbps = tput;
+
+  std::uint64_t arrived = 0, dropped = 0;
+  for (int d : destinations_) {
+    arrived += hosts_[d]->nic().stats().arrived_pkts;
+    dropped += hosts_[d]->nic().stats().dropped_pkts;
+  }
+  arrived -= base_dst_arrived_;
+  dropped -= base_dst_dropped_;
+  r.delivered_pkts = arrived;
+
+  const fabric::FabricSwitch::Totals t = fabric_->totals();
+  const std::uint64_t sw_drops = t.drops - base_fabric_drops_;
+  r.fabric_drops = sw_drops;
+  r.fabric_marks = t.marks - base_fabric_marks_;
+  r.fabric_no_route_drops = t.no_route_drops;
+  r.fabric_occupancy_peak = t.occupancy_peak;
+
+  r.host_drop_rate_pct =
+      arrived > 0 ? 100.0 * static_cast<double>(dropped) / static_cast<double>(arrived) : 0.0;
+  const std::uint64_t offered = arrived + sw_drops;
+  r.fabric_drop_frac =
+      offered > 0 ? static_cast<double>(sw_drops) / static_cast<double>(offered) : 0.0;
+  r.fabric_drop_rate_pct = 100.0 * r.fabric_drop_frac;
+
+  for (auto& app : tput_apps_) {
+    const auto s = app->sender_stats();
+    r.sender_timeouts += s.timeouts;
+    r.sender_fast_retransmits += s.fast_retransmits;
+  }
+
+  if (!controllers_.empty()) {
+    r.avg_iio_occupancy = controllers_[0]->sampler().is_value();
+    r.avg_pcie_gbps = controllers_[0]->sampler().bs_value().as_gbps();
+  } else {
+    r.avg_iio_occupancy = passive_sampler_->is_value();
+    r.avg_pcie_gbps = passive_sampler_->bs_value().as_gbps();
+  }
+
+  for (auto& c : host_checkers_) {
+    c->check_now();  // final sweep at the measurement boundary
+    r.invariant_violations += c->total_violations();
+  }
+  if (fabric_checker_) {
+    fabric_checker_->check_now();
+    r.invariant_violations += fabric_checker_->total_violations();
+  }
+  return r;
+}
+
+FabricScenarioResults FabricScenario::run() {
+  run_warmup();
+  return run_measure();
+}
+
+}  // namespace hostcc::exp

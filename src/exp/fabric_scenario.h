@@ -1,0 +1,151 @@
+// FabricScenario: rack-scale experiments — N full HostModels (each with
+// its own NIC/PCIe/IIO/MC datapath, MApp interference, and optional hostCC
+// controller) wired through a multi-switch fabric::Fabric (leaf–spine /
+// fat-tree / star) with shared-buffer DT switches and ECMP routing.
+//
+// The single-star exp::Scenario remains the calibrated testbed for the
+// paper's figures; FabricScenario is the scaling stage on top of it
+// (fig13x_fabric, BM_FabricHostScaling): incast and all-to-all traffic
+// across topologies, link/port faults addressed by edge name, and a
+// fabric-wide invariant audit (per-host conservation laws plus every
+// switch's shared-buffer ledger).
+//
+// Host numbering: topology host nodes in declaration order get HostIds
+// 0..N-1 ("h0" -> 0). Incast targets host 0 (every other host sends to
+// it); all-to-all runs flows for every ordered pair. MApps (and hostCC
+// controllers, when enabled) live on the first `congested_hosts` flow
+// destinations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/mem_app.h"
+#include "apps/throughput_app.h"
+#include "fabric/fabric.h"
+#include "fabric/topology.h"
+#include "faults/fabric_invariants.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "faults/invariants.h"
+#include "host/host.h"
+#include "hostcc/controller.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "transport/stack.h"
+
+namespace hostcc::exp {
+
+enum class FabricTraffic {
+  kIncast,    // hosts 1..N-1 -> host 0
+  kAllToAll,  // every ordered pair
+};
+
+struct FabricScenarioConfig {
+  // Topology::parse grammar: star:<n> | leaf-spine:<l>x<h>[x<s>] | fat-tree:<k>.
+  std::string topology = "leaf-spine:4x4";
+  // 0 = instantiate every topology host; otherwise only hosts 0..N-1
+  // participate (the scaling knob behind `--hosts`).
+  int hosts = 0;
+
+  host::HostConfig host;                 // per-host config (seeds differentiated)
+  transport::TransportConfig transport;
+  fabric::FabricSwitchConfig fabric;     // shared-buffer DT switch config
+
+  FabricTraffic traffic = FabricTraffic::kIncast;
+  int flows_per_pair = 2;                // long flows per (sender, dest) pair
+  double mapp_degree = 2.0;              // MApp degree on congested hosts
+  int congested_hosts = 1;               // how many flow destinations get an MApp
+
+  bool hostcc_enabled = false;           // one controller per congested host
+  core::HostCcConfig hostcc;
+
+  faults::FaultPlan faults;              // link/port faults by edge name
+  bool check_invariants = true;          // per-host checkers + fabric ledger audit
+
+  // Rack-scale runs multiply event load by hosts x switches; defaults are
+  // far shorter than exp::Scenario's calibrated windows.
+  sim::Time warmup = sim::Time::milliseconds(10);
+  sim::Time measure = sim::Time::milliseconds(10);
+  sim::Time flow_stagger = sim::Time::microseconds(100);
+
+  bool coalesced_drains = true;          // HOSTCC_DRAIN_MODE overrides
+};
+
+struct FabricScenarioResults {
+  double net_tput_gbps = 0.0;        // aggregate long-flow goodput
+  double host_drop_rate_pct = 0.0;   // NIC drops across destination hosts
+  double fabric_drop_rate_pct = 0.0; // shared-buffer drops across all switches
+  double fabric_drop_frac = 0.0;     // same, as a fraction (paper band 1e-4..1e-2)
+
+  std::uint64_t fabric_drops = 0;
+  std::uint64_t fabric_marks = 0;
+  std::uint64_t fabric_no_route_drops = 0;
+  std::uint64_t delivered_pkts = 0;       // NIC-arrived at destination hosts
+  sim::Bytes fabric_occupancy_peak = 0;   // max over switches, whole run
+
+  double avg_iio_occupancy = 0.0;    // host 0 (the canonical congested host)
+  double avg_pcie_gbps = 0.0;
+
+  std::uint64_t sender_timeouts = 0;
+  std::uint64_t sender_fast_retransmits = 0;
+
+  std::uint64_t invariant_violations = 0;  // hosts + fabric ledger, whole run
+};
+
+class FabricScenario {
+ public:
+  explicit FabricScenario(FabricScenarioConfig cfg);
+  ~FabricScenario();
+
+  FabricScenario(const FabricScenario&) = delete;
+  FabricScenario& operator=(const FabricScenario&) = delete;
+
+  FabricScenarioResults run();
+  void run_warmup();
+  FabricScenarioResults run_measure();
+  void run_for(sim::Time d);
+
+  sim::Simulator& simulator() { return sim_; }
+  fabric::Fabric& fabric() { return *fabric_; }
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  host::HostModel& host(int i) { return *hosts_.at(i); }
+  transport::Stack& stack(int i) { return *stacks_.at(i); }
+  core::HostCcController* controller(int i = 0);
+  faults::FaultInjector* injector() { return injector_.get(); }
+  faults::FabricInvariantChecker* fabric_invariants() { return fabric_checker_.get(); }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const FabricScenarioConfig& config() const { return cfg_; }
+
+ private:
+  void build();
+  void mark_measurement_start();
+
+  FabricScenarioConfig cfg_;
+  sim::Simulator sim_;
+
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::vector<std::unique_ptr<host::HostModel>> hosts_;
+  std::vector<std::unique_ptr<transport::Stack>> stacks_;
+  std::vector<std::unique_ptr<apps::ThroughputApp>> tput_apps_;
+  std::vector<std::unique_ptr<apps::MemApp>> mapps_;
+  std::vector<std::unique_ptr<core::HostCcController>> controllers_;
+  std::vector<int> controller_host_;  // parallel: which host each controls
+  std::unique_ptr<core::SignalSampler> passive_sampler_;  // host 0, hostCC off
+  std::vector<std::unique_ptr<faults::InvariantChecker>> host_checkers_;
+  std::unique_ptr<faults::FabricInvariantChecker> fabric_checker_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  std::vector<int> destinations_;  // flow-destination host ids, ascending
+
+  obs::MetricsRegistry metrics_;
+
+  // Measurement-window baselines.
+  std::uint64_t base_fabric_drops_ = 0;
+  std::uint64_t base_fabric_marks_ = 0;
+  std::uint64_t base_dst_arrived_ = 0;
+  std::uint64_t base_dst_dropped_ = 0;
+  sim::Time measure_start_;
+};
+
+}  // namespace hostcc::exp

@@ -264,6 +264,8 @@ void Scenario::mark_measurement_start() {
   base_nic_arrived_ = receiver_->nic().stats().arrived_pkts;
   base_nic_dropped_ = receiver_->nic().stats().dropped_pkts;
   base_switch_drops_ = fabric_->port_stats(kReceiverId).drops;
+  base_switch_total_drops_ = fabric_->total_stats().drops;
+  base_switch_total_marks_ = fabric_->total_stats().marks;
   receiver_->memctrl().checkpoint(now);
   mapp_->bandwidth_since_mark(now);
   for (auto& app : tput_apps_) app->goodput_since_mark(now);
@@ -325,6 +327,10 @@ ScenarioResults Scenario::run_measure() {
   if (controller_) {
     r.ecn_marked_pkts = controller_->echo().packets_marked() - base_echo_marks_;
   }
+  const net::Switch::TotalStats sw_total = fabric_->total_stats();
+  r.switch_drops = sw_total.drops - base_switch_total_drops_;
+  r.switch_marks = sw_total.marks - base_switch_total_marks_;
+  r.switch_no_route_drops = sw_total.no_route_drops;
   if (invariants_) {
     invariants_->check_now();  // final sweep at the measurement boundary
     r.invariant_violations = invariants_->total_violations();

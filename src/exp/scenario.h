@@ -95,6 +95,10 @@ struct ScenarioResults {
   std::uint64_t sender_fast_retransmits = 0;
   std::uint64_t ecn_marked_pkts = 0;   // by hostCC echo at the receiver
 
+  std::uint64_t switch_drops = 0;          // all ports, measure window
+  std::uint64_t switch_marks = 0;          // all ports, measure window
+  std::uint64_t switch_no_route_drops = 0; // whole run (should stay 0)
+
   std::uint64_t invariant_violations = 0;  // whole-run count (0 when checker off)
 };
 
@@ -193,6 +197,8 @@ class Scenario {
   std::uint64_t base_nic_arrived_ = 0;
   std::uint64_t base_nic_dropped_ = 0;
   std::uint64_t base_switch_drops_ = 0;
+  std::uint64_t base_switch_total_drops_ = 0;
+  std::uint64_t base_switch_total_marks_ = 0;
   std::uint64_t base_echo_marks_ = 0;
   sim::Time measure_start_;
 };

@@ -1,0 +1,260 @@
+#include "fabric/fabric.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hostcc::fabric {
+
+namespace {
+// Deterministic per-switch seed differentiation (same mixer as the ECMP
+// hash; the constant only has to decorrelate, not be secret).
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t idx) {
+  std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ull * (idx + 1));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+Fabric::Fabric(sim::Simulator& sim, Topology topo, FabricSwitchConfig cfg, bool coalesced_drains)
+    : sim_(sim), topo_(std::move(topo)), cfg_(cfg), coalesced_(coalesced_drains) {
+  topo_.throw_if_invalid();
+
+  switch_of_node_.assign(topo_.node_count(), -1);
+  for (int n : topo_.switch_nodes()) {
+    FabricSwitchConfig sw_cfg = cfg_;
+    sw_cfg.seed = mix_seed(cfg_.seed, switches_.size());
+    switch_of_node_[n] = static_cast<int>(switches_.size());
+    switches_.push_back(
+        std::make_unique<FabricSwitch>(sim_, topo_.nodes()[n].name, sw_cfg));
+  }
+  adjacency_.resize(switches_.size());
+
+  // Switch-switch ports, in arc declaration order (deterministic).
+  for (const TopoArc& arc : topo_.arcs()) {
+    const int from_sw = switch_of_node_[arc.from];
+    const int to_sw = switch_of_node_[arc.to];
+    if (from_sw < 0 || to_sw < 0) continue;  // host edges wired at attach
+    FabricSwitch* next = switches_[to_sw].get();
+    FabricSwitch::PortSink sink;
+    if (coalesced_) {
+      sink = [next](const net::PacketRef& p) { next->ingress(p); };
+    } else {
+      const sim::Time delay = arc.delay;
+      sink = [this, next, delay](const net::PacketRef& p) {
+        sim_.after(delay, [next, p] { next->ingress(p); });
+      };
+    }
+    const int port = add_switch_port(from_sw, arc, std::move(sink));
+    adjacency_[from_sw].push_back({port, to_sw});
+  }
+}
+
+int Fabric::add_switch_port(int switch_idx, const TopoArc& arc, FabricSwitch::PortSink sink) {
+  // Coalesced drains fold the edge's propagation into the delivery event;
+  // per-packet mode relays it inside the sink instead.
+  const sim::Time extra = coalesced_ ? arc.delay : sim::Time::zero();
+  const int port = switches_[switch_idx]->add_port(arc.link, arc.rate, std::move(sink), extra);
+  edge_ports_[arc.link].push_back({switch_idx, port});
+  return port;
+}
+
+const TopoArc* Fabric::uplink_arc_for(const std::string& host_name, int* host_node) const {
+  const int node = topo_.find(host_name);
+  if (node < 0 || !topo_.nodes()[node].is_host) {
+    throw std::invalid_argument("fabric: no host named '" + host_name + "' in the topology");
+  }
+  *host_node = node;
+  for (const TopoArc& arc : topo_.arcs()) {
+    if (arc.from == node) return &arc;  // hosts are single-homed (validated)
+  }
+  throw std::invalid_argument("fabric: host '" + host_name + "' has no uplink arc");
+}
+
+net::Link& Fabric::attach_host(net::HostId id, const std::string& host_name, DeliverFn deliver) {
+  if (hosts_.count(id)) {
+    throw std::invalid_argument("fabric: host id " + std::to_string(id) + " attached twice");
+  }
+  int host_node = -1;
+  const TopoArc* up = uplink_arc_for(host_name, &host_node);
+  const int sw = switch_of_node_[up->to];
+
+  HostAttach at;
+  at.node = host_node;
+  at.switch_idx = sw;
+  at.uplink = std::make_unique<net::Link>(sim_, up->link, up->rate, up->delay);
+  FabricSwitch* ingress_sw = switches_[sw].get();
+  at.uplink->set_sink([ingress_sw](const net::PacketRef& p) { ingress_sw->ingress(p); });
+
+  // Switch->host delivery port rides the reverse arc (same rate/delay by
+  // the symmetry validation).
+  FabricSwitch::PortSink sink;
+  if (coalesced_) {
+    sink = std::move(deliver);
+  } else {
+    // The scheduled relay captures the sink's own `deliver` by reference:
+    // the port (and its sink) outlive every in-flight event, and a
+    // by-value copy of a std::function per packet could heap-allocate.
+    const sim::Time delay = up->delay;
+    sink = [this, delay, deliver = std::move(deliver)](const net::PacketRef& p) {
+      sim_.after(delay, [&d = deliver, p] { d(p); });
+    };
+  }
+  // Reuse the uplink arc for port naming/rate: the reverse arc is
+  // guaranteed symmetric.
+  at.host_port = add_switch_port(sw, *up, std::move(sink));
+
+  net::Link& link = *at.uplink;
+  hosts_.emplace(id, std::move(at));
+  return link;
+}
+
+void Fabric::attach_host_direct(net::HostId id, const std::string& host_name, DeliverFn deliver) {
+  if (hosts_.count(id)) {
+    throw std::invalid_argument("fabric: host id " + std::to_string(id) + " attached twice");
+  }
+  int host_node = -1;
+  const TopoArc* up = uplink_arc_for(host_name, &host_node);
+  const int sw = switch_of_node_[up->to];
+
+  HostAttach at;
+  at.node = host_node;
+  at.switch_idx = sw;
+  // The whole one-way delay rides the delivery port (host->switch ingress
+  // is synchronous), so end-to-end latency matches a single fixed-delay
+  // pipe of the edge's delay.
+  at.host_port =
+      switches_[sw]->add_port(up->link, up->rate, std::move(deliver), up->delay);
+  edge_ports_[up->link].push_back({sw, at.host_port});
+  hosts_.emplace(id, std::move(at));
+}
+
+void Fabric::finalize() {
+  // Shortest-path ECMP: for each attached destination host, BFS over the
+  // switch graph from its leaf; every port toward a neighbor one step
+  // closer is an equal-cost next hop.
+  std::vector<int> dist(switches_.size());
+  std::vector<int> frontier;
+  for (const auto& [id, at] : hosts_) {
+    std::fill(dist.begin(), dist.end(), -1);
+    frontier.clear();
+    dist[at.switch_idx] = 0;
+    frontier.push_back(at.switch_idx);
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const int u = frontier[head];
+      for (const auto& [port, v] : adjacency_[u]) {
+        (void)port;
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          frontier.push_back(v);
+        }
+      }
+    }
+    for (int s = 0; s < switch_count(); ++s) {
+      if (s == at.switch_idx) {
+        switches_[s]->set_route(id, {at.host_port});
+        continue;
+      }
+      if (dist[s] < 0) continue;  // unreachable (validation forbids this)
+      std::vector<int> next_hops;
+      for (const auto& [port, v] : adjacency_[s]) {
+        if (dist[v] == dist[s] - 1) next_hops.push_back(port);
+      }
+      switches_[s]->set_route(id, std::move(next_hops));
+    }
+  }
+}
+
+bool Fabric::set_edge_down(const std::string& edge, bool down) {
+  bool found = set_edge_port_down(edge, down);
+  for (auto& [id, at] : hosts_) {
+    (void)id;
+    if (at.uplink && at.uplink->name() == edge) {
+      at.uplink->set_down(down);
+      found = true;
+    }
+  }
+  return found;
+}
+
+bool Fabric::set_edge_port_down(const std::string& edge, bool down) {
+  auto it = edge_ports_.find(edge);
+  if (it == edge_ports_.end()) return false;
+  for (const SwitchPortRef& ref : it->second) {
+    switches_[ref.switch_idx]->set_port_down(ref.port, down);
+  }
+  return true;
+}
+
+bool Fabric::set_edge_rate_factor(const std::string& edge, double factor) {
+  bool found = false;
+  if (auto it = edge_ports_.find(edge); it != edge_ports_.end()) {
+    for (const SwitchPortRef& ref : it->second) {
+      switches_[ref.switch_idx]->set_port_rate_factor(ref.port, factor);
+    }
+    found = true;
+  }
+  for (auto& [id, at] : hosts_) {
+    (void)id;
+    if (at.uplink && at.uplink->name() == edge) {
+      at.uplink->set_rate_factor(factor);
+      found = true;
+    }
+  }
+  return found;
+}
+
+bool Fabric::has_edge(const std::string& edge) const { return edge_ports_.count(edge) > 0; }
+
+std::vector<std::string> Fabric::edge_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, refs] : edge_ports_) {
+    (void)refs;
+    out.push_back(name);
+  }
+  return out;  // map iteration: already sorted
+}
+
+FabricSwitch* Fabric::find_switch(const std::string& name) {
+  for (auto& sw : switches_) {
+    if (sw->name() == name) return sw.get();
+  }
+  return nullptr;
+}
+
+net::Link* Fabric::uplink(net::HostId id) {
+  auto it = hosts_.find(id);
+  return it == hosts_.end() ? nullptr : it->second.uplink.get();
+}
+
+std::vector<net::HostId> Fabric::attached_hosts() const {
+  std::vector<net::HostId> out;
+  for (const auto& [id, at] : hosts_) {
+    (void)at;
+    out.push_back(id);
+  }
+  return out;
+}
+
+FabricSwitch::Totals Fabric::totals() const {
+  FabricSwitch::Totals agg;
+  for (const auto& sw : switches_) {
+    const FabricSwitch::Totals t = sw->totals();
+    agg.drops += t.drops;
+    agg.marks += t.marks;
+    agg.no_route_drops += t.no_route_drops;
+    agg.occupancy += t.occupancy;
+    if (t.occupancy_peak > agg.occupancy_peak) agg.occupancy_peak = t.occupancy_peak;
+  }
+  return agg;
+}
+
+void Fabric::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+  for (auto& sw : switches_) sw->register_metrics(reg, prefix + "/" + sw->name());
+  for (auto& [id, at] : hosts_) {
+    (void)id;
+    if (at.uplink) at.uplink->register_metrics(reg, prefix + "/link/" + at.uplink->name());
+  }
+}
+
+}  // namespace hostcc::fabric

@@ -1,0 +1,119 @@
+// Fabric: instantiates a validated Topology as live FabricSwitches, wires
+// the switch-switch ports, attaches hosts behind their uplink Links, and
+// computes the ECMP routing tables (shortest-path next-hop sets per
+// destination host via BFS over the switch graph).
+//
+// Faults address *edges by topology name* ("h0-leaf0", "leaf0-spine1"):
+//   set_edge_down       both directions — the switch-side egress ports of
+//                       the edge plus the host uplink Link when the edge
+//                       reaches a host (carrier loss on the whole cable)
+//   set_edge_port_down  switch-side egress ports only (a wedged port; the
+//                       host can still transmit into the dead port's queue)
+//   set_edge_rate_factor degraded line rate on every lane of the edge
+//
+// Determinism: switches, ports, and routes live in vectors built in
+// topology order; host attaches iterate a sorted map; ECMP hashing draws
+// no RNG. Per-switch RNG seeds (forwarding jitter) are differentiated
+// deterministically from the base config seed.
+//
+// Drain modes mirror exp::Scenario: coalesced (default) folds inter-hop
+// propagation into the upstream switch's delivery event; per-packet
+// schedules an explicit relay per hop. Arrival times are identical.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric_switch.h"
+#include "fabric/topology.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace hostcc::fabric {
+
+class Fabric {
+ public:
+  using DeliverFn = std::function<void(const net::PacketRef&)>;
+
+  // Validates `topo` (throws std::invalid_argument, aggregated) and builds
+  // every switch and switch-switch port.
+  Fabric(sim::Simulator& sim, Topology topo, FabricSwitchConfig cfg,
+         bool coalesced_drains = true);
+
+  // Attaches a full host: an uplink net::Link (host-side serialization +
+  // propagation, named after the topology edge so faults can address it)
+  // into the host's leaf switch, plus the switch->host delivery port.
+  // The caller wires host egress -> returned Link's send() and the Link's
+  // on_dequeue -> HostModel::wire_dequeued. `deliver` receives packets
+  // leaving the fabric toward this host.
+  net::Link& attach_host(net::HostId id, const std::string& host_name, DeliverFn deliver);
+
+  // Ideal attach for unit testbeds: no uplink Link. The host's egress
+  // calls host_ingress() synchronously (zero host->switch latency); the
+  // whole one-way delay of the edge rides the switch->host delivery port.
+  // Build the topology with zero link rates for serialization-free pipes.
+  void attach_host_direct(net::HostId id, const std::string& host_name, DeliverFn deliver);
+
+  // Host->fabric entry for direct-attached hosts.
+  void host_ingress(net::HostId id, const net::PacketRef& p) {
+    switches_[hosts_.at(id).switch_idx]->ingress(p);
+  }
+
+  // Computes ECMP routes for every attached host on every switch. Call
+  // once, after all attach_host calls.
+  void finalize();
+
+  // --- edge-name fault surface (returns false for unknown edges) ---
+  bool set_edge_down(const std::string& edge, bool down);
+  bool set_edge_port_down(const std::string& edge, bool down);
+  bool set_edge_rate_factor(const std::string& edge, double factor);
+  bool has_edge(const std::string& edge) const;
+  std::vector<std::string> edge_names() const;  // sorted, for error messages
+
+  int switch_count() const { return static_cast<int>(switches_.size()); }
+  FabricSwitch& switch_at(int i) { return *switches_.at(i); }
+  const FabricSwitch& switch_at(int i) const { return *switches_.at(i); }
+  FabricSwitch* find_switch(const std::string& name);
+  net::Link* uplink(net::HostId id);  // null for direct-attached hosts
+  const Topology& topology() const { return topo_; }
+  std::vector<net::HostId> attached_hosts() const;  // sorted
+
+  // Aggregate drop/mark/occupancy totals across every switch.
+  FabricSwitch::Totals totals() const;
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix);
+
+ private:
+  struct HostAttach {
+    int node = -1;        // topology node index
+    int switch_idx = -1;  // index into switches_
+    int host_port = -1;   // switch->host port on that switch
+    std::unique_ptr<net::Link> uplink;  // null for direct attach
+  };
+  struct SwitchPortRef {
+    int switch_idx;
+    int port;
+  };
+
+  const TopoArc* uplink_arc_for(const std::string& host_name, int* host_node) const;
+  int add_switch_port(int switch_idx, const TopoArc& arc, FabricSwitch::PortSink sink);
+
+  sim::Simulator& sim_;
+  Topology topo_;
+  FabricSwitchConfig cfg_;
+  bool coalesced_;
+
+  std::vector<std::unique_ptr<FabricSwitch>> switches_;
+  std::vector<int> switch_of_node_;  // topology node -> switches_ index or -1
+  // Per switch: (port, neighbor switch) pairs for the BFS route computation.
+  std::vector<std::vector<std::pair<int, int>>> adjacency_;
+  std::map<net::HostId, HostAttach> hosts_;  // sorted: deterministic iteration
+  std::map<std::string, std::vector<SwitchPortRef>> edge_ports_;
+};
+
+}  // namespace hostcc::fabric

@@ -1,0 +1,321 @@
+// Shared-buffer fabric switch: the multi-switch upgrade of net::Switch.
+//
+// Differences from the single-star net::Switch:
+//   * One buffer pool shared by every output port, with dynamic-threshold
+//     (DT, Choudhury–Hahne) admission: a packet is admitted to port i iff
+//       q_i + size <= alpha * (B - occupancy)
+//     where occupancy is the switch-wide queued total. Hot ports can grab
+//     most of the buffer when the fabric is quiet, but the shrinking
+//     headroom caps them as total occupancy climbs — the behaviour that
+//     produces realistic incast drop rates (EXPERIMENTS.md deviation #6),
+//     which a per-port static buffer never shows.
+//   * Per-port ECN marking (DCTCP mark-on-enqueue at threshold K), same
+//     semantics as net::Switch.
+//   * ECMP: routes_ maps each destination host to a sorted set of
+//     equal-cost egress ports; the pick hashes (flow ^ salt) with
+//     splitmix64, so one flow always takes one path (no reordering) while
+//     different flows spread. The per-switch salt decorrelates consecutive
+//     hops (no hash polarization). No RNG is consulted, so routing is
+//     deterministic and allocation-free.
+//   * Ports carry their own rate: egress serialization happens here (a
+//     switch-switch hop needs no separate net::Link). rate zero = ideal
+//     port (serialization-free) for unit testbeds. Propagation to the next
+//     hop rides extra_delay (coalesced drains) or a relay the Fabric wires
+//     (per-packet mode) — identical delivery times either way.
+//
+// Ledger (audited by faults::FabricInvariantChecker): every admitted byte
+// is either still queued or was drained to serialization, i.e.
+//   admitted_bytes == drained_bytes + occupancy,
+//   occupancy == sum(port q_bytes),  0 <= occupancy <= buffer_bytes.
+//
+// Fault surface (FaultInjector, addressed by topology edge name via
+// Fabric): per-port down (queue drop-tails under DT) and per-port rate
+// degradation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "sim/random.h"
+#include "sim/ring_queue.h"
+#include "sim/simulator.h"
+#include "sim/units.h"
+
+namespace hostcc::fabric {
+
+struct FabricSwitchConfig {
+  sim::Bytes buffer_bytes = 2 * sim::kMiB;  // shared across all ports
+  // DT alpha: per-port threshold = alpha * remaining headroom. 1.0 lets a
+  // single hot port take half the buffer at equilibrium (T = B - T).
+  double dt_alpha = 1.0;
+  sim::Bytes ecn_threshold = 80 * sim::kKiB;  // per-port DCTCP K
+  sim::Time forward_latency = sim::Time::nanoseconds(600);
+  // Per-packet pipeline jitter, uniform [0, max]; zero disables the RNG
+  // draw entirely (required for the byte-exact ideal testbed).
+  sim::Time forward_jitter_max = sim::Time::microseconds(2);
+  std::uint64_t seed = 0xfab51c;
+};
+
+class FabricSwitch {
+ public:
+  using PortSink = std::function<void(const net::PacketRef&)>;
+
+  FabricSwitch(sim::Simulator& sim, std::string name, FabricSwitchConfig cfg)
+      : sim_(sim),
+        name_(std::move(name)),
+        cfg_(cfg),
+        rng_(cfg.seed),
+        salt_(splitmix64(cfg.seed ^ 0x9e3779b97f4a7c15ull)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Adds an egress port; returns its index. `rate` zero = ideal
+  // (serialization-free). `delivery_extra` folds the downstream
+  // propagation into the delivery event (coalesced drains).
+  int add_port(std::string port_name, sim::Bandwidth rate, PortSink sink,
+               sim::Time delivery_extra = sim::Time::zero()) {
+    Port port;
+    port.name = std::move(port_name);
+    port.rate = rate;
+    port.sink = std::move(sink);
+    port.extra_delay = delivery_extra;
+    ports_.push_back(std::move(port));
+    return static_cast<int>(ports_.size()) - 1;
+  }
+
+  // Declares the equal-cost egress set for packets destined to `host`.
+  // Port indices are kept sorted so the ECMP pick is independent of
+  // insertion order.
+  void set_route(net::HostId host, std::vector<int> equal_cost_ports) {
+    if (routes_.size() <= host) routes_.resize(host + 1);
+    std::vector<int>& r = routes_[host];
+    r = std::move(equal_cost_ports);
+    for (std::size_t i = 1; i < r.size(); ++i) {  // insertion sort; sets are tiny
+      int v = r[i];
+      std::size_t j = i;
+      for (; j > 0 && r[j - 1] > v; --j) r[j] = r[j - 1];
+      r[j] = v;
+    }
+  }
+
+  // Packet arriving on any input port: route, admit (DT), mark, enqueue.
+  void ingress(net::PacketRef p) {
+    const int pi = route(p->dst, p->flow);
+    if (pi < 0) {
+      if (no_route_drops_ == 0) {
+        OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "fabric/switch",
+                "%s: dropping packet for unknown host %llu (flow %llu); "
+                "counting further no-route drops silently",
+                name_.c_str(), static_cast<unsigned long long>(p->dst),
+                static_cast<unsigned long long>(p->flow));
+      }
+      ++no_route_drops_;
+      return;
+    }
+    Port& port = ports_[pi];
+
+    // DT admission against the shared pool: the per-port allowance shrinks
+    // as switch-wide occupancy grows. The absolute pool cap also binds
+    // (alpha > 1 must never oversubscribe physical buffer).
+    const sim::Bytes headroom = cfg_.buffer_bytes - occupancy_;
+    const sim::Bytes dt_limit =
+        static_cast<sim::Bytes>(cfg_.dt_alpha * static_cast<double>(headroom));
+    if (port.q_bytes + p->size > dt_limit || occupancy_ + p->size > cfg_.buffer_bytes) {
+      ++port.drops;
+      dropped_bytes_ += p->size;
+      return;
+    }
+    if (port.q_bytes >= cfg_.ecn_threshold && p->ecn == net::Ecn::kEct0) {
+      p->ecn = net::Ecn::kCe;
+      ++port.marks;
+    }
+    port.q_bytes += p->size;
+    occupancy_ += p->size;
+    admitted_bytes_ += p->size;
+    if (occupancy_ > occupancy_peak_) occupancy_peak_ = occupancy_;
+    port.q.push_back(std::move(p));
+    if (!port.busy && !port.down) transmit_next(port);
+  }
+  // By-value bridge (unit tests driving the switch directly).
+  void ingress(const net::Packet& p) { ingress(pool_.make(p)); }
+
+  struct PortStats {
+    std::uint64_t drops = 0;
+    std::uint64_t marks = 0;
+    sim::Bytes queue_bytes = 0;
+    bool down = false;
+  };
+  PortStats port_stats(int port) const {
+    if (port < 0 || port >= static_cast<int>(ports_.size())) return {};
+    const Port& p = ports_[port];
+    return {p.drops, p.marks, p.q_bytes, p.down};
+  }
+  int port_count() const { return static_cast<int>(ports_.size()); }
+  const std::string& port_name(int port) const { return ports_.at(port).name; }
+  // First port with this name, or -1 (edge-name fault addressing).
+  int find_port(const std::string& port_name) const {
+    for (int i = 0; i < port_count(); ++i)
+      if (ports_[i].name == port_name) return i;
+    return -1;
+  }
+
+  struct Totals {
+    std::uint64_t drops = 0;
+    std::uint64_t marks = 0;
+    std::uint64_t no_route_drops = 0;
+    sim::Bytes occupancy = 0;
+    sim::Bytes occupancy_peak = 0;
+  };
+  Totals totals() const {
+    Totals t;
+    for (const Port& p : ports_) {
+      t.drops += p.drops;
+      t.marks += p.marks;
+    }
+    t.no_route_drops = no_route_drops_;
+    t.occupancy = occupancy_;
+    t.occupancy_peak = occupancy_peak_;
+    return t;
+  }
+
+  // Shared-buffer ledger, for the invariant checker.
+  sim::Bytes occupancy() const { return occupancy_; }
+  sim::Bytes queued_bytes_across_ports() const {
+    sim::Bytes sum = 0;
+    for (const Port& p : ports_) sum += p.q_bytes;
+    return sum;
+  }
+  std::uint64_t admitted_bytes() const { return admitted_bytes_; }
+  std::uint64_t drained_bytes() const { return drained_bytes_; }
+  std::uint64_t dropped_bytes() const { return dropped_bytes_; }
+  sim::Bytes buffer_bytes() const { return cfg_.buffer_bytes; }
+  std::uint64_t no_route_drops() const { return no_route_drops_; }
+
+  // Exposed for the ECMP flow-affinity unit test: the egress port this
+  // switch would pick for (dst, flow), or -1 with no route.
+  int route(net::HostId dst, net::FlowId flow) const {
+    if (dst >= routes_.size() || routes_[dst].empty()) return -1;
+    const std::vector<int>& r = routes_[dst];
+    if (r.size() == 1) return r[0];
+    const std::uint64_t h = splitmix64(static_cast<std::uint64_t>(flow) ^ salt_);
+    return r[h % r.size()];
+  }
+
+  // --- fault hooks (FaultInjector via Fabric's edge-name surface) ---
+
+  void set_port_down(int port, bool down) {
+    if (port < 0 || port >= port_count()) return;
+    Port& p = ports_[port];
+    if (p.down == down) return;
+    p.down = down;
+    OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "fabric/switch", "%s port %s %s", name_.c_str(),
+            p.name.c_str(), down ? "down" : "up");
+    if (!down && !p.busy) transmit_next(p);
+  }
+  bool port_down(int port) const {
+    return port >= 0 && port < port_count() && ports_[port].down;
+  }
+  // Degraded egress line rate (factor in (0,1]; 1.0 restores nominal).
+  // No effect on ideal (rate-zero) ports.
+  void set_port_rate_factor(int port, double factor) {
+    if (port < 0 || port >= port_count()) return;
+    ports_[port].rate_factor = factor <= 0.0 ? 1.0 : factor;
+    OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "fabric/switch", "%s port %s rate factor %.3f",
+            name_.c_str(), ports_[port].name.c_str(), ports_[port].rate_factor);
+  }
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.counter_fn(prefix + "/no_route_drops", [this] { return no_route_drops_; });
+    reg.counter_fn(prefix + "/drops", [this] { return totals().drops; });
+    reg.counter_fn(prefix + "/marks", [this] { return totals().marks; });
+    reg.gauge(prefix + "/occupancy_bytes", [this] { return static_cast<double>(occupancy_); });
+    reg.gauge(prefix + "/occupancy_peak_bytes",
+              [this] { return static_cast<double>(occupancy_peak_); });
+    for (const Port& port : ports_) {
+      const std::string p = prefix + "/port/" + port.name;
+      const Port* pp = &port;
+      reg.counter_fn(p + "/drops", [pp] { return pp->drops; });
+      reg.counter_fn(p + "/marks", [pp] { return pp->marks; });
+      reg.gauge(p + "/queue_bytes", [pp] { return static_cast<double>(pp->q_bytes); });
+      reg.gauge(p + "/down", [pp] { return pp->down ? 1.0 : 0.0; });
+    }
+  }
+
+ private:
+  struct Port {
+    std::string name;
+    PortSink sink;
+    sim::Bandwidth rate;  // zero = ideal (no serialization)
+    double rate_factor = 1.0;
+    sim::RingQueue<net::PacketRef> q;
+    sim::Bytes q_bytes = 0;
+    bool busy = false;
+    bool down = false;
+    std::uint64_t drops = 0;
+    std::uint64_t marks = 0;
+    sim::Time last_out;
+    sim::Time extra_delay;  // folded downstream propagation (coalesced)
+  };
+
+  static constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  void transmit_next(Port& port) {
+    if (port.q.empty() || port.down) {
+      port.busy = false;
+      return;
+    }
+    port.busy = true;
+    net::PacketRef p = std::move(port.q.front());
+    port.q.pop_front();
+    port.q_bytes -= p->size;
+    occupancy_ -= p->size;
+    drained_bytes_ += p->size;
+    // Serialization time must be read before the init-capture below moves
+    // `p` (argument evaluation order is unspecified).
+    const sim::Time ser = port.rate.is_zero()
+                              ? sim::Time::zero()
+                              : (port.rate * port.rate_factor).transfer_time(p->size);
+    sim_.after(ser, [this, &port, p = std::move(p)]() mutable {
+      const sim::Time jitter =
+          cfg_.forward_jitter_max > sim::Time::zero()
+              ? sim::Time::nanoseconds(rng_.uniform(0.0, cfg_.forward_jitter_max.ns()))
+              : sim::Time::zero();
+      // Jittered but FIFO: delivery times are non-decreasing per port, so
+      // jitter never reorders packets (which would fake loss signals).
+      sim::Time out = sim_.now() + cfg_.forward_latency + jitter;
+      if (out < port.last_out) out = port.last_out;
+      port.last_out = out;
+      sim_.at(out + port.extra_delay, [&port, p = std::move(p)] { port.sink(p); });
+      transmit_next(port);
+    });
+  }
+
+  sim::Simulator& sim_;
+  std::string name_;
+  FabricSwitchConfig cfg_;
+  sim::Rng rng_;
+  std::uint64_t salt_;
+  net::PacketPool pool_;
+  std::vector<Port> ports_;
+  std::vector<std::vector<int>> routes_;  // dst HostId -> equal-cost ports
+
+  sim::Bytes occupancy_ = 0;
+  sim::Bytes occupancy_peak_ = 0;
+  std::uint64_t admitted_bytes_ = 0;
+  std::uint64_t drained_bytes_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+  std::uint64_t no_route_drops_ = 0;
+};
+
+}  // namespace hostcc::fabric

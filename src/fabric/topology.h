@@ -1,0 +1,332 @@
+// Topology: the fabric's wiring diagram — named host and switch nodes
+// joined by bidirectional links, each link a symmetric pair of directed
+// arcs carrying a rate and a propagation delay. Construction is declarative
+// (generators for the common shapes plus arbitrary edge lists); nothing is
+// simulated here. fabric::Fabric consumes a validated Topology to build
+// FabricSwitches, wire ports, and compute ECMP routes.
+//
+// Generators:
+//   star(n)                   one switch, n hosts (the paper's testbed)
+//   leaf_spine(l, h, s)       l leaves x h hosts each, s spines, full
+//                             leaf<->spine bipartite mesh (ECMP across s)
+//   fat_tree(k)               canonical k-ary fat-tree (k even): k pods of
+//                             k/2 edge + k/2 aggregation switches,
+//                             (k/2)^2 cores, k^3/4 hosts
+//
+// Spec grammar (CLI `--topology`):
+//   star:<hosts>
+//   leaf-spine:<leaves>x<hosts_per_leaf>[x<spines>]     (spines default 2)
+//   fat-tree:<k>
+//
+// Node names are auto-assigned by the generators (h0.., leaf0.., spine0..,
+// edge0.., aggr0.., core0..) and link names are "<a>-<b>" — the names the
+// fault plan uses to address individual links/ports (docs/TOPOLOGY.md).
+//
+// Validation follows the aggregated std::invalid_argument pattern of
+// HostConfig: validate() returns one actionable message per problem
+// (duplicate names, host-host links, multi-homed hosts, asymmetric arc
+// definitions, unreachable destinations); throw_if_invalid() joins them.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "sim/units.h"
+
+namespace hostcc::fabric {
+
+struct TopoNode {
+  std::string name;
+  bool is_host = false;
+};
+
+// One directed arc. add_link() always creates the symmetric pair; add_arc()
+// is the raw escape hatch (and what validation's asymmetry check audits).
+struct TopoArc {
+  int from = -1;
+  int to = -1;
+  sim::Bandwidth rate;  // zero = ideal (serialization-free) — testbeds only
+  sim::Time delay;
+  std::string link;  // shared by both directions of a bidirectional link
+};
+
+class Topology {
+ public:
+  static constexpr double kDefaultRateGbps = 100.0;
+  static inline sim::Bandwidth default_rate() { return sim::Bandwidth::gbps(kDefaultRateGbps); }
+  static inline sim::Time default_delay() { return sim::Time::microseconds(6); }
+
+  int add_host(const std::string& name) { return add_node(name, /*is_host=*/true); }
+  int add_switch(const std::string& name) { return add_node(name, /*is_host=*/false); }
+
+  // Bidirectional link between nodes `a` and `b` (two symmetric arcs).
+  // The link name defaults to "<a>-<b>".
+  void add_link(int a, int b, sim::Bandwidth rate, sim::Time delay, std::string name = "") {
+    if (name.empty()) name = nodes_.at(a).name + "-" + nodes_.at(b).name;
+    arcs_.push_back({a, b, rate, delay, name});
+    arcs_.push_back({b, a, rate, delay, std::move(name)});
+  }
+  void add_link(int a, int b) { add_link(a, b, default_rate(), default_delay()); }
+
+  // Raw directed arc. Normal construction should use add_link(); this
+  // exists for adversarial configs (validation tests) and exotic fabrics.
+  void add_arc(int from, int to, sim::Bandwidth rate, sim::Time delay, std::string name) {
+    arcs_.push_back({from, to, rate, delay, std::move(name)});
+  }
+
+  const std::vector<TopoNode>& nodes() const { return nodes_; }
+  const std::vector<TopoArc>& arcs() const { return arcs_; }
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int host_count() const {
+    int n = 0;
+    for (const TopoNode& nd : nodes_) n += nd.is_host ? 1 : 0;
+    return n;
+  }
+  int switch_count() const { return node_count() - host_count(); }
+
+  // Host node indices in insertion order — the order FabricScenario assigns
+  // net::HostIds (h0 -> id 0, ...).
+  std::vector<int> host_nodes() const {
+    std::vector<int> out;
+    for (int i = 0; i < node_count(); ++i)
+      if (nodes_[i].is_host) out.push_back(i);
+    return out;
+  }
+  std::vector<int> switch_nodes() const {
+    std::vector<int> out;
+    for (int i = 0; i < node_count(); ++i)
+      if (!nodes_[i].is_host) out.push_back(i);
+    return out;
+  }
+
+  // First node with this name, or -1.
+  int find(const std::string& name) const {
+    for (int i = 0; i < node_count(); ++i)
+      if (nodes_[i].name == name) return i;
+    return -1;
+  }
+
+  // --- generators ---
+
+  static Topology star(int hosts, sim::Bandwidth rate = default_rate(),
+                       sim::Time delay = default_delay()) {
+    Topology t;
+    const int sw = t.add_switch("sw0");
+    for (int i = 0; i < hosts; ++i) {
+      t.add_link(t.add_host("h" + std::to_string(i)), sw, rate, delay);
+    }
+    return t;
+  }
+
+  static Topology leaf_spine(int leaves, int hosts_per_leaf, int spines = 2,
+                             sim::Bandwidth rate = default_rate(),
+                             sim::Time delay = default_delay()) {
+    Topology t;
+    std::vector<int> leaf_ids, spine_ids;
+    for (int l = 0; l < leaves; ++l) leaf_ids.push_back(t.add_switch("leaf" + std::to_string(l)));
+    for (int s = 0; s < spines; ++s)
+      spine_ids.push_back(t.add_switch("spine" + std::to_string(s)));
+    for (int l = 0; l < leaves; ++l) {
+      for (int h = 0; h < hosts_per_leaf; ++h) {
+        t.add_link(t.add_host("h" + std::to_string(l * hosts_per_leaf + h)), leaf_ids[l], rate,
+                   delay);
+      }
+      for (int s = 0; s < spines; ++s) t.add_link(leaf_ids[l], spine_ids[s], rate, delay);
+    }
+    return t;
+  }
+
+  // Canonical k-ary fat-tree (k even). Host names h<p*_k/2*_k/2 + ...> in
+  // pod order; uplinks everywhere at `rate` (no oversubscription).
+  static Topology fat_tree(int k, sim::Bandwidth rate = default_rate(),
+                           sim::Time delay = default_delay()) {
+    Topology t;
+    const int half = k / 2;
+    std::vector<int> cores;
+    for (int c = 0; c < half * half; ++c) cores.push_back(t.add_switch("core" + std::to_string(c)));
+    int host_idx = 0;
+    for (int p = 0; p < k; ++p) {
+      std::vector<int> edges, aggrs;
+      for (int e = 0; e < half; ++e)
+        edges.push_back(t.add_switch("edge" + std::to_string(p * half + e)));
+      for (int a = 0; a < half; ++a)
+        aggrs.push_back(t.add_switch("aggr" + std::to_string(p * half + a)));
+      for (int e = 0; e < half; ++e) {
+        for (int h = 0; h < half; ++h) {
+          t.add_link(t.add_host("h" + std::to_string(host_idx++)), edges[e], rate, delay);
+        }
+        for (int a = 0; a < half; ++a) t.add_link(edges[e], aggrs[a], rate, delay);
+      }
+      // Aggregation a connects to cores [a*half, (a+1)*half).
+      for (int a = 0; a < half; ++a) {
+        for (int c = 0; c < half; ++c) t.add_link(aggrs[a], cores[a * half + c], rate, delay);
+      }
+    }
+    return t;
+  }
+
+  // Parses the CLI grammar above. Returns std::nullopt and sets `err` on a
+  // malformed spec.
+  static std::optional<Topology> parse(const std::string& spec, std::string* err = nullptr);
+
+  // --- validation (aggregated, HostConfig-style) ---
+
+  std::vector<std::string> validate() const {
+    std::vector<std::string> errs;
+    // Duplicate node names.
+    for (int i = 0; i < node_count(); ++i) {
+      for (int j = i + 1; j < node_count(); ++j) {
+        if (nodes_[i].name == nodes_[j].name) {
+          errs.push_back("topology: duplicate node name '" + nodes_[i].name + "' (nodes " +
+                         std::to_string(i) + " and " + std::to_string(j) + ")");
+        }
+      }
+    }
+    // Arc sanity + per-node degrees.
+    std::vector<int> host_degree(nodes_.size(), 0);
+    for (const TopoArc& a : arcs_) {
+      if (a.from < 0 || a.from >= node_count() || a.to < 0 || a.to >= node_count()) {
+        errs.push_back("topology: arc '" + a.link + "' references an unknown node index");
+        continue;
+      }
+      if (a.from == a.to) {
+        errs.push_back("topology: arc '" + a.link + "' is a self-loop on '" +
+                       nodes_[a.from].name + "'");
+      }
+      if (nodes_[a.from].is_host && nodes_[a.to].is_host) {
+        errs.push_back("topology: link '" + a.link + "' connects two hosts ('" +
+                       nodes_[a.from].name + "', '" + nodes_[a.to].name +
+                       "'); hosts must attach to a switch");
+      }
+      if (a.rate.bits_per_sec() < 0.0) {
+        errs.push_back("topology: link '" + a.link + "' has a negative rate");
+      }
+      if (a.delay < sim::Time::zero()) {
+        errs.push_back("topology: link '" + a.link + "' has a negative delay");
+      }
+      if (nodes_[a.from].is_host) ++host_degree[a.from];
+    }
+    // Hosts are single-homed (one uplink each).
+    for (int i = 0; i < node_count(); ++i) {
+      if (!nodes_[i].is_host) continue;
+      if (host_degree[i] == 0) {
+        errs.push_back("topology: host '" + nodes_[i].name + "' has no uplink");
+      } else if (host_degree[i] > 1) {
+        errs.push_back("topology: host '" + nodes_[i].name + "' is multi-homed (" +
+                       std::to_string(host_degree[i]) +
+                       " uplinks); multi-homing is not supported");
+      }
+    }
+    // Asymmetric definitions: every arc needs a reverse with the same link
+    // name, rate, and delay.
+    for (const TopoArc& a : arcs_) {
+      if (a.from < 0 || a.from >= node_count() || a.to < 0 || a.to >= node_count()) continue;
+      bool matched = false;
+      for (const TopoArc& b : arcs_) {
+        if (b.from == a.to && b.to == a.from && b.link == a.link && b.rate == a.rate &&
+            b.delay == a.delay) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        errs.push_back("topology: arc '" + a.link + "' (" + nodes_[a.from].name + " -> " +
+                       nodes_[a.to].name +
+                       ") has no symmetric reverse arc with matching rate/delay");
+      }
+    }
+    // Reachability: every host must reach every other host. One BFS from
+    // the first host suffices on an undirected-by-construction graph.
+    const std::vector<int> hosts = host_nodes();
+    if (hosts.size() >= 2 && errs.empty()) {
+      std::vector<char> seen(nodes_.size(), 0);
+      std::vector<int> frontier{hosts[0]};
+      seen[hosts[0]] = 1;
+      while (!frontier.empty()) {
+        const int n = frontier.back();
+        frontier.pop_back();
+        for (const TopoArc& a : arcs_) {
+          if (a.from == n && !seen[a.to]) {
+            seen[a.to] = 1;
+            frontier.push_back(a.to);
+          }
+        }
+      }
+      for (int h : hosts) {
+        if (!seen[h]) {
+          errs.push_back("topology: host '" + nodes_[h].name + "' is unreachable from '" +
+                         nodes_[hosts[0]].name + "' (disconnected fabric)");
+        }
+      }
+    }
+    return errs;
+  }
+
+  void throw_if_invalid() const {
+    if (auto errs = validate(); !errs.empty()) {
+      std::string joined = "invalid topology:";
+      for (const std::string& e : errs) joined += "\n  - " + e;
+      throw std::invalid_argument(joined);
+    }
+  }
+
+ private:
+  int add_node(const std::string& name, bool is_host) {
+    nodes_.push_back({name, is_host});
+    return node_count() - 1;
+  }
+
+  std::vector<TopoNode> nodes_;
+  std::vector<TopoArc> arcs_;
+};
+
+inline std::optional<Topology> Topology::parse(const std::string& spec, std::string* err) {
+  const auto fail = [err](const std::string& why) -> std::optional<Topology> {
+    if (err) {
+      *err = why + " (expected star:<hosts> | leaf-spine:<leaves>x<hosts>[x<spines>] | "
+                   "fat-tree:<k>)";
+    }
+    return std::nullopt;
+  };
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) return fail("missing ':' in topology spec '" + spec + "'");
+  const std::string kind = spec.substr(0, colon);
+  std::vector<int> dims;
+  try {
+    std::size_t pos = colon + 1;
+    while (pos < spec.size()) {
+      std::size_t used = 0;
+      dims.push_back(std::stoi(spec.substr(pos), &used));
+      pos += used;
+      if (pos < spec.size()) {
+        if (spec[pos] != 'x') return fail("bad dimension separator in '" + spec + "'");
+        ++pos;
+      }
+    }
+  } catch (const std::exception&) {
+    return fail("malformed number in topology spec '" + spec + "'");
+  }
+  for (int d : dims) {
+    if (d <= 0) return fail("topology dimensions must be > 0 in '" + spec + "'");
+  }
+  if (kind == "star") {
+    if (dims.size() != 1) return fail("star takes one dimension");
+    return star(dims[0]);
+  }
+  if (kind == "leaf-spine") {
+    if (dims.size() != 2 && dims.size() != 3) return fail("leaf-spine takes 2 or 3 dimensions");
+    return leaf_spine(dims[0], dims[1], dims.size() == 3 ? dims[2] : 2);
+  }
+  if (kind == "fat-tree") {
+    if (dims.size() != 1) return fail("fat-tree takes one dimension");
+    if (dims[0] % 2 != 0) return fail("fat-tree k must be even");
+    return fat_tree(dims[0]);
+  }
+  return fail("unknown topology kind '" + kind + "'");
+}
+
+}  // namespace hostcc::fabric

@@ -1,0 +1,159 @@
+// Runtime invariant checker for the multi-switch fabric: audits every
+// FabricSwitch's shared-buffer ledger on a periodic cadence (and on
+// demand). The DT admission path must obey, regardless of injected
+// link/port faults:
+//
+//   ledger (kBufferLedger)
+//     Every admitted byte is either still queued or was drained to
+//     serialization:  admitted == drained + occupancy.
+//
+//   occupancy (kOccupancyBounds)
+//     The switch-wide occupancy equals the sum of the per-port queues and
+//     never leaves [0, buffer_bytes] — DT admission must not oversubscribe
+//     the shared pool even with alpha > 1, and a down port's queue still
+//     counts against it.
+//
+// Read-only: enabling the checker perturbs no random stream and no
+// behaviour (same contract as the host InvariantChecker).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace hostcc::faults {
+
+enum class FabricInvariantClass : std::uint8_t {
+  kBufferLedger,
+  kOccupancyBounds,
+};
+inline constexpr int kFabricInvariantClasses = 2;
+
+inline const char* fabric_invariant_class_name(FabricInvariantClass c) {
+  switch (c) {
+    case FabricInvariantClass::kBufferLedger: return "buffer_ledger";
+    case FabricInvariantClass::kOccupancyBounds: return "occupancy_bounds";
+  }
+  return "?";
+}
+
+struct FabricViolation {
+  sim::Time at;
+  FabricInvariantClass cls = FabricInvariantClass::kBufferLedger;
+  std::string detail;
+};
+
+struct FabricInvariantConfig {
+  sim::Time period = sim::Time::microseconds(25);
+  std::size_t max_recorded = 64;  // counting continues past the cap
+};
+
+class FabricInvariantChecker {
+ public:
+  FabricInvariantChecker(sim::Simulator& sim, fabric::Fabric& fab, FabricInvariantConfig cfg = {})
+      : sim_(sim), fabric_(fab), cfg_(cfg), timer_(sim, cfg.period, [this] { check_now(); }) {}
+
+  void start() { timer_.start(); }
+  void stop() { timer_.stop(); }
+
+  void check_now() {
+    ++checks_;
+    for (int s = 0; s < fabric_.switch_count(); ++s) {
+      const fabric::FabricSwitch& sw = fabric_.switch_at(s);
+      const sim::Bytes occ = sw.occupancy();
+      const std::uint64_t accounted =
+          sw.drained_bytes() + static_cast<std::uint64_t>(occ > 0 ? occ : 0);
+      if (sw.admitted_bytes() != accounted) {
+        fail(FabricInvariantClass::kBufferLedger,
+             "%s ledger: admitted %llu != drained %llu + occupancy %lld", sw.name().c_str(),
+             static_cast<unsigned long long>(sw.admitted_bytes()),
+             static_cast<unsigned long long>(sw.drained_bytes()), static_cast<long long>(occ));
+      }
+      if (occ != sw.queued_bytes_across_ports()) {
+        fail(FabricInvariantClass::kOccupancyBounds,
+             "%s occupancy %lld != per-port queue sum %lld", sw.name().c_str(),
+             static_cast<long long>(occ),
+             static_cast<long long>(sw.queued_bytes_across_ports()));
+      }
+      if (occ < 0 || occ > sw.buffer_bytes()) {
+        fail(FabricInvariantClass::kOccupancyBounds,
+             "%s occupancy %lld outside [0, %lld]", sw.name().c_str(),
+             static_cast<long long>(occ), static_cast<long long>(sw.buffer_bytes()));
+      }
+    }
+  }
+
+  std::uint64_t checks_run() const { return checks_; }
+  std::uint64_t total_violations() const { return total_violations_; }
+  std::uint64_t violations_of(FabricInvariantClass c) const {
+    return by_class_[static_cast<int>(c)];
+  }
+  const std::vector<FabricViolation>& violations() const { return recorded_; }
+
+  std::string report() const {
+    if (total_violations_ == 0) {
+      return "fabric invariants: OK (" + std::to_string(checks_) + " checks)";
+    }
+    std::string out = "fabric invariants: " + std::to_string(total_violations_) +
+                      " violation(s) in " + std::to_string(checks_) + " checks\n";
+    for (int i = 0; i < kFabricInvariantClasses; ++i) {
+      if (by_class_[i] == 0) continue;
+      out += "  " +
+             std::string(fabric_invariant_class_name(static_cast<FabricInvariantClass>(i))) +
+             ": " + std::to_string(by_class_[i]) + "\n";
+    }
+    for (const FabricViolation& v : recorded_) {
+      char line[64];
+      std::snprintf(line, sizeof(line), "  [%10.3fus] %s: ", v.at.us(),
+                    fabric_invariant_class_name(v.cls));
+      out += line + v.detail + "\n";
+    }
+    if (total_violations_ > recorded_.size()) {
+      out += "  ... (" + std::to_string(total_violations_ - recorded_.size()) +
+             " further violations not recorded)\n";
+    }
+    return out;
+  }
+
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
+    reg.counter_fn(prefix + "/checks", [this] { return checks_; });
+    reg.counter_fn(prefix + "/violations", [this] { return total_violations_; });
+    for (int i = 0; i < kFabricInvariantClasses; ++i) {
+      reg.counter_fn(
+          prefix + "/" + fabric_invariant_class_name(static_cast<FabricInvariantClass>(i)),
+          [this, i] { return by_class_[i]; });
+    }
+  }
+
+ private:
+  template <typename... Args>
+  void fail(FabricInvariantClass cls, const char* fmt, Args... args) {
+    ++total_violations_;
+    ++by_class_[static_cast<int>(cls)];
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    const sim::Time now = sim_.now();
+    OBS_LOG(obs::LogLevel::kError, now, "faults/fabric_invariants", "%s: %s",
+            fabric_invariant_class_name(cls), buf);
+    if (recorded_.size() < cfg_.max_recorded) {
+      recorded_.push_back({now, cls, std::string(buf)});
+    }
+  }
+
+  sim::Simulator& sim_;
+  fabric::Fabric& fabric_;
+  FabricInvariantConfig cfg_;
+  sim::PeriodicTimer timer_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t total_violations_ = 0;
+  std::uint64_t by_class_[kFabricInvariantClasses] = {0, 0};
+  std::vector<FabricViolation> recorded_;
+};
+
+}  // namespace hostcc::faults

@@ -21,6 +21,13 @@
 //   port_down@500+100:0      switch output port to host 0 stops transmitting
 //   sampler_pause@500+200    the hostCC sampler thread is preempted
 //
+// Fabric scenarios address links and ports by topology *edge name* instead
+// of an index (a non-numeric target field):
+//
+//   link_down@500+100:h3-leaf0        the whole edge loses carrier
+//   link_degrade@500+200:0.25:leaf0-spine1   every lane at 0.25x rate
+//   port_down@500+100:leaf0-spine0    switch-side egress ports wedge
+//
 // A duration of 0 means "until the end of the run".
 #pragma once
 
@@ -66,6 +73,9 @@ struct FaultEvent {
   sim::Time duration;  // zero = until the end of the run
   double param = 0.0;  // kind-specific; 0 = use the kind's default
   int target = -1;     // link index / port id; -1 = kind's default
+  // Fabric topologies address link/port faults by edge name ("h0-leaf0");
+  // non-empty takes precedence over the numeric target.
+  std::string target_edge;
 
   sim::Time end() const { return duration > sim::Time::zero() ? start + duration : sim::Time::max(); }
 };
@@ -95,6 +105,11 @@ inline bool kind_takes_param(FaultKind k) {
          k == FaultKind::kMbaWriteDelay || k == FaultKind::kLinkDegrade;
 }
 
+// Kinds whose target may be a topology edge name instead of an index.
+inline bool kind_takes_edge(FaultKind k) {
+  return k == FaultKind::kLinkDown || k == FaultKind::kLinkDegrade || k == FaultKind::kPortDown;
+}
+
 inline std::optional<FaultKind> parse_kind(const std::string& s) {
   for (FaultKind k : {FaultKind::kMsrStall, FaultKind::kMsrFreeze, FaultKind::kMsrTorn,
                       FaultKind::kMbaWriteFail, FaultKind::kMbaWriteDelay, FaultKind::kLinkDown,
@@ -121,27 +136,58 @@ inline std::optional<std::string> FaultPlan::add_spec(const std::string& spec) {
 
   FaultEvent ev;
   ev.kind = *kind;
+  // A field parses as a number only if it consumes entirely; anything else
+  // is a topology edge name ("h0-leaf0").
+  const auto as_number = [](const std::string& f) -> std::optional<double> {
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(f, &used);
+      if (used == f.size()) return v;
+    } catch (const std::exception&) {
+    }
+    return std::nullopt;
+  };
   try {
     ev.start = sim::Time::microseconds(std::stod(spec.substr(at + 1, plus - at - 1)));
     std::size_t pos = plus + 1;
     std::size_t used = 0;
     ev.duration = sim::Time::microseconds(std::stod(spec.substr(pos), &used));
     pos += used;
-    if (pos < spec.size() && spec[pos] == ':') {
-      const double field = std::stod(spec.substr(pos + 1), &used);
-      pos += 1 + used;
-      if (pos < spec.size() && spec[pos] == ':') {
-        ev.param = field;
-        ev.target = std::stoi(spec.substr(pos + 1), &used);
-        pos += 1 + used;
-      } else if (detail::kind_takes_param(ev.kind)) {
-        ev.param = field;
-      } else {
-        // Param-less kinds: a single trailing field is the target.
-        ev.target = static_cast<int>(field);
-      }
+    // The remaining ':'-separated fields: [:<param>][:<target>], where the
+    // target is a numeric index or an edge name.
+    std::vector<std::string> fields;
+    while (pos < spec.size() && spec[pos] == ':') {
+      const std::size_t next = spec.find(':', pos + 1);
+      fields.push_back(spec.substr(pos + 1, next == std::string::npos ? next : next - pos - 1));
+      pos = next == std::string::npos ? spec.size() : next;
     }
     if (pos != spec.size()) return fail("trailing characters");
+    if (fields.size() > 2) return fail("too many ':' fields");
+    if (fields.size() == 2) {
+      const auto p = as_number(fields[0]);
+      if (!p) return fail("param field '" + fields[0] + "' is not a number");
+      ev.param = *p;
+      if (const auto t = as_number(fields[1])) {
+        ev.target = static_cast<int>(*t);
+      } else if (detail::kind_takes_edge(ev.kind)) {
+        ev.target_edge = fields[1];
+      } else {
+        return fail("target field '" + fields[1] + "' is not a number");
+      }
+    } else if (fields.size() == 1) {
+      if (const auto v = as_number(fields[0])) {
+        if (detail::kind_takes_param(ev.kind)) {
+          ev.param = *v;
+        } else {
+          // Param-less kinds: a single trailing field is the target.
+          ev.target = static_cast<int>(*v);
+        }
+      } else if (detail::kind_takes_edge(ev.kind)) {
+        ev.target_edge = fields[0];
+      } else {
+        return fail("field '" + fields[0] + "' is not a number");
+      }
+    }
   } catch (const std::exception&) {
     return fail("malformed number");
   }
@@ -170,6 +216,11 @@ inline std::vector<std::string> FaultPlan::validate() const {
         break;
       default:
         break;
+    }
+    if (!ev.target_edge.empty() && ev.kind != FaultKind::kLinkDown &&
+        ev.kind != FaultKind::kLinkDegrade && ev.kind != FaultKind::kPortDown) {
+      errs.push_back(who + ": edge-name target '" + ev.target_edge +
+                     "' only applies to link_down/link_degrade/port_down");
     }
   }
   return errs;

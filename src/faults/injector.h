@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "fabric/fabric.h"
 #include "faults/fault_plan.h"
 #include "host/mba.h"
 #include "host/msr.h"
@@ -45,6 +46,9 @@ class FaultInjector {
   void attach_link(int index, net::Link& link) { links_[index] = &link; }
   void attach_switch(net::Switch& sw) { switch_ = &sw; }
   void attach_sampler(core::SignalSampler& sampler) { sampler_ = &sampler; }
+  // Multi-switch topologies: link/port faults with a `target_edge` resolve
+  // through the fabric's edge-name surface.
+  void attach_fabric(fabric::Fabric& fab) { fabric_ = &fab; }
 
   const FaultPlan& plan() const { return plan_; }
   bool plan_has(FaultKind k) const {
@@ -75,6 +79,7 @@ class FaultInjector {
     reg.gauge(prefix + "/active", [this] {
       double n = 0.0;
       for (const auto& [key, count] : active_) n += count > 0 ? 1.0 : 0.0;
+      for (const auto& [key, count] : active_named_) n += count > 0 ? 1.0 : 0.0;
       return n;
     });
   }
@@ -98,6 +103,17 @@ class FaultInjector {
 
   void activate(const FaultEvent& ev) {
     const double param = ev.param > 0.0 ? ev.param : default_param(ev.kind);
+    if (!ev.target_edge.empty()) {
+      if (!apply_edge(ev, param, /*on=*/true)) {
+        ++skipped_;
+        return;
+      }
+      ++active_named_[{ev.kind, ev.target_edge}];
+      ++activations_;
+      OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "faults", "inject %s param=%.3f edge=%s",
+              fault_kind_name(ev.kind), param, ev.target_edge.c_str());
+      return;
+    }
     const int target = ev.target >= 0 ? ev.target : default_target(ev.kind);
     if (!apply(ev, param, target, /*on=*/true)) {
       ++skipped_;
@@ -111,6 +127,16 @@ class FaultInjector {
 
   void deactivate(const FaultEvent& ev) {
     const double param = ev.param > 0.0 ? ev.param : default_param(ev.kind);
+    if (!ev.target_edge.empty()) {
+      auto it = active_named_.find({ev.kind, ev.target_edge});
+      if (it == active_named_.end() || it->second == 0) return;  // was skipped
+      if (--it->second > 0) return;  // an overlapping window is still open
+      if (!apply_edge(ev, param, /*on=*/false)) return;
+      ++deactivations_;
+      OBS_LOG(obs::LogLevel::kInfo, sim_.now(), "faults", "clear %s edge=%s",
+              fault_kind_name(ev.kind), ev.target_edge.c_str());
+      return;
+    }
     const int target = ev.target >= 0 ? ev.target : default_target(ev.kind);
     auto it = active_.find({ev.kind, target});
     if (it == active_.end() || it->second == 0) return;  // was skipped
@@ -119,6 +145,22 @@ class FaultInjector {
     ++deactivations_;
     OBS_LOG(obs::LogLevel::kInfo, sim_.now(), "faults", "clear %s target=%d",
             fault_kind_name(ev.kind), target);
+  }
+
+  // Edge-name faults route through the fabric. Returns false (skipped)
+  // when no fabric is attached or the edge does not exist.
+  bool apply_edge(const FaultEvent& ev, double param, bool on) {
+    if (!fabric_) return false;
+    switch (ev.kind) {
+      case FaultKind::kLinkDown:
+        return fabric_->set_edge_down(ev.target_edge, on);
+      case FaultKind::kLinkDegrade:
+        return fabric_->set_edge_rate_factor(ev.target_edge, on ? param : 1.0);
+      case FaultKind::kPortDown:
+        return fabric_->set_edge_port_down(ev.target_edge, on);
+      default:
+        return false;
+    }
   }
 
   // Turns one fault on/off. Returns false when the target is not attached.
@@ -180,7 +222,9 @@ class FaultInjector {
   std::map<int, net::Link*> links_;
   net::Switch* switch_ = nullptr;
   core::SignalSampler* sampler_ = nullptr;
+  fabric::Fabric* fabric_ = nullptr;
   std::map<std::pair<FaultKind, int>, int> active_;
+  std::map<std::pair<FaultKind, std::string>, int> active_named_;
   std::uint64_t activations_ = 0;
   std::uint64_t deactivations_ = 0;
   std::uint64_t skipped_ = 0;

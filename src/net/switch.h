@@ -104,6 +104,25 @@ class Switch {
 
   std::uint64_t no_route_drops() const { return no_route_drops_; }
 
+  // Aggregate across every port (plus the routeless drops), for results
+  // plumbing that doesn't want to know the port map.
+  struct TotalStats {
+    std::uint64_t drops = 0;
+    std::uint64_t marks = 0;
+    sim::Bytes queue_bytes = 0;
+    std::uint64_t no_route_drops = 0;
+  };
+  TotalStats total_stats() const {
+    TotalStats t;
+    t.no_route_drops = no_route_drops_;
+    for (const auto& [host, port] : ports_) {
+      t.drops += port.drops;
+      t.marks += port.marks;
+      t.queue_bytes += port.q_bytes;
+    }
+    return t;
+  }
+
   // --- fault hooks ---
 
   // Takes the output port toward `host` down (transmission halts; the
@@ -125,6 +144,10 @@ class Switch {
 
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
     reg.counter_fn(prefix + "/no_route_drops", [this] { return no_route_drops_; });
+    reg.counter_fn(prefix + "/drops", [this] { return total_stats().drops; });
+    reg.counter_fn(prefix + "/marks", [this] { return total_stats().marks; });
+    reg.gauge(prefix + "/queue_bytes",
+              [this] { return static_cast<double>(total_stats().queue_bytes); });
     for (const auto& [host, port] : ports_) {
       const std::string p = prefix + "/port" + std::to_string(host);
       const Port* pp = &port;

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "alloc_hook.h"
+#include "exp/fabric_scenario.h"
 #include "exp/scenario.h"
 
 namespace hostcc::exp {
@@ -61,6 +62,30 @@ TEST(DatapathAllocTest, PerPacketDrainModeDoesNotAllocateEither) {
   ScenarioConfig cfg = warm_cfg();
   cfg.coalesced_drains = false;  // the seed's per-packet relay path
   ExpectZeroAllocSlice(std::move(cfg));
+}
+
+// Multi-switch hop: a warm slice crossing leaf -> spine -> leaf (shared-
+// buffer DT admission, ECMP pick, coalesced inter-switch delivery) must be
+// just as heap-free as the single-star path.
+TEST(DatapathAllocTest, WarmFabricSliceAcrossTwoSwitchHopsDoesNotAllocate) {
+  FabricScenarioConfig cfg;
+  cfg.topology = "leaf-spine:2x1";  // h0-leaf0-{spine0,spine1}-leaf1-h1
+  cfg.warmup = sim::Time::milliseconds(20);
+  cfg.measure = sim::Time::milliseconds(5);
+  FabricScenario s(std::move(cfg));
+  s.run_warmup();
+  s.run_for(sim::Time::milliseconds(5));
+
+  const auto before = s.host(0).nic().stats();
+  hostcc::testing::reset_alloc_count();
+  hostcc::testing::set_alloc_counting(true);
+  s.run_for(sim::Time::milliseconds(2));
+  hostcc::testing::set_alloc_counting(false);
+  const auto after = s.host(0).nic().stats();
+
+  EXPECT_EQ(hostcc::testing::alloc_count(), 0u)
+      << "warm fabric datapath slice hit the heap";
+  EXPECT_GT(after.arrived_pkts - before.arrived_pkts, 1000u);
 }
 
 }  // namespace

@@ -1,10 +1,16 @@
 // Minimal two-host transport testbed used by transport and hostCC unit
-// tests: two HostModels wired back-to-back through fixed-delay pipes (no
-// switch), with a Stack on each side.
+// tests: two HostModels attached to a 1-switch star fabric::Topology in
+// ideal mode — zero-rate (serialization-free) edges, zero forwarding
+// latency/jitter, effectively infinite shared buffer, ECN marking off —
+// so the switch is a pure fixed-delay pipe and the TX paths and NICs
+// remain the only rate limiters, exactly like the old back-to-back pipes.
 #pragma once
 
 #include <memory>
+#include <utility>
 
+#include "fabric/fabric.h"
+#include "fabric/topology.h"
 #include "host/host.h"
 #include "sim/simulator.h"
 #include "transport/stack.h"
@@ -18,17 +24,31 @@ class Testbed {
       : a_host(sim, host_cfg, "a"), b_host(sim, sender_cfg(host_cfg), "b") {
     a = std::make_unique<transport::Stack>(sim, a_host, 0, tcfg);
     b = std::make_unique<transport::Stack>(sim, b_host, 1, tcfg);
-    // Direct pipes with serialization-free delivery: the TX paths and NICs
-    // provide rate limiting and buffering.
-    // Order matters: schedule this packet's delivery before notifying the
-    // TSQ drain (which re-enters the stack and may emit the next packet);
-    // net::Link preserves the same ordering.
-    a_host.set_egress([this, one_way](const net::PacketRef& p) {
-      sim.after(one_way, [this, p] { b_host.receive_from_wire(p); });
+
+    // Ideal 1-switch star: the whole one-way delay rides the switch->host
+    // delivery port; host->switch entry is synchronous.
+    fabric::FabricSwitchConfig scfg;
+    scfg.buffer_bytes = sim::Bytes{1} << 40;     // never drop
+    scfg.ecn_threshold = sim::Bytes{1} << 40;    // never mark
+    scfg.forward_latency = sim::Time::zero();
+    scfg.forward_jitter_max = sim::Time::zero();  // no RNG draw
+    fabric = std::make_unique<fabric::Fabric>(
+        sim, fabric::Topology::star(2, sim::Bandwidth::zero(), one_way), scfg);
+    fabric->attach_host_direct(
+        0, "h0", [this](const net::PacketRef& p) { a_host.receive_from_wire(p); });
+    fabric->attach_host_direct(
+        1, "h1", [this](const net::PacketRef& p) { b_host.receive_from_wire(p); });
+    fabric->finalize();
+
+    // Order matters: the fabric schedules this packet's delivery before we
+    // notify the TSQ drain (which re-enters the stack and may emit the
+    // next packet); net::Link preserves the same ordering.
+    a_host.set_egress([this](const net::PacketRef& p) {
+      fabric->host_ingress(0, p);
       a_host.wire_dequeued(*p);
     });
-    b_host.set_egress([this, one_way](const net::PacketRef& p) {
-      sim.after(one_way, [this, p] { a_host.receive_from_wire(p); });
+    b_host.set_egress([this](const net::PacketRef& p) {
+      fabric->host_ingress(1, p);
       b_host.wire_dequeued(*p);
     });
   }
@@ -45,6 +65,7 @@ class Testbed {
   sim::Simulator sim;
   host::HostModel a_host;
   host::HostModel b_host;
+  std::unique_ptr<fabric::Fabric> fabric;
   std::unique_ptr<transport::Stack> a;
   std::unique_ptr<transport::Stack> b;
 

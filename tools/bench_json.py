@@ -38,7 +38,7 @@ from pathlib import Path
 DEFAULT_FILTER = (
     "BM_EventQueuePushPop$|BM_EventCancellation|BM_EventQueuePushPopRefCapture|"
     "BM_SimulatorTimerChurn|BM_EwmaAdd|BM_HistogramRecord|BM_MemControllerQuantum|"
-    "BM_ScenarioPacketsPerSecond"
+    "BM_ScenarioPacketsPerSecond|BM_FabricHostScaling"
 )
 
 

@@ -8,6 +8,13 @@
 //              [--trace FILE] [--metrics FILE] [--decisions FILE]
 //              [--log-level LEVEL]
 //
+// Passing --topology switches to the rack-scale FabricScenario (multi-
+// switch fabric, N full host models):
+//
+//   hostcc_sim --topology leaf-spine:4x4 [--hosts N]
+//              [--pattern incast|all-to-all] [--flows-per-pair N]
+//              [--degree N] [--hostcc] [--fault SPEC]...
+//
 // Runs one scenario and prints the measured results as a table or JSON —
 // the fastest way to explore the host-congestion parameter space without
 // writing code. The observability flags export the run's internals:
@@ -19,9 +26,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "exp/fabric_scenario.h"
 #include "exp/scenario.h"
 #include "exp/table.h"
 #include "obs/log.h"
@@ -56,6 +65,12 @@ namespace {
                "                      mba_delay link_down link_degrade port_down\n"
                "                      sampler_pause (dur 0 = until end of run)\n"
                "  --no-invariants     disable the runtime invariant checker\n"
+               "  --topology SPEC     rack-scale fabric run; SPEC is star:<n>,\n"
+               "                      leaf-spine:<l>x<h>[x<s>], or fat-tree:<k>\n"
+               "  --hosts N           participating hosts (0 = all in topology)\n"
+               "  --pattern NAME      incast | all-to-all                [incast]\n"
+               "  --flows-per-pair N  long flows per (sender, dest) pair [2]\n"
+               "  --fabric-buffer N   switch shared-buffer size in KiB  [2048]\n"
                "  --signals           record and report I_S/B_S averages\n"
                "  --json              machine-readable output\n"
                "  --trace FILE        packet-lifecycle Chrome trace JSON\n"
@@ -82,10 +97,101 @@ bool wants_json(const std::string& path) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+// Rack-scale fabric mode (--topology): builds a FabricScenarioConfig from
+// the shared flags and reports the fabric-centric result set. Reuses the
+// single-star flags where they make sense (--degree, --hostcc, --fault,
+// --warmup/--measure, --seed, --metrics).
+int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const std::string& metrics_path) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  exp::FabricScenario fs(std::move(fcfg));
+  const exp::FabricScenarioResults r = fs.run();
+  if (fs.fabric_invariants() != nullptr && r.invariant_violations > 0) {
+    std::fprintf(stderr, "%s", fs.fabric_invariants()->report().c_str());
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+      return 1;
+    }
+    if (wants_json(metrics_path)) {
+      fs.metrics().write_json(out, fs.simulator().now());
+    } else {
+      fs.metrics().write_csv(out, fs.simulator().now());
+    }
+  }
+
+  const exp::FabricScenarioConfig& cfg = fs.config();
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"meta\": {\n");
+    std::printf("    \"seed\": %llu,\n", static_cast<unsigned long long>(cfg.host.seed));
+    std::printf("    \"events_executed\": %llu,\n",
+                static_cast<unsigned long long>(fs.simulator().events_executed()));
+    std::printf("    \"wall_ms\": %.1f,\n", wall_ms);
+    std::printf("    \"sim_us\": %.1f,\n", fs.simulator().now().us());
+    std::printf("    \"config\": {\"topology\": \"%s\", \"hosts\": %d, \"switches\": %d, "
+                "\"pattern\": \"%s\", \"flows_per_pair\": %d, \"degree\": %.2f, "
+                "\"hostcc\": %s, \"warmup_ms\": %.1f, \"measure_ms\": %.1f}\n",
+                cfg.topology.c_str(), fs.host_count(), fs.fabric().switch_count(),
+                cfg.traffic == exp::FabricTraffic::kIncast ? "incast" : "all-to-all",
+                cfg.flows_per_pair, cfg.mapp_degree, cfg.hostcc_enabled ? "true" : "false",
+                cfg.warmup.us() / 1000.0, cfg.measure.us() / 1000.0);
+    std::printf("  },\n");
+    std::printf("  \"net_tput_gbps\": %.4f,\n", r.net_tput_gbps);
+    std::printf("  \"host_drop_rate_pct\": %.6f,\n", r.host_drop_rate_pct);
+    std::printf("  \"fabric_drop_rate_pct\": %.6f,\n", r.fabric_drop_rate_pct);
+    std::printf("  \"fabric_drop_frac\": %.3e,\n", r.fabric_drop_frac);
+    std::printf("  \"fabric_drops\": %llu,\n", static_cast<unsigned long long>(r.fabric_drops));
+    std::printf("  \"fabric_marks\": %llu,\n", static_cast<unsigned long long>(r.fabric_marks));
+    std::printf("  \"fabric_no_route_drops\": %llu,\n",
+                static_cast<unsigned long long>(r.fabric_no_route_drops));
+    std::printf("  \"fabric_occupancy_peak_bytes\": %lld,\n",
+                static_cast<long long>(r.fabric_occupancy_peak));
+    std::printf("  \"delivered_pkts\": %llu,\n",
+                static_cast<unsigned long long>(r.delivered_pkts));
+    std::printf("  \"avg_iio_occupancy\": %.2f,\n", r.avg_iio_occupancy);
+    std::printf("  \"avg_pcie_gbps\": %.2f,\n", r.avg_pcie_gbps);
+    std::printf("  \"sender_timeouts\": %llu,\n",
+                static_cast<unsigned long long>(r.sender_timeouts));
+    std::printf("  \"invariant_violations\": %llu\n",
+                static_cast<unsigned long long>(r.invariant_violations));
+    std::printf("}\n");
+    return 0;
+  }
+
+  exp::Table t({"metric", "value"});
+  t.add_row({"topology", cfg.topology + " (" + std::to_string(fs.host_count()) + " hosts, " +
+                             std::to_string(fs.fabric().switch_count()) + " switches)"});
+  t.add_row({"NetApp-T goodput (Gbps)", exp::fmt(r.net_tput_gbps)});
+  t.add_row({"fabric drop rate (%)", exp::fmt_rate(r.fabric_drop_rate_pct)});
+  t.add_row({"host drop rate (%)", exp::fmt_rate(r.host_drop_rate_pct)});
+  t.add_row({"fabric drops / marks", std::to_string(r.fabric_drops) + " / " +
+                                         std::to_string(r.fabric_marks)});
+  t.add_row({"peak shared-buffer occupancy (KiB)",
+             exp::fmt(static_cast<double>(r.fabric_occupancy_peak) / 1024.0, 1)});
+  t.add_row({"avg I_S (cachelines)", exp::fmt(r.avg_iio_occupancy, 1)});
+  if (cfg.check_invariants) {
+    t.add_row({"invariant violations", std::to_string(r.invariant_violations)});
+  }
+  t.print();
+  return 0;
+}
+
+int run_cli(int argc, char** argv) {
   exp::ScenarioConfig cfg;
   bool json = false;
   std::string trace_path, metrics_path, decisions_path;
+  std::string topology;
+  int fabric_hosts = 0;
+  int flows_per_pair = 2;
+  int fabric_buffer_kib = 0;  // 0 = FabricSwitchConfig default
+  bool all_to_all = false;
+  bool warmup_set = false, measure_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -131,8 +237,27 @@ int main(int argc, char** argv) {
       cfg.host.iotlb_miss_rate = num_arg(argc, argv, i);
     } else if (a == "--warmup") {
       cfg.warmup = sim::Time::milliseconds(num_arg(argc, argv, i));
+      warmup_set = true;
     } else if (a == "--measure") {
       cfg.measure = sim::Time::milliseconds(num_arg(argc, argv, i));
+      measure_set = true;
+    } else if (a == "--topology") {
+      topology = str_arg(argc, argv, i);
+    } else if (a == "--hosts") {
+      fabric_hosts = static_cast<int>(num_arg(argc, argv, i));
+    } else if (a == "--pattern") {
+      const std::string name = str_arg(argc, argv, i);
+      if (name == "incast") {
+        all_to_all = false;
+      } else if (name == "all-to-all") {
+        all_to_all = true;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (a == "--flows-per-pair") {
+      flows_per_pair = static_cast<int>(num_arg(argc, argv, i));
+    } else if (a == "--fabric-buffer") {
+      fabric_buffer_kib = static_cast<int>(num_arg(argc, argv, i));
     } else if (a == "--seed") {
       cfg.host.seed = static_cast<std::uint64_t>(num_arg(argc, argv, i));
     } else if (a == "--fault") {
@@ -160,6 +285,28 @@ int main(int argc, char** argv) {
     } else {
       usage(argv[0]);
     }
+  }
+
+  if (!topology.empty()) {
+    exp::FabricScenarioConfig fcfg;
+    fcfg.topology = topology;
+    fcfg.hosts = fabric_hosts;
+    fcfg.host = cfg.host;
+    fcfg.transport = cfg.transport;
+    fcfg.traffic = all_to_all ? exp::FabricTraffic::kAllToAll : exp::FabricTraffic::kIncast;
+    fcfg.flows_per_pair = flows_per_pair;
+    if (fabric_buffer_kib > 0) {
+      fcfg.fabric.buffer_bytes = static_cast<sim::Bytes>(fabric_buffer_kib) * sim::kKiB;
+    }
+    fcfg.mapp_degree = cfg.mapp_degree;
+    fcfg.hostcc_enabled = cfg.hostcc_enabled;
+    fcfg.hostcc = cfg.hostcc;
+    fcfg.faults = cfg.faults;
+    fcfg.check_invariants = cfg.check_invariants;
+    // FabricScenario's own (much shorter) windows apply unless overridden.
+    if (warmup_set) fcfg.warmup = cfg.warmup;
+    if (measure_set) fcfg.measure = cfg.measure;
+    return run_fabric(std::move(fcfg), json, metrics_path);
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -275,4 +422,14 @@ int main(int argc, char** argv) {
   }
   t.print();
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    // Aggregated config validation (scenario, fabric, topology, faults).
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 }
