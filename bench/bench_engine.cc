@@ -234,6 +234,41 @@ void BM_ScenarioPacketsPerSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_ScenarioPacketsPerSecond)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// Self-profiler overhead on the same warm end-to-end scenario. The
+// acceptance bar (enforced by tools/bench_json.py's ratio gate) is <=1%
+// items/sec regression for "attached but disabled" vs. "detached" — the
+// disabled fast path resolves to a null handle at ProfScope construction,
+// one predictable branch per instrumented hot path.
+//   /0: profiler detached (no handles wired)
+//   /1: profiler attached to every component, disabled (production config)
+//   /2: profiler attached and enabled (collection on)
+void BM_ScenarioProfilerOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  exp::ScenarioConfig cfg;
+  cfg.warmup = sim::Time::milliseconds(20);
+  cfg.measure = sim::Time::milliseconds(5);
+  exp::Scenario s(std::move(cfg));
+  if (mode >= 1) s.attach_profiler(mode == 2);
+  s.run_warmup();
+  s.run_for(sim::Time::milliseconds(5));  // settle past slow start's tail
+  std::uint64_t pkts = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = s.receiver().nic().stats().arrived_pkts;
+    s.run_for(sim::Time::milliseconds(1));
+    pkts += s.receiver().nic().stats().arrived_pkts - before;
+  }
+  if (mode == 2) {
+    std::uint64_t scopes = 0;
+    for (const auto& t : s.profiler().tags()) scopes += t.scopes;
+    if (scopes == 0) {
+      state.SkipWithError("profiler collected nothing");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pkts));
+}
+BENCHMARK(BM_ScenarioProfilerOverhead)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
 // Rack-scale headline: wall-clock packet throughput of a warm multi-switch
 // fabric run (N full HostModels incasting through a shared-buffer
 // leaf-spine with ECMP). Arg = participating hosts; the topology stays

@@ -39,6 +39,10 @@ std::vector<std::string> validate(const FabricScenarioConfig& cfg,
     errs.push_back("fabric_scenario.flows_per_pair must be >= 1 (got " +
                    std::to_string(cfg.flows_per_pair) + ")");
   }
+  if (cfg.flow_bytes < 0) {
+    errs.push_back("fabric_scenario.flow_bytes must be >= 0 (got " +
+                   std::to_string(cfg.flow_bytes) + ")");
+  }
   if (cfg.mapp_degree < 0.0) errs.push_back("fabric_scenario.mapp_degree must be >= 0");
   if (cfg.congested_hosts < 0) errs.push_back("fabric_scenario.congested_hosts must be >= 0");
   if (cfg.warmup < sim::Time::zero() || cfg.measure < sim::Time::zero()) {
@@ -120,6 +124,11 @@ void FabricScenario::build() {
     return false;
   };
 
+  // One shared FlowStats across every stack, attached before any
+  // connection exists (the disabled path is the null pointer the stacks
+  // hold by default). Records are keyed (flow, src) so sharing is safe.
+  if (cfg_.record_flow_stats) flow_stats_ = obs::FlowStats(cfg_.flow_stats);
+
   // Hosts + stacks + fabric attachment, in HostId order.
   for (int i = 0; i < n_hosts; ++i) {
     const net::HostId id = static_cast<net::HostId>(i);
@@ -131,6 +140,7 @@ void FabricScenario::build() {
     const std::string& name = topo->nodes()[host_nodes[i]].name;
     auto h = std::make_unique<host::HostModel>(sim_, hc, name);
     auto stack = std::make_unique<transport::Stack>(sim_, *h, id, cfg_.transport);
+    if (cfg_.record_flow_stats) stack->set_flow_stats(&flow_stats_);
 
     host::HostModel* hp = h.get();
     net::Link& up = fabric_->attach_host(
@@ -151,7 +161,8 @@ void FabricScenario::build() {
       for (int src = 0; src < n_hosts; ++src) {
         if (src == dst) continue;
         tput_apps_.push_back(std::make_unique<apps::ThroughputApp>(
-            *stacks_[src], *stacks_[dst], cfg_.flows_per_pair, fid, cfg_.flow_stagger));
+            *stacks_[src], *stacks_[dst], cfg_.flows_per_pair, fid, cfg_.flow_stagger,
+            cfg_.flow_bytes));
         fid += static_cast<net::FlowId>(cfg_.flows_per_pair);
       }
     }
@@ -167,6 +178,7 @@ void FabricScenario::build() {
     }
     if (cfg_.hostcc_enabled) {
       auto ctl = std::make_unique<core::HostCcController>(*hosts_[hid], cfg_.hostcc);
+      if (cfg_.record_decisions) ctl->set_decision_log(&decisions_);
       ctl->start();
       controllers_.push_back(std::move(ctl));
       controller_host_.push_back(hid);
@@ -226,6 +238,57 @@ void FabricScenario::build() {
   }
   if (fabric_checker_) fabric_checker_->register_metrics(metrics_, "fabric/invariants");
   if (injector_) injector_->register_metrics(metrics_, "faults");
+
+  // Sampled fabric telemetry: groups registered switches-first then hosts,
+  // both in index order, so the Chrome-trace pid layout is a pure function
+  // of the topology (the same run opens identically in chrome://tracing).
+  if (cfg_.telemetry) {
+    telemetry_ = obs::FabricTelemetry(cfg_.telemetry_cfg);
+    for (int s = 0; s < fabric_->switch_count(); ++s) {
+      fabric::FabricSwitch* sw = &fabric_->switch_at(s);
+      const int pid = telemetry_.add_group(sw->name());
+      telemetry_.add_series(pid, "occupancy_bytes",
+                            [sw] { return static_cast<std::int64_t>(sw->occupancy()); });
+      for (int p = 0; p < sw->port_count(); ++p) {
+        const std::string& pn = sw->port_name(p);
+        telemetry_.add_series(pid, pn + "/queue_bytes", [sw, p] {
+          return static_cast<std::int64_t>(sw->port_stats(p).queue_bytes);
+        });
+        telemetry_.add_series(pid, pn + "/marks", [sw, p] {
+          return static_cast<std::int64_t>(sw->port_stats(p).marks);
+        });
+        telemetry_.add_series(pid, pn + "/drops", [sw, p] {
+          return static_cast<std::int64_t>(sw->port_stats(p).drops);
+        });
+      }
+    }
+    for (auto& hptr : hosts_) {
+      host::HostModel* hp = hptr.get();
+      const int pid = telemetry_.add_group(hp->name());
+      telemetry_.add_series(pid, "nic_queued_bytes", [hp] {
+        return static_cast<std::int64_t>(hp->nic().queued_bytes());
+      });
+      telemetry_.add_series(pid, "iio_occupancy_bytes", [hp] {
+        return static_cast<std::int64_t>(hp->iio().occupancy_bytes());
+      });
+    }
+    telemetry_.start(sim_);
+  }
+
+  if (cfg_.profile) attach_profiler(true);
+}
+
+void FabricScenario::attach_profiler(bool enable) {
+  for (auto& h : hosts_) h->set_profiler(&profiler_);
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    stacks_[i]->set_profiler(profiler_.handle(hosts_[i]->name() + "/transport"));
+  }
+  for (int s = 0; s < fabric_->switch_count(); ++s) {
+    fabric::FabricSwitch& sw = fabric_->switch_at(s);
+    sw.set_profiler(profiler_.handle(sw.name() + "/forward"));
+  }
+  profiler_.set_enabled(enable);
+  if (enable) profiler_.start_depth_timeline(sim_, sim::Time::microseconds(50));
 }
 
 void FabricScenario::run_for(sim::Time d) { sim_.run_until(sim_.now() + d); }
@@ -248,6 +311,9 @@ void FabricScenario::mark_measurement_start() {
   }
   for (auto& app : tput_apps_) app->goodput_since_mark(now);
   measure_start_ = now;
+  // FCT percentiles cover the measurement window only (per-flow lifetime
+  // records and open episodes survive the reset).
+  flow_stats_.reset_window();
 }
 
 FabricScenarioResults FabricScenario::run_measure() {
@@ -304,6 +370,17 @@ FabricScenarioResults FabricScenario::run_measure() {
     fabric_checker_->check_now();
     r.invariant_violations += fabric_checker_->total_violations();
   }
+
+  if (cfg_.record_flow_stats) {
+    const auto fs = flow_stats_.fct_summary();
+    r.flow_episodes = fs.count;
+    r.fct_p50_us = fs.p50.us();
+    r.fct_p99_us = fs.p99.us();
+    r.fct_p999_us = fs.p999.us();
+  }
+  // Capture the final telemetry frame at the measurement boundary so the
+  // exported series always end exactly at run end.
+  if (cfg_.telemetry) telemetry_.sample_now(now);
   return r;
 }
 

@@ -31,7 +31,11 @@
 #include "faults/invariants.h"
 #include "host/host.h"
 #include "hostcc/controller.h"
+#include "obs/decision_log.h"
+#include "obs/fabric_telemetry.h"
+#include "obs/flow_stats.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sim/simulator.h"
 #include "transport/stack.h"
 
@@ -55,6 +59,10 @@ struct FabricScenarioConfig {
 
   FabricTraffic traffic = FabricTraffic::kIncast;
   int flows_per_pair = 2;                // long flows per (sender, dest) pair
+  // Message size per long flow: 0 = the seed's infinite-source streams;
+  // > 0 = closed-loop back-to-back messages of this size (gives FlowStats
+  // real completion episodes — required for the FCT percentiles).
+  sim::Bytes flow_bytes = 0;
   double mapp_degree = 2.0;              // MApp degree on congested hosts
   int congested_hosts = 1;               // how many flow destinations get an MApp
 
@@ -69,6 +77,14 @@ struct FabricScenarioConfig {
   sim::Time warmup = sim::Time::milliseconds(10);
   sim::Time measure = sim::Time::milliseconds(10);
   sim::Time flow_stagger = sim::Time::microseconds(100);
+
+  // Observability (all off by default: rack-scale runs are event-heavy).
+  bool record_flow_stats = false;        // per-flow FCT/slowdown accounting
+  obs::FlowStatsConfig flow_stats;       // slowdown normalization constants
+  bool record_decisions = false;         // shared hostCC decision log (all hosts)
+  bool telemetry = false;                // per-switch/per-port occupancy sampling
+  obs::FabricTelemetryConfig telemetry_cfg;
+  bool profile = false;                  // simulator self-profiler
 
   bool coalesced_drains = true;          // HOSTCC_DRAIN_MODE overrides
 };
@@ -92,6 +108,13 @@ struct FabricScenarioResults {
   std::uint64_t sender_fast_retransmits = 0;
 
   std::uint64_t invariant_violations = 0;  // hosts + fabric ledger, whole run
+
+  // Flow completion times over the measurement window (record_flow_stats
+  // with flow_bytes > 0).
+  std::uint64_t flow_episodes = 0;
+  double fct_p50_us = 0.0;
+  double fct_p99_us = 0.0;
+  double fct_p999_us = 0.0;
 };
 
 class FabricScenario {
@@ -116,6 +139,17 @@ class FabricScenario {
   faults::FaultInjector* injector() { return injector_.get(); }
   faults::FabricInvariantChecker* fabric_invariants() { return fabric_checker_.get(); }
   obs::MetricsRegistry& metrics() { return metrics_; }
+  // Per-flow FCT/slowdown accounting (cfg.record_flow_stats).
+  const obs::FlowStats& flow_stats() const { return flow_stats_; }
+  // Shared hostCC decision record across every controller; the `host`
+  // column disambiguates (cfg.record_decisions, hostcc runs only).
+  const obs::DecisionLog& decisions() const { return decisions_; }
+  // Sampled per-switch/per-port occupancy time-series (cfg.telemetry).
+  obs::FabricTelemetry& telemetry() { return telemetry_; }
+  // Simulator self-profiler. Detached until attach_profiler() (or
+  // cfg.profile) wires its handles into hosts, switches, and stacks.
+  obs::SimProfiler& profiler() { return profiler_; }
+  void attach_profiler(bool enable);
   const FabricScenarioConfig& config() const { return cfg_; }
 
  private:
@@ -139,6 +173,10 @@ class FabricScenario {
   std::vector<int> destinations_;  // flow-destination host ids, ascending
 
   obs::MetricsRegistry metrics_;
+  obs::FlowStats flow_stats_;
+  obs::DecisionLog decisions_;
+  obs::FabricTelemetry telemetry_;
+  obs::SimProfiler profiler_;
 
   // Measurement-window baselines.
   std::uint64_t base_fabric_drops_ = 0;

@@ -42,6 +42,7 @@ std::vector<std::string> validate(const ScenarioConfig& cfg) {
   if (cfg.warmup < sim::Time::zero() || cfg.measure < sim::Time::zero()) {
     errs.push_back("scenario.warmup/measure must be >= 0");
   }
+  if (cfg.netapp_flow_bytes < 0) errs.push_back("scenario.netapp_flow_bytes must be >= 0");
   for (sim::Bytes s : cfg.rpc_sizes) {
     if (s <= 0) errs.push_back("scenario.rpc_sizes entries must be > 0 bytes");
   }
@@ -126,6 +127,15 @@ void Scenario::build() {
     sender_stacks_.push_back(std::move(stack));
   }
 
+  // Per-flow FCT accounting: one shared FlowStats across every stack,
+  // attached before any connection exists. Always attached — the disabled
+  // path is the null pointer the stacks hold by default.
+  if (cfg_.record_flow_stats) {
+    flow_stats_ = obs::FlowStats(cfg_.flow_stats);
+    receiver_stack_->set_flow_stats(&flow_stats_);
+    for (auto& s : sender_stacks_) s->set_flow_stats(&flow_stats_);
+  }
+
   // NetApp-T: long flows, round-robin across senders.
   {
     // ThroughputApp wants one sender stack; generalize by creating one app
@@ -137,7 +147,9 @@ void Scenario::build() {
       const int share = remaining / (cfg_.senders - s) +
                         ((remaining % (cfg_.senders - s)) != 0 ? 1 : 0);
       apps.push_back(std::make_unique<apps::ThroughputApp>(*sender_stacks_[s], *receiver_stack_,
-                                                           share, fid));
+                                                           share, fid,
+                                                           sim::Time::milliseconds(1),
+                                                           cfg_.netapp_flow_bytes));
       fid += static_cast<net::FlowId>(share);
       remaining -= share;
     }
@@ -246,6 +258,20 @@ void Scenario::build() {
   for (auto& lnk : links_) lnk->register_metrics(metrics_, "link/" + lnk->name());
   if (invariants_) invariants_->register_metrics(metrics_, "receiver/invariants");
   if (injector_) injector_->register_metrics(metrics_, "faults");
+
+  if (cfg_.profile) attach_profiler(true);
+}
+
+void Scenario::attach_profiler(bool enable) {
+  receiver_->set_profiler(&profiler_);
+  for (auto& h : sender_hosts_) h->set_profiler(&profiler_);
+  receiver_stack_->set_profiler(profiler_.handle("receiver/transport"));
+  for (std::size_t s = 0; s < sender_stacks_.size(); ++s) {
+    sender_stacks_[s]->set_profiler(
+        profiler_.handle("sender" + std::to_string(s) + "/transport"));
+  }
+  profiler_.set_enabled(enable);
+  if (enable) profiler_.start_depth_timeline(sim_, sim::Time::microseconds(50));
 }
 
 core::SignalSampler& Scenario::signals() {
@@ -273,6 +299,9 @@ void Scenario::mark_measurement_start() {
   base_echo_marks_ = controller_ ? controller_->echo().packets_marked() : 0;
   // RPC latency: measure only post-warmup samples.
   for (auto& c : rpc_clients_) c->reset_latency();
+  // FCT percentiles likewise cover the measurement window only (per-flow
+  // lifetime records and open episodes survive the reset).
+  flow_stats_.reset_window();
 }
 
 ScenarioResults Scenario::run_measure() {
@@ -334,6 +363,13 @@ ScenarioResults Scenario::run_measure() {
   if (invariants_) {
     invariants_->check_now();  // final sweep at the measurement boundary
     r.invariant_violations = invariants_->total_violations();
+  }
+  if (cfg_.record_flow_stats) {
+    const auto fs = flow_stats_.fct_summary();
+    r.flow_episodes = fs.count;
+    r.fct_p50_us = fs.p50.us();
+    r.fct_p99_us = fs.p99.us();
+    r.fct_p999_us = fs.p999.us();
   }
 
   // Signal averages over the measurement window.

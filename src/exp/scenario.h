@@ -24,7 +24,9 @@
 #include "net/link.h"
 #include "net/switch.h"
 #include "obs/decision_log.h"
+#include "obs/flow_stats.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/timeseries.h"
@@ -64,6 +66,13 @@ struct ScenarioConfig {
   bool record_signals = false;            // capture I_S/B_S/level series
   bool trace_packets = false;             // per-packet lifecycle tracing (receiver)
   bool record_decisions = false;          // keep the full hostCC decision log
+  bool record_flow_stats = false;         // per-flow FCT/slowdown accounting
+  obs::FlowStatsConfig flow_stats;        // slowdown normalization constants
+  // NetApp-T message size: 0 keeps the seed's infinite-source streams;
+  // > 0 switches every long flow to closed-loop back-to-back messages of
+  // this size, which gives FlowStats real completion times.
+  sim::Bytes netapp_flow_bytes = 0;
+  bool profile = false;                   // enable the simulator self-profiler
 
   // Coalesced drains (default): the switch folds the fabric->host
   // propagation delay into its own delivery event instead of the scenario
@@ -100,6 +109,12 @@ struct ScenarioResults {
   std::uint64_t switch_no_route_drops = 0; // whole run (should stay 0)
 
   std::uint64_t invariant_violations = 0;  // whole-run count (0 when checker off)
+
+  // Flow completion times over the measurement window (record_flow_stats).
+  std::uint64_t flow_episodes = 0;
+  double fct_p50_us = 0.0;
+  double fct_p99_us = 0.0;
+  double fct_p999_us = 0.0;
 };
 
 class Scenario {
@@ -147,6 +162,15 @@ class Scenario {
   obs::PacketTracer& tracer() { return tracer_; }
   // Full hostCC decision record (cfg.record_decisions, hostcc runs only).
   const obs::DecisionLog& decisions() const { return decisions_; }
+  // Per-flow FCT/slowdown accounting (cfg.record_flow_stats).
+  const obs::FlowStats& flow_stats() const { return flow_stats_; }
+  // Simulator self-profiler. Detached until attach_profiler() (or
+  // cfg.profile) wires its handles into the datapath components.
+  obs::SimProfiler& profiler() { return profiler_; }
+  // Wires profiler handles into every component; `enable` toggles actual
+  // collection (an attached-but-disabled profiler is the overhead the
+  // bench gate pins at <= 1%).
+  void attach_profiler(bool enable);
 
   const ScenarioConfig& config() const { return cfg_; }
 
@@ -192,6 +216,8 @@ class Scenario {
   obs::MetricsRegistry metrics_;
   obs::PacketTracer tracer_{"receiver"};
   obs::DecisionLog decisions_;
+  obs::FlowStats flow_stats_;
+  obs::SimProfiler profiler_;
 
   // Measurement-window baselines.
   std::uint64_t base_nic_arrived_ = 0;

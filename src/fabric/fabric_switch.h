@@ -42,6 +42,7 @@
 #include "net/packet.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sim/random.h"
 #include "sim/ring_queue.h"
 #include "sim/simulator.h"
@@ -104,8 +105,12 @@ class FabricSwitch {
     }
   }
 
+  // Self-profiler attribution for routing/admission and port dequeue.
+  void set_profiler(obs::ProfHandle h) { prof_ = h; }
+
   // Packet arriving on any input port: route, admit (DT), mark, enqueue.
   void ingress(net::PacketRef p) {
+    obs::ProfScope scope(prof_);
     const int pi = route(p->dst, p->flow);
     if (pi < 0) {
       if (no_route_drops_ == 0) {
@@ -275,6 +280,7 @@ class FabricSwitch {
       port.busy = false;
       return;
     }
+    obs::ProfScope scope(prof_);
     port.busy = true;
     net::PacketRef p = std::move(port.q.front());
     port.q.pop_front();
@@ -316,6 +322,7 @@ class FabricSwitch {
   std::uint64_t drained_bytes_ = 0;
   std::uint64_t dropped_bytes_ = 0;
   std::uint64_t no_route_drops_ = 0;
+  obs::ProfHandle prof_;
 };
 
 }  // namespace hostcc::fabric

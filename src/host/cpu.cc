@@ -48,6 +48,7 @@ void CpuComplex::maybe_start(std::size_t core_idx) {
 }
 
 void CpuComplex::finish(std::size_t core_idx, Work w) {
+  obs::ProfScope scope(prof_);
   Core& core = cores_[core_idx];
   core.busy = false;
   busy_cores_ -= 1.0;

@@ -17,6 +17,7 @@
 #include "host/memctrl.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sim/ring_queue.h"
 #include "sim/simulator.h"
 
@@ -43,6 +44,8 @@ class CpuComplex : public MemSource {
   void set_nic(NicRx* nic) { nic_ = nic; }
   // Opt-in packet-lifecycle tracing (kDelivered stage).
   void set_tracer(obs::PacketTracer* t) { tracer_ = t; }
+  // Self-profiler attribution for packet processing completions.
+  void set_profiler(obs::ProfHandle h) { prof_ = h; }
 
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
     reg.counter_fn(prefix + "/processed_pkts", [this] { return processed_pkts_; });
@@ -108,6 +111,7 @@ class CpuComplex : public MemSource {
   StackRxFn stack_rx_;
   IngressFilter ingress_;
   obs::PacketTracer* tracer_ = nullptr;
+  obs::ProfHandle prof_;
 
   std::vector<Core> cores_;
   std::unordered_map<net::FlowId, sim::Bytes> flow_backlog_;

@@ -24,6 +24,7 @@
 #include "host/pcie.h"
 #include "host/tx.h"
 #include "net/packet.h"
+#include "obs/profiler.h"
 #include "sim/simulator.h"
 
 namespace hostcc::host {
@@ -102,6 +103,15 @@ class HostModel {
     nic_->set_tracer(t);
     iio_->set_tracer(t);
     cpu_->set_tracer(t);
+  }
+  // Attaches (or detaches, with nullptr) the simulator self-profiler to the
+  // datapath hot paths, registering "<host-name>/<component>" tags. The
+  // profiler decides whether it is enabled; a detached handle is one branch.
+  void set_profiler(obs::SimProfiler* p) {
+    nic_->set_profiler(p ? p->handle(name_ + "/nic") : obs::ProfHandle{});
+    iio_->set_profiler(p ? p->handle(name_ + "/iio") : obs::ProfHandle{});
+    mc_->set_profiler(p ? p->handle(name_ + "/memctrl") : obs::ProfHandle{});
+    cpu_->set_profiler(p ? p->handle(name_ + "/cpu") : obs::ProfHandle{});
   }
   // Registers every stage's metrics under "<host-name>/<component>/...".
   // Call after all MemSources have been added (see MemoryController).

@@ -33,6 +33,7 @@ sim::Time IioBuffer::iommu_extra() {
 
 void IioBuffer::insert(net::PacketRef pkt, sim::Bytes credit_bytes, bool to_memory,
                        bool eviction, bool last_chunk) {
+  obs::ProfScope scope(prof_);
   assert(credit_bytes > 0);
   msrs_.count_insertions(static_cast<double>(credit_bytes) /
                          static_cast<double>(sim::kCacheline));

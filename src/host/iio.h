@@ -15,6 +15,7 @@
 #include "host/pcie.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sim/random.h"
 #include "sim/ring_queue.h"
 #include "sim/simulator.h"
@@ -65,6 +66,8 @@ class IioBuffer : public MemSource {
 
   // Opt-in packet-lifecycle tracing (kIioAdmit / kWriteIssued stages).
   void set_tracer(obs::PacketTracer* t) { tracer_ = t; }
+  // Self-profiler attribution for IIO admission.
+  void set_profiler(obs::ProfHandle h) { prof_ = h; }
 
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
     reg.gauge(prefix + "/occupancy_lines", [this] { return occupancy_lines(); });
@@ -111,6 +114,7 @@ class IioBuffer : public MemSource {
   sim::Bytes total_inserted_ = 0;
   sim::Bytes total_admitted_ = 0;
   obs::PacketTracer* tracer_ = nullptr;
+  obs::ProfHandle prof_;
 };
 
 }  // namespace hostcc::host

@@ -6,6 +6,7 @@
 namespace hostcc::host {
 
 void MemoryController::quantum() {
+  obs::ProfScope scope(prof_);
   const sim::Time now = sim_.now();
   const double cap = quantum_cap_bytes_;
 

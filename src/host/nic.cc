@@ -32,6 +32,7 @@ double NicRx::overhead_fraction(sim::Bytes pkt_size) const {
 }
 
 void NicRx::packet_from_wire(net::PacketRef p) {
+  obs::ProfScope scope(prof_);
   ++stats_.arrived_pkts;
   stats_.arrived_bytes += p->size;
   // Admission reserves headroom for a maximum-size frame (hardware FIFOs
@@ -87,6 +88,7 @@ void NicRx::try_start_dma() {
 
 void NicRx::start_next_chunk() {
   if (!dma_active_ || pcie_.busy()) return;
+  obs::ProfScope scope(prof_);
 
   const sim::Bytes wire_left = dma_pkt_->size - dma_sent_;
   assert(wire_left > 0);

@@ -14,6 +14,7 @@
 #include "host/pcie.h"
 #include "net/packet.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sim/ring_queue.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
@@ -47,6 +48,8 @@ class NicRx {
 
   // Opt-in packet-lifecycle tracing (kNicArrive / kDmaStart stages).
   void set_tracer(obs::PacketTracer* t) { tracer_ = t; }
+  // Self-profiler attribution for NIC admission + DMA chunking.
+  void set_profiler(obs::ProfHandle h) { prof_ = h; }
 
   // Registers this stage's counters/gauges under `prefix` (e.g. "rx/nic").
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
@@ -129,6 +132,7 @@ class NicRx {
   sim::Histogram queue_delay_hist_;
   std::function<void(const net::Packet&)> on_drop_;
   obs::PacketTracer* tracer_ = nullptr;
+  obs::ProfHandle prof_;
 };
 
 }  // namespace hostcc::host

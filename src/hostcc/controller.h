@@ -209,6 +209,7 @@ class HostCcController {
     if (decision_log_ == nullptr && !on_decision_) return;
     obs::Decision d;
     d.at = now;
+    d.host = host_.name();
     d.is = sampler_.is_value();
     d.bs_gbps = sampler_.bs_value().as_gbps();
     d.bt_gbps = policy_->target_bandwidth(now).as_gbps();

@@ -9,8 +9,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <ostream>
+#include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "sim/time.h"
 
 namespace hostcc::obs {
@@ -51,6 +53,7 @@ inline const char* reason_name(DecisionReason r) {
 
 struct Decision {
   sim::Time at;
+  std::string host;             // controller's host (FabricScenario runs share one log)
   double is = 0.0;              // smoothed IIO occupancy (cachelines)
   double bs_gbps = 0.0;         // smoothed PCIe bandwidth
   double bt_gbps = 0.0;         // policy target B_T
@@ -69,26 +72,27 @@ class DecisionLog {
   void clear() { decisions_.clear(); }
 
   void write_csv(std::ostream& os) const {
-    os << "time_us,is_cachelines,bs_gbps,bt_gbps,level_requested,level_effective,reason\n";
-    char buf[160];
+    os << "time_us,host,is_cachelines,bs_gbps,bt_gbps,level_requested,level_effective,reason\n";
+    char buf[224];
     for (const auto& d : decisions_) {
-      std::snprintf(buf, sizeof(buf), "%.6f,%.6f,%.6f,%.6f,%d,%d,%s\n", d.at.us(), d.is,
-                    d.bs_gbps, d.bt_gbps, d.level_requested, d.level_effective,
-                    reason_name(d.reason));
+      std::snprintf(buf, sizeof(buf), "%.6f,%s,%.6f,%.6f,%.6f,%d,%d,%s\n", d.at.us(),
+                    d.host.c_str(), d.is, d.bs_gbps, d.bt_gbps, d.level_requested,
+                    d.level_effective, reason_name(d.reason));
       os << buf;
     }
   }
 
   void write_json(std::ostream& os) const {
     os << "{\"decisions\":[";
-    char buf[224];
+    char buf[288];
     for (std::size_t i = 0; i < decisions_.size(); ++i) {
       const auto& d = decisions_[i];
       std::snprintf(buf, sizeof(buf),
-                    "%s\n{\"t_us\":%.6f,\"is\":%.6f,\"bs_gbps\":%.6f,\"bt_gbps\":%.6f,"
-                    "\"level_requested\":%d,\"level_effective\":%d,\"reason\":\"%s\"}",
-                    i ? "," : "", d.at.us(), d.is, d.bs_gbps, d.bt_gbps, d.level_requested,
-                    d.level_effective, reason_name(d.reason));
+                    "%s\n{\"t_us\":%.6f,\"host\":\"%s\",\"is\":%.6f,\"bs_gbps\":%.6f,"
+                    "\"bt_gbps\":%.6f,\"level_requested\":%d,\"level_effective\":%d,"
+                    "\"reason\":\"%s\"}",
+                    i ? "," : "", d.at.us(), json_escape(d.host).c_str(), d.is, d.bs_gbps,
+                    d.bt_gbps, d.level_requested, d.level_effective, reason_name(d.reason));
       os << buf;
     }
     os << "\n]}\n";

@@ -1,0 +1,107 @@
+#include "obs/fabric_telemetry.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace hostcc::obs {
+
+namespace {
+void ps_to_us(char* buf, std::size_t n, std::int64_t ps) {
+  std::snprintf(buf, n, "%" PRId64 ".%06" PRId64, ps / 1'000'000, ps % 1'000'000);
+}
+}  // namespace
+
+int FabricTelemetry::add_group(std::string name) {
+  groups_.push_back(std::move(name));
+  return static_cast<int>(groups_.size());  // 1-based pid
+}
+
+void FabricTelemetry::add_series(int pid, std::string name,
+                                 std::function<std::int64_t()> sample) {
+  assert(pid >= 1 && pid <= static_cast<int>(groups_.size()) && "unknown telemetry group");
+  assert(!timer_ && "add_series after start()");
+  series_.push_back({pid, std::move(name), std::move(sample)});
+  high_water_.push_back(0);
+}
+
+void FabricTelemetry::start(sim::Simulator& sim) {
+  if (timer_) return;
+  sim_ = &sim;
+  timer_ = std::make_unique<sim::PeriodicTimer>(sim, cfg_.sample_period, [this] { tick(); });
+  timer_->start();
+}
+
+void FabricTelemetry::stop() {
+  if (timer_) timer_->stop();
+}
+
+void FabricTelemetry::tick() { sample_now(sim_->now()); }
+
+void FabricTelemetry::sample_now(sim::Time now) {
+  Frame* f;
+  if (frames_.size() < cfg_.max_frames) {
+    f = &frames_.emplace_back();
+  } else {
+    // Ring full: overwrite the oldest frame in place (its values vector
+    // keeps its capacity — steady-state sampling allocates nothing).
+    f = &frames_[head_];
+    head_ = (head_ + 1) % frames_.size();
+    ++frames_dropped_;
+  }
+  f->ts_ps = now.ps();
+  f->values.resize(series_.size());
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const std::int64_t v = series_[i].sample();
+    f->values[i] = v;
+    if (v > high_water_[i]) high_water_[i] = v;
+  }
+  ++frames_sampled_;
+}
+
+void FabricTelemetry::write_csv(std::ostream& os) const {
+  os << "time_us";
+  for (const auto& s : series_) os << ',' << groups_[s.pid - 1] << '/' << s.name;
+  os << '\n';
+  char ts[40], num[32];
+  const std::size_t n = frames_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Frame& f = frames_[(head_ + i) % n];
+    ps_to_us(ts, sizeof(ts), f.ts_ps);
+    os << ts;
+    for (const std::int64_t v : f.values) {
+      std::snprintf(num, sizeof(num), ",%" PRId64, v);
+      os << num;
+    }
+    os << '\n';
+  }
+}
+
+void FabricTelemetry::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    os << (first ? "" : ",\n") << "{\"ph\":\"M\",\"pid\":" << (g + 1)
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+       << json_escape(groups_[g]) << "\"}}";
+    first = false;
+  }
+  char ts[40], line[64];
+  const std::size_t n = frames_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Frame& f = frames_[(head_ + i) % n];
+    ps_to_us(ts, sizeof(ts), f.ts_ps);
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+      os << ",\n{\"ph\":\"C\",\"pid\":" << series_[s].pid << ",\"tid\":0,\"name\":\""
+         << json_escape(series_[s].name) << "\",\"ts\":" << ts << ",\"args\":{\"value\":";
+      std::snprintf(line, sizeof(line), "%" PRId64 "}}", f.values[s]);
+      os << line;
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace hostcc::obs

@@ -1,0 +1,96 @@
+// Ring-buffer sampled time-series telemetry for fabric-wide state:
+// per-switch shared-pool occupancy, per-port queue depth / ECN marks /
+// drops, and per-host datapath occupancies, sampled on a fixed simulated
+// cadence by a periodic lane.
+//
+// The registry is generic — series are (group, name, int64 sampler fn) —
+// so this layer depends only on the sim engine; FabricScenario wires the
+// switch and host samplers in. Groups map to Chrome-trace pids in
+// registration order (switches first, then hosts), which makes the
+// pid/tid layout stable for a given topology: the same run opens
+// identically in chrome://tracing every time.
+//
+// Samples are (sim time, int64 values): exported CSV and Chrome counter
+// tracks are byte-identical across fixed-seed runs. The ring keeps the
+// most recent `max_frames` samples (oldest overwritten, counted in
+// frames_dropped()); per-series high-water marks cover the whole run
+// regardless of ring evictions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace hostcc::obs {
+
+struct FabricTelemetryConfig {
+  sim::Time sample_period = sim::Time::microseconds(5);
+  std::size_t max_frames = 1u << 14;  // ring capacity (frames, not values)
+};
+
+class FabricTelemetry {
+ public:
+  explicit FabricTelemetry(FabricTelemetryConfig cfg = {}) : cfg_(cfg) {}
+
+  // --- registration (before start()) ---
+  // Returns the group's Chrome-trace pid (1-based, registration order).
+  int add_group(std::string name);
+  void add_series(int pid, std::string name, std::function<std::int64_t()> sample);
+
+  // Begins periodic sampling on `sim`. Idempotent per telemetry object.
+  void start(sim::Simulator& sim);
+  void stop();
+  // Takes one sample immediately (used for a final sample at run end).
+  void sample_now(sim::Time now);
+
+  // --- results ---
+  std::size_t group_count() const { return groups_.size(); }
+  std::size_t series_count() const { return series_.size(); }
+  std::uint64_t frames_sampled() const { return frames_sampled_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::size_t frames_retained() const { return frames_.size(); }
+  // Whole-run high-water mark of series `i` (registration order).
+  std::int64_t high_water(std::size_t i) const { return high_water_[i]; }
+  const std::string& series_name(std::size_t i) const { return series_[i].name; }
+  int series_pid(std::size_t i) const { return series_[i].pid; }
+  const std::string& group_name(int pid) const { return groups_[pid - 1]; }
+
+  // Wide CSV: time_us,<group/series>,... one row per retained frame,
+  // oldest first.
+  void write_csv(std::ostream& os) const;
+  // Chrome trace_event JSON: "M" process metadata per group plus "C"
+  // counter events — each (pid, series) pair renders as a counter track.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  struct Series {
+    int pid = 0;
+    std::string name;
+    std::function<std::int64_t()> sample;
+  };
+  struct Frame {
+    std::int64_t ts_ps = 0;
+    std::vector<std::int64_t> values;
+  };
+
+  void tick();
+
+  FabricTelemetryConfig cfg_;
+  std::vector<std::string> groups_;
+  std::vector<Series> series_;
+  std::vector<Frame> frames_;  // ring once full; head_ = oldest
+  std::size_t head_ = 0;
+  std::vector<std::int64_t> high_water_;
+  std::uint64_t frames_sampled_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::unique_ptr<sim::PeriodicTimer> timer_;
+  sim::Simulator* sim_ = nullptr;
+};
+
+}  // namespace hostcc::obs

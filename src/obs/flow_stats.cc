@@ -1,0 +1,146 @@
+#include "obs/flow_stats.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+namespace hostcc::obs {
+
+namespace {
+
+// Exact picosecond -> microsecond rendering; no floating point so output
+// is byte-identical across compilers and libcs.
+void ps_to_us(char* buf, std::size_t n, std::int64_t ps) {
+  std::snprintf(buf, n, "%" PRId64 ".%06" PRId64, ps / 1'000'000, ps % 1'000'000);
+}
+
+int log2_bucket(sim::Bytes bytes) {
+  int b = 0;
+  while ((sim::Bytes{1} << (b + 1)) <= bytes && b < 62) ++b;
+  return b;
+}
+
+}  // namespace
+
+void FlowStats::episode_started(net::FlowId flow, net::HostId src, sim::Time now) {
+  assert(src < (1u << 20) && "host id spills into flow bits of the record key");
+  Record& r = rec(flow, src);
+  if (r.first_start == sim::Time::max()) r.first_start = now;
+  r.episode_start = now;
+  ++r.episodes_started;
+  ++started_;
+}
+
+void FlowStats::episode_completed(net::FlowId flow, net::HostId src, sim::Time now,
+                                  sim::Bytes bytes) {
+  Record& r = rec(flow, src);
+  if (r.episode_start == sim::Time::max()) return;  // started before attach/reset
+  const sim::Time fct = now - r.episode_start;
+  r.episode_start = sim::Time::max();
+  r.last_completion = now;
+  ++r.episodes_completed;
+  r.bytes_completed += bytes;
+  ++completed_;
+
+  fct_.record_time(fct);
+  // Slowdown vs an ideal transfer at the reference bandwidth, in integer
+  // milli-units: 1000 == ideal.
+  const std::int64_t ideal_ps =
+      cfg_.base_rtt.ps() + cfg_.reference_bandwidth.transfer_time(bytes).ps();
+  const std::int64_t slow_milli = ideal_ps > 0 ? fct.ps() / (ideal_ps / 1000 + 1) : 0;
+  slowdown_.record(slow_milli);
+
+  SizeBucket& sb = by_size_[log2_bucket(bytes)];
+  sb.fct.record_time(fct);
+  sb.slowdown_milli.record(slow_milli);
+  sb.bytes += bytes;
+  ++sb.episodes;
+}
+
+void FlowStats::bytes_delivered(net::FlowId flow, net::HostId src, sim::Time now,
+                                sim::Bytes n) {
+  Record& r = rec(flow, src);
+  if (r.first_byte == sim::Time::max()) r.first_byte = now;
+  r.bytes_delivered += n;
+}
+
+void FlowStats::retransmitted(net::FlowId flow, net::HostId src, sim::Bytes n) {
+  rec(flow, src).bytes_retransmitted += n;
+}
+
+void FlowStats::episode_abandoned(net::FlowId flow, net::HostId src) {
+  rec(flow, src).episode_start = sim::Time::max();
+}
+
+void FlowStats::reset_window() {
+  fct_.reset();
+  slowdown_.reset();
+  by_size_.clear();
+  started_ = completed_ = 0;
+}
+
+void FlowStats::write_csv(std::ostream& os) const {
+  os << "flow,src,episodes_started,episodes_completed,bytes_completed,bytes_delivered,"
+        "bytes_retransmitted,first_start_us,first_byte_us,last_completion_us\n";
+  std::vector<std::pair<std::uint64_t, const Record*>> rows;
+  rows.reserve(flows_.size());
+  for (const auto& [k, r] : flows_) rows.emplace_back(k, &r);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  char t0[40], t1[40], t2[40], line[512];
+  for (const auto& [k, rp] : rows) {
+    const Record& r = *rp;
+    const auto us_or_dash = [](char* buf, std::size_t n, sim::Time t) {
+      if (t == sim::Time::max()) {
+        std::snprintf(buf, n, "-");
+      } else {
+        ps_to_us(buf, n, t.ps());
+      }
+    };
+    us_or_dash(t0, sizeof(t0), r.first_start);
+    us_or_dash(t1, sizeof(t1), r.first_byte);
+    ps_to_us(t2, sizeof(t2), r.last_completion.ps());
+    std::snprintf(line, sizeof(line),
+                  "%" PRIu64 ",%u,%" PRIu64 ",%" PRIu64 ",%" PRId64 ",%" PRId64 ",%" PRId64
+                  ",%s,%s,%s\n",
+                  k >> 20, static_cast<unsigned>(k & ((1u << 20) - 1)), r.episodes_started,
+                  r.episodes_completed, r.bytes_completed, r.bytes_delivered,
+                  r.bytes_retransmitted, t0, t1, t2);
+    os << line;
+  }
+}
+
+void FlowStats::write_json_summary(std::ostream& os) const {
+  char p50[40], p99[40], p999[40], mx[40], line[512];
+  const auto s = fct_summary();
+  ps_to_us(p50, sizeof(p50), s.p50.ps());
+  ps_to_us(p99, sizeof(p99), s.p99.ps());
+  ps_to_us(p999, sizeof(p999), s.p999.ps());
+  ps_to_us(mx, sizeof(mx), s.max.ps());
+  std::snprintf(line, sizeof(line),
+                "{\"episodes\":%" PRIu64 ",\"flows\":%zu,\"fct_p50_us\":%s,\"fct_p99_us\":%s,"
+                "\"fct_p999_us\":%s,\"fct_max_us\":%s,\"slowdown_p50\":%" PRId64
+                ",\"slowdown_p99\":%" PRId64 ",\"by_size\":[",
+                completed_, flows_.size(), p50, p99, p999, mx, slowdown_.percentile(0.50),
+                slowdown_.percentile(0.99));
+  os << line;
+  bool first = true;
+  for (const auto& [lg, sb] : by_size_) {
+    char b50[40], b99[40];
+    ps_to_us(b50, sizeof(b50), sb.fct.percentile(0.50));
+    ps_to_us(b99, sizeof(b99), sb.fct.percentile(0.99));
+    std::snprintf(line, sizeof(line),
+                  "%s{\"log2_bytes\":%d,\"episodes\":%" PRIu64 ",\"bytes\":%" PRId64
+                  ",\"fct_p50_us\":%s,\"fct_p99_us\":%s,\"slowdown_p99\":%" PRId64 "}",
+                  first ? "" : ",", lg, sb.episodes, sb.bytes, b50, b99,
+                  sb.slowdown_milli.percentile(0.99));
+    os << line;
+    first = false;
+  }
+  os << "]}";
+}
+
+}  // namespace hostcc::obs

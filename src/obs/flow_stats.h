@@ -1,0 +1,108 @@
+// Per-flow lifecycle tracking: episode (message) start, first delivered
+// byte, completion, bytes and retransmissions — feeding HDR-style
+// log-bucketed histograms of flow completion time (FCT) and slowdown
+// (FCT / ideal FCT at the reference line rate), bucketed by flow size.
+//
+// An "episode" is one application message on a connection: it opens when
+// the app writes into an idle stream (nothing unacknowledged outstanding)
+// and completes when the last written byte is cumulatively ACKed. RPC
+// request/response pairs on a shared flow id are tracked separately per
+// sending endpoint, so records are keyed by (flow id, source host).
+//
+// The disabled path is a null pointer check in the transport hooks; an
+// attached FlowStats costs one hash-map probe per hook. All recorded
+// quantities are simulated time and byte counts (int64), so every output
+// is byte-identical across fixed-seed runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+#include "sim/units.h"
+
+namespace hostcc::obs {
+
+struct FlowStatsConfig {
+  // Ideal FCT for slowdown normalization: base_rtt + size / reference_bw.
+  sim::Bandwidth reference_bandwidth = sim::Bandwidth::gbps(100.0);
+  sim::Time base_rtt = sim::Time::microseconds(24);
+};
+
+class FlowStats {
+ public:
+  explicit FlowStats(FlowStatsConfig cfg = {}) : cfg_(cfg) {}
+
+  // --- transport hooks (sender side unless noted) ---
+  void episode_started(net::FlowId flow, net::HostId src, sim::Time now);
+  void episode_completed(net::FlowId flow, net::HostId src, sim::Time now, sim::Bytes bytes);
+  // Receiver side: in-order delivery progress (first call per key records
+  // the first-byte timestamp).
+  void bytes_delivered(net::FlowId flow, net::HostId src, sim::Time now, sim::Bytes n);
+  void retransmitted(net::FlowId flow, net::HostId src, sim::Bytes n);
+
+  // Forgets an open episode without completing it (infinite-source mode
+  // toggled on mid-episode).
+  void episode_abandoned(net::FlowId flow, net::HostId src);
+
+  // Clears the FCT/slowdown histograms and window counters while keeping
+  // per-flow lifetime records and open episodes; called at measurement
+  // start so percentiles cover only the measurement window.
+  void reset_window();
+
+  // --- results ---
+  std::uint64_t episodes_completed() const { return completed_; }
+  std::uint64_t episodes_started() const { return started_; }
+  const sim::Histogram& fct() const { return fct_; }
+  const sim::Histogram& slowdown_milli() const { return slowdown_; }
+  sim::LatencySummary fct_summary() const { return sim::summarize(fct_); }
+
+  // Per-flow lifetime record (survives reset_window()).
+  struct Record {
+    sim::Time first_start = sim::Time::max();
+    sim::Time first_byte = sim::Time::max();
+    sim::Time last_completion = sim::Time::zero();
+    std::uint64_t episodes_started = 0;
+    std::uint64_t episodes_completed = 0;
+    sim::Bytes bytes_completed = 0;
+    sim::Bytes bytes_delivered = 0;
+    sim::Bytes bytes_retransmitted = 0;
+    sim::Time episode_start = sim::Time::max();  // open episode, or max
+  };
+  std::size_t flow_count() const { return flows_.size(); }
+
+  // Per-log2(size)-bucket FCT/slowdown histograms from the current window.
+  struct SizeBucket {
+    sim::Histogram fct;
+    sim::Histogram slowdown_milli;  // slowdown * 1000, integer
+    sim::Bytes bytes = 0;
+    std::uint64_t episodes = 0;
+  };
+
+  // CSV: one row per (flow, src), key-sorted — deterministic.
+  void write_csv(std::ostream& os) const;
+  // JSON object: {"episodes":N,"fct_p50_us":...,"by_size":[...]} — appended
+  // inline into the run results JSON by the CLI/scenarios.
+  void write_json_summary(std::ostream& os) const;
+
+ private:
+  static std::uint64_t key(net::FlowId flow, net::HostId src) {
+    return (static_cast<std::uint64_t>(flow) << 20) | src;
+  }
+  Record& rec(net::FlowId flow, net::HostId src) { return flows_[key(flow, src)]; }
+
+  FlowStatsConfig cfg_;
+  std::unordered_map<std::uint64_t, Record> flows_;
+  std::map<int, SizeBucket> by_size_;  // log2(bytes) -> window histograms
+  sim::Histogram fct_;
+  sim::Histogram slowdown_;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace hostcc::obs

@@ -1,0 +1,38 @@
+// Minimal JSON string escaping shared by the Chrome-trace and summary
+// writers. Escapes the two characters JSON forbids raw inside strings
+// (quote, backslash) plus control characters, leaving everything else —
+// including UTF-8 multibyte sequences — untouched.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace hostcc::obs {
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace hostcc::obs

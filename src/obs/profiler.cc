@@ -1,0 +1,53 @@
+#include "obs/profiler.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace hostcc::obs {
+
+ProfHandle SimProfiler::handle(const std::string& tag_name) {
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    if (tags_[i].name == tag_name) return {this, static_cast<int>(i)};
+  }
+  tags_.push_back({tag_name, 0, 0, 0});
+  return {this, static_cast<int>(tags_.size()) - 1};
+}
+
+void SimProfiler::start_depth_timeline(sim::Simulator& sim, sim::Time period) {
+  if (depth_timer_) return;
+  depth_timer_ = std::make_unique<sim::PeriodicTimer>(sim, period, [this, &sim] {
+    if (!enabled_) return;
+    depth_.push_back({sim.now().ps(), sim.pending_events(), sim.events_executed()});
+  });
+  depth_timer_->start();
+}
+
+void SimProfiler::write_report(std::ostream& os) const {
+  std::int64_t grand_self = 0;
+  for (const auto& t : tags_) grand_self += t.self_ns;
+  os << "# simulator self-profile (wall-clock; non-deterministic)\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %12s %12s %12s %7s\n", "tag", "scopes",
+                "total_us", "self_us", "self%");
+  os << line;
+  for (const auto& t : tags_) {
+    const double pct =
+        grand_self > 0 ? 100.0 * static_cast<double>(t.self_ns) / static_cast<double>(grand_self)
+                       : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "%-28s %12" PRIu64 " %12.1f %12.1f %6.1f%%\n", t.name.c_str(), t.scopes,
+                  static_cast<double>(t.total_ns) / 1e3, static_cast<double>(t.self_ns) / 1e3,
+                  pct);
+    os << line;
+  }
+  os << "\n# event-queue depth timeline (deterministic)\n";
+  os << "time_us,pending_events,events_executed\n";
+  for (const auto& d : depth_) {
+    std::snprintf(line, sizeof(line), "%" PRId64 ".%06" PRId64 ",%" PRIu64 ",%" PRIu64 "\n",
+                  d.ts_ps / 1'000'000, d.ts_ps % 1'000'000, d.pending, d.executed);
+    os << line;
+  }
+}
+
+}  // namespace hostcc::obs

@@ -1,0 +1,123 @@
+// Opt-in simulator self-profiler: wall-clock and event-count attribution
+// by component tag, plus an event-queue depth timeline.
+//
+// Components hold a ProfHandle (profiler pointer + tag id) and open a
+// ProfScope in their hot paths. A detached handle (null profiler) costs
+// one branch; an attached-but-disabled profiler costs two. Enabled, each
+// scope takes two steady_clock reads and updates a self-time stack, so
+// nested scopes attribute exclusive (self) time correctly — e.g. a switch
+// dequeue that synchronously delivers into a host's NIC bills the NIC
+// segment to the NIC tag, not the switch.
+//
+// Wall-clock numbers are inherently non-deterministic and are excluded
+// from the byte-identical output contract: the profiler report is a
+// diagnostic artifact, never part of results JSON used for comparisons.
+// Event counts and the depth timeline (sim time, pending events) ARE
+// deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace hostcc::obs {
+
+class SimProfiler;
+
+// What components store. Default-constructed == detached (free).
+struct ProfHandle {
+  SimProfiler* p = nullptr;
+  int tag = 0;
+};
+
+class SimProfiler {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // Registers (or looks up) a component tag; returns a handle bound to it.
+  ProfHandle handle(const std::string& tag_name);
+
+  // Samples (sim time, pending events, events executed) every `period`
+  // while the profiler is enabled.
+  void start_depth_timeline(sim::Simulator& sim, sim::Time period);
+
+  struct TagStats {
+    std::string name;
+    std::uint64_t scopes = 0;
+    std::int64_t total_ns = 0;  // inclusive wall time
+    std::int64_t self_ns = 0;   // exclusive wall time
+  };
+  struct DepthSample {
+    std::int64_t ts_ps = 0;
+    std::uint64_t pending = 0;
+    std::uint64_t executed = 0;
+  };
+  const std::vector<TagStats>& tags() const { return tags_; }
+  const std::vector<DepthSample>& depth_timeline() const { return depth_; }
+
+  // Human-readable report: per-tag scope counts, total/self wall time and
+  // shares, then the depth timeline. Wall-clock fields vary run to run.
+  void write_report(std::ostream& os) const;
+
+  // --- scope internals (called by ProfScope) ---
+  std::int64_t enter(int tag) {
+    const std::int64_t t = now_ns();
+    stack_.push_back({tag, 0});
+    return t;
+  }
+  void exit(int tag, std::int64_t start_ns) {
+    const std::int64_t total = now_ns() - start_ns;
+    const std::int64_t child = stack_.back().child_ns;
+    stack_.pop_back();
+    if (!stack_.empty()) stack_.back().child_ns += total;
+    TagStats& s = tags_[static_cast<std::size_t>(tag)];
+    ++s.scopes;
+    s.total_ns += total;
+    s.self_ns += total - child;
+  }
+
+ private:
+  struct StackEntry {
+    int tag;
+    std::int64_t child_ns;
+  };
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  bool enabled_ = false;
+  std::vector<TagStats> tags_;
+  std::vector<StackEntry> stack_;
+  std::vector<DepthSample> depth_;
+  std::unique_ptr<sim::PeriodicTimer> depth_timer_;
+};
+
+// RAII scope: resolves enabled-ness once at construction.
+class ProfScope {
+ public:
+  explicit ProfScope(const ProfHandle& h)
+      : p_(h.p != nullptr && h.p->enabled() ? h.p : nullptr), tag_(h.tag) {
+    if (p_) start_ = p_->enter(tag_);
+  }
+  ~ProfScope() {
+    if (p_) p_->exit(tag_, start_);
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  SimProfiler* p_;
+  int tag_;
+  std::int64_t start_ = 0;
+};
+
+}  // namespace hostcc::obs

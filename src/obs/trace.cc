@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "obs/json.h"
+
 namespace hostcc::obs {
 
 const char* stage_name(PacketStage s) {
@@ -107,7 +109,7 @@ void PacketTracer::write_chrome_json(std::ostream& os) const {
 
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
   os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
-     << process_ << "\"}}";
+     << json_escape(process_) << "\"}}";
   for (int i = 0; i < kPacketStages; ++i) {
     os << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << i
        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""

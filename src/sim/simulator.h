@@ -85,6 +85,9 @@ class Simulator {
 
   bool idle() const { return queue_.empty() && next_lane_ == nullptr; }
   std::uint64_t events_executed() const { return events_executed_; }
+  // Live (non-cancelled) events pending in the heap; periodic lanes are
+  // not counted. Feeds the profiler's queue-depth timeline.
+  std::size_t pending_events() const { return queue_.size(); }
 
   // --- periodic-lane registry (used by PeriodicTimer) ---
 

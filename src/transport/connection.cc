@@ -24,11 +24,21 @@ TcpConnection::TcpConnection(sim::Simulator& sim, Stack& stack, net::FlowId flow
 TcpConnection::~TcpConnection() { cancel_timers(); }
 
 void TcpConnection::write(sim::Bytes n) {
+  if (n > 0 && !infinite_source_ && !episode_open_ && write_limit_ == snd_una_) {
+    episode_open_ = true;
+    episode_base_ = snd_una_;
+    if (fs_) fs_->episode_started(flow_, self_, sim_.now());
+  }
   write_limit_ += n;
   try_send();
 }
 
 void TcpConnection::set_infinite_source(bool on) {
+  if (on && episode_open_) {
+    // The stream is no longer a discrete message; drop the open episode.
+    episode_open_ = false;
+    if (fs_) fs_->episode_abandoned(flow_, self_);
+  }
   infinite_source_ = on;
   if (on) try_send();
 }
@@ -88,7 +98,10 @@ void TcpConnection::send_segment(net::SeqNum seq, sim::Bytes len, bool is_retx, 
   }
 
   ++stats_.data_packets_sent;
-  if (is_retx) stats_.retransmitted_bytes += len;
+  if (is_retx) {
+    stats_.retransmitted_bytes += len;
+    if (fs_) fs_->retransmitted(flow_, self_, len);
+  }
   stack_.output(std::move(pr));
 }
 
@@ -122,6 +135,7 @@ void TcpConnection::receive_data(const net::Packet& p) {
       const sim::Bytes newly = advance_to - rcv_nxt_;
       rcv_nxt_ = advance_to;
       delivered_bytes_ += newly;
+      if (fs_ && newly > 0) fs_->bytes_delivered(flow_, peer_, sim_.now(), newly);
       if (on_delivered_) on_delivered_(newly);
     } else {
       // Hole before this segment: stash as an out-of-order interval.
@@ -304,6 +318,12 @@ void TcpConnection::process_ack(const net::Packet& p) {
     }
     arm_timers();
     try_send();
+    if (episode_open_ && !infinite_source_ && snd_una_ == write_limit_) {
+      episode_open_ = false;
+      if (fs_) fs_->episode_completed(flow_, self_, sim_.now(), snd_una_ - episode_base_);
+      // May synchronously write() the next message, opening a new episode.
+      if (on_send_complete_) on_send_complete_();
+    }
     return;
   }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "obs/flow_stats.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 #include "transport/congestion_control.h"
@@ -60,6 +61,11 @@ class TcpConnection {
   void set_infinite_source(bool on);     // NetApp-T style: always more data
   // In-order delivery notification at the receiver.
   void set_on_delivered(std::function<void(sim::Bytes)> fn) { on_delivered_ = std::move(fn); }
+  // Fires when every written byte is cumulatively ACKed (the send episode
+  // completes); closed-loop apps write the next message from here.
+  void set_on_send_complete(std::function<void()> fn) { on_send_complete_ = std::move(fn); }
+  // Per-flow lifecycle accounting; null (default) disables the hooks.
+  void set_flow_stats(obs::FlowStats* fs) { fs_ = fs; }
 
   // --- stack interface ---
   void on_packet(const net::Packet& p);
@@ -155,6 +161,12 @@ class TcpConnection {
   net::SeqNum snd_nxt_ = 0;
   net::SeqNum write_limit_ = 0;  // last byte the app has produced
   bool infinite_source_ = false;
+  // Send-episode tracking (FlowStats + on_send_complete_): an episode
+  // opens when the app writes into an idle stream and completes when
+  // snd_una reaches write_limit.
+  bool episode_open_ = false;
+  net::SeqNum episode_base_ = 0;
+  obs::FlowStats* fs_ = nullptr;
   sim::Bytes peer_rwnd_;
   // Map nodes are recycled through a per-connection pool resource: the
   // per-ACK erase/emplace churn in process_ack and the receive-side
@@ -192,6 +204,7 @@ class TcpConnection {
   sim::Bytes delivered_bytes_ = 0;
 
   std::function<void(sim::Bytes)> on_delivered_;
+  std::function<void()> on_send_complete_;
   Stats stats_;
   mutable std::vector<std::pair<net::SeqNum, net::SeqNum>> ooo_scratch_;
   mutable std::vector<std::pair<net::SeqNum, bool>> sack_scratch_;

@@ -10,7 +10,9 @@
 
 #include "host/host.h"
 #include "net/packet.h"
+#include "obs/flow_stats.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sim/simulator.h"
 #include "transport/connection.h"
 
@@ -31,10 +33,24 @@ class Stack {
   // must be created (one per host) with the same flow id.
   TcpConnection& connect(net::FlowId flow, net::HostId peer) {
     auto conn = std::make_unique<TcpConnection>(sim_, *this, flow, id_, peer, cfg_);
+    conn->set_flow_stats(flow_stats_);
     auto [it, inserted] = conns_.emplace(flow, std::move(conn));
     assert(inserted && "duplicate flow id on this host");
     return *it->second;
   }
+
+  // Per-flow lifecycle accounting shared across this stack's connections;
+  // set before connections are created (null disables). The scenarios
+  // point every stack at one shared FlowStats.
+  void set_flow_stats(obs::FlowStats* fs) {
+    flow_stats_ = fs;
+    for (auto& [flow, conn] : conns_) conn->set_flow_stats(fs);
+  }
+  obs::FlowStats* flow_stats() const { return flow_stats_; }
+
+  // Self-profiler attribution for transport dispatch (ACK processing,
+  // reassembly). Detached handle by default.
+  void set_profiler(obs::ProfHandle h) { prof_ = h; }
 
   TcpConnection& connection(net::FlowId flow) { return *conns_.at(flow); }
   bool has_connection(net::FlowId flow) const { return conns_.count(flow) > 0; }
@@ -102,6 +118,7 @@ class Stack {
  private:
   void dispatch(const net::Packet& p) {
     if (p.dst != id_) return;  // mis-delivered; fabric bug guard
+    obs::ProfScope scope(prof_);
     auto it = conns_.find(p.flow);
     if (it != conns_.end()) it->second->on_packet(p);
   }
@@ -112,6 +129,8 @@ class Stack {
   TransportConfig cfg_;
   std::unordered_map<net::FlowId, std::unique_ptr<TcpConnection>> conns_;
   std::uint64_t pkt_seq_ = 0;
+  obs::FlowStats* flow_stats_ = nullptr;
+  obs::ProfHandle prof_;
 };
 
 }  // namespace hostcc::transport

@@ -236,6 +236,7 @@ TEST(DecisionLogTest, CsvAndJsonSchema) {
   DecisionLog log;
   Decision d;
   d.at = sim::Time::microseconds(12);
+  d.host = "receiver";
   d.is = 71.5;
   d.bs_gbps = 88.25;
   d.bt_gbps = 80.0;
@@ -247,14 +248,16 @@ TEST(DecisionLogTest, CsvAndJsonSchema) {
 
   std::ostringstream csv;
   log.write_csv(csv);
-  EXPECT_NE(csv.str().find(
-                "time_us,is_cachelines,bs_gbps,bt_gbps,level_requested,level_effective,reason"),
+  EXPECT_NE(csv.str().find("time_us,host,is_cachelines,bs_gbps,bt_gbps,level_requested,"
+                           "level_effective,reason"),
             std::string::npos);
+  EXPECT_NE(csv.str().find(",receiver,"), std::string::npos);
   EXPECT_NE(csv.str().find("throttle_up"), std::string::npos);
 
   std::ostringstream json;
   log.write_json(json);
   EXPECT_NE(json.str().find("\"reason\":\"throttle_up\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"host\":\"receiver\""), std::string::npos);
 
   log.clear();
   EXPECT_TRUE(log.empty());

@@ -1,0 +1,365 @@
+// Tests for the observability v2 subsystems: JSON escaping, per-flow FCT
+// accounting (FlowStats), ring-buffer fabric telemetry with Chrome counter
+// tracks, the simulator self-profiler, and their scenario-level wiring
+// (FCT percentiles in results, stable pid/tid trace layout, determinism).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "exp/fabric_scenario.h"
+#include "exp/scenario.h"
+#include "obs/fabric_telemetry.h"
+#include "obs/flow_stats.h"
+#include "obs/json.h"
+#include "obs/profiler.h"
+#include "sim/simulator.h"
+
+namespace hostcc::obs {
+namespace {
+
+// ---------------------------------------------------------- json escaping
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(json_escape("plain ascii"), "plain ascii");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string("nul\x01", 4)), "nul\\u0001");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+// -------------------------------------------------------------- FlowStats
+
+TEST(FlowStatsTest, EpisodeLifecycleProducesFct) {
+  FlowStats fs;
+  fs.episode_started(7, 1, sim::Time::microseconds(10));
+  fs.bytes_delivered(7, 1, sim::Time::microseconds(30), 4096);
+  fs.episode_completed(7, 1, sim::Time::microseconds(110), 64 * sim::kKiB);
+  EXPECT_EQ(fs.episodes_started(), 1u);
+  EXPECT_EQ(fs.episodes_completed(), 1u);
+  EXPECT_EQ(fs.flow_count(), 1u);
+
+  const sim::LatencySummary s = fs.fct_summary();
+  ASSERT_EQ(s.count, 1u);
+  // One sample: every percentile is the single 100us completion (log
+  // bucketing makes it approximate).
+  EXPECT_GT(s.p50.us(), 50.0);
+  EXPECT_LT(s.p50.us(), 200.0);
+  // 64 KiB at 100 Gbps + 24us base RTT gives ideal ~29us -> slowdown > 1x.
+  EXPECT_GT(fs.slowdown_milli().percentile(0.50), 1000);
+}
+
+TEST(FlowStatsTest, RpcEndpointsOnSharedFlowTrackedSeparately) {
+  FlowStats fs;
+  // Request (src 1) and response (src 2) ride the same flow id.
+  fs.episode_started(9, 1, sim::Time::microseconds(0));
+  fs.episode_started(9, 2, sim::Time::microseconds(5));
+  fs.episode_completed(9, 1, sim::Time::microseconds(40), 1024);
+  fs.episode_completed(9, 2, sim::Time::microseconds(80), 4096);
+  EXPECT_EQ(fs.flow_count(), 2u);
+  EXPECT_EQ(fs.episodes_completed(), 2u);
+}
+
+TEST(FlowStatsTest, ResetWindowClearsHistogramsKeepsRecords) {
+  FlowStats fs;
+  fs.episode_started(3, 1, sim::Time::microseconds(0));
+  fs.episode_completed(3, 1, sim::Time::microseconds(50), 8192);
+  // An episode still open across the window boundary must survive.
+  fs.episode_started(4, 1, sim::Time::microseconds(60));
+  fs.reset_window();
+  EXPECT_EQ(fs.episodes_completed(), 0u);
+  EXPECT_EQ(fs.fct_summary().count, 0u);
+  EXPECT_EQ(fs.flow_count(), 2u);  // lifetime records survive
+  fs.episode_completed(4, 1, sim::Time::microseconds(160), 8192);
+  EXPECT_EQ(fs.episodes_completed(), 1u);
+}
+
+TEST(FlowStatsTest, CsvAndJsonSchema) {
+  FlowStats fs;
+  fs.episode_started(100, 2, sim::Time::microseconds(1));
+  fs.bytes_delivered(100, 2, sim::Time::microseconds(2), 1000);
+  fs.episode_completed(100, 2, sim::Time::microseconds(90), 64 * sim::kKiB);
+
+  std::ostringstream csv;
+  fs.write_csv(csv);
+  EXPECT_NE(csv.str().find("flow,src,episodes_started,episodes_completed,bytes_completed,"
+                           "bytes_delivered,bytes_retransmitted,first_start_us,first_byte_us,"
+                           "last_completion_us"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("100,2,1,1,"), std::string::npos);
+
+  std::ostringstream js;
+  fs.write_json_summary(js);
+  const std::string j = js.str();
+  EXPECT_NE(j.find("\"episodes\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"fct_p50_us\":"), std::string::npos);
+  EXPECT_NE(j.find("\"by_size\":["), std::string::npos);
+  EXPECT_NE(j.find("\"log2_bytes\":16"), std::string::npos);  // 64 KiB bucket
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['), std::count(j.begin(), j.end(), ']'));
+}
+
+// -------------------------------------------------------- FabricTelemetry
+
+TEST(FabricTelemetryTest, SamplesSeriesAndExportsCounterTracks) {
+  sim::Simulator sim;
+  FabricTelemetryConfig cfg;
+  cfg.sample_period = sim::Time::microseconds(5);
+  FabricTelemetry tel(cfg);
+  std::int64_t qa = 0, qb = 0;
+  const int p1 = tel.add_group("leaf0");
+  const int p2 = tel.add_group("h0");
+  EXPECT_EQ(p1, 1);
+  EXPECT_EQ(p2, 2);
+  tel.add_series(p1, "queue_bytes", [&qa] { return qa; });
+  tel.add_series(p2, "nic_queued_bytes", [&qb] { return qb; });
+  tel.start(sim);
+  sim.after(sim::Time::microseconds(7), [&qa] { qa = 5000; });
+  sim.after(sim::Time::microseconds(12), [&qb] { qb = 300; });
+  sim.run_until(sim::Time::microseconds(21));
+  tel.stop();
+
+  EXPECT_GE(tel.frames_sampled(), 4u);
+  EXPECT_EQ(tel.high_water(0), 5000);
+  EXPECT_EQ(tel.high_water(1), 300);
+  EXPECT_EQ(tel.group_name(1), "leaf0");
+  EXPECT_EQ(tel.series_pid(1), 2);
+
+  std::ostringstream csv;
+  tel.write_csv(csv);
+  EXPECT_NE(csv.str().find("time_us,leaf0/queue_bytes,h0/nic_queued_bytes"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("5000"), std::string::npos);
+
+  std::ostringstream js;
+  tel.write_chrome_json(js);
+  const std::string j = js.str();
+  // Process metadata for both groups, then counter events keyed by pid.
+  EXPECT_NE(j.find("\"name\":\"process_name\",\"args\":{\"name\":\"leaf0\"}"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(j.find("\"pid\":2"), std::string::npos);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(FabricTelemetryTest, RingEvictsOldestKeepsHighWater) {
+  sim::Simulator sim;
+  FabricTelemetryConfig cfg;
+  cfg.sample_period = sim::Time::microseconds(1);
+  cfg.max_frames = 4;
+  FabricTelemetry tel(cfg);
+  std::int64_t v = 0;
+  tel.add_series(tel.add_group("g"), "v", [&v] { return v; });
+  tel.start(sim);
+  // Value peaks early, then drops: the peak frame is evicted from the ring
+  // but the high-water mark must still report it.
+  sim.after(sim::Time::microseconds(2), [&v] { v = 999; });
+  sim.after(sim::Time::microseconds(3), [&v] { v = 1; });
+  sim.run_until(sim::Time::microseconds(12));
+  tel.stop();
+
+  EXPECT_LE(tel.frames_retained(), 4u);
+  EXPECT_GT(tel.frames_dropped(), 0u);
+  EXPECT_EQ(tel.high_water(0), 999);
+
+  // Retained rows are the most recent ones, oldest first, strictly
+  // increasing timestamps.
+  std::ostringstream csv;
+  tel.write_csv(csv);
+  std::istringstream in(csv.str());
+  std::string line;
+  std::getline(in, line);  // header
+  double prev = -1.0;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    const double t = std::stod(line.substr(0, line.find(',')));
+    EXPECT_GT(t, prev);
+    prev = t;
+    ++rows;
+  }
+  EXPECT_EQ(rows, static_cast<int>(tel.frames_retained()));
+  EXPECT_GT(prev, 8.0);  // the tail of the run, not its beginning
+}
+
+TEST(FabricTelemetryTest, ChromeJsonEscapesGroupNames) {
+  sim::Simulator sim;
+  FabricTelemetry tel;
+  std::int64_t v = 0;
+  tel.add_series(tel.add_group("we\"ird"), "v", [&v] { return v; });
+  tel.sample_now(sim::Time::microseconds(1));
+  std::ostringstream js;
+  tel.write_chrome_json(js);
+  EXPECT_NE(js.str().find("we\\\"ird"), std::string::npos);
+}
+
+// ------------------------------------------------------------ SimProfiler
+
+TEST(SimProfilerTest, DisabledAndDetachedCollectNothing) {
+  SimProfiler prof;
+  ProfHandle h = prof.handle("comp");
+  {
+    ProfScope scope(h);  // attached but disabled
+  }
+  ASSERT_EQ(prof.tags().size(), 1u);
+  EXPECT_EQ(prof.tags()[0].scopes, 0u);
+
+  ProfHandle detached;  // null profiler: the production default
+  {
+    ProfScope scope(detached);
+  }
+}
+
+TEST(SimProfilerTest, NestedScopesAttributeSelfTime) {
+  SimProfiler prof;
+  ProfHandle outer = prof.handle("outer");
+  ProfHandle inner = prof.handle("inner");
+  EXPECT_EQ(prof.handle("outer").tag, outer.tag);  // dedup by name
+  prof.set_enabled(true);
+  {
+    ProfScope a(outer);
+    ProfScope b(inner);
+  }
+  ASSERT_EQ(prof.tags().size(), 2u);
+  const auto& to = prof.tags()[static_cast<std::size_t>(outer.tag)];
+  const auto& ti = prof.tags()[static_cast<std::size_t>(inner.tag)];
+  EXPECT_EQ(to.scopes, 1u);
+  EXPECT_EQ(ti.scopes, 1u);
+  // Outer's exclusive time excludes the nested inner scope.
+  EXPECT_LE(to.self_ns, to.total_ns);
+  EXPECT_GE(to.total_ns, ti.total_ns);
+
+  std::ostringstream report;
+  prof.write_report(report);
+  EXPECT_NE(report.str().find("outer"), std::string::npos);
+  EXPECT_NE(report.str().find("time_us,pending_events,events_executed"), std::string::npos);
+}
+
+TEST(SimProfilerTest, DepthTimelineIsDeterministic) {
+  auto run = [] {
+    sim::Simulator sim;
+    SimProfiler prof;
+    prof.set_enabled(true);
+    prof.start_depth_timeline(sim, sim::Time::microseconds(2));
+    for (int i = 0; i < 50; ++i) {
+      sim.after(sim::Time::microseconds(i % 7), [] {});
+    }
+    sim.run_until(sim::Time::microseconds(10));
+    return prof.depth_timeline();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  std::int64_t prev = -1;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ts_ps, b[i].ts_ps);
+    EXPECT_EQ(a[i].pending, b[i].pending);
+    EXPECT_EQ(a[i].executed, b[i].executed);
+    EXPECT_GT(a[i].ts_ps, prev);
+    prev = a[i].ts_ps;
+  }
+}
+
+// ------------------------------------------------- scenario-level wiring
+
+TEST(ScenarioFlowStatsTest, ClosedLoopFlowsProduceFctPercentiles) {
+  exp::ScenarioConfig cfg;
+  cfg.record_flow_stats = true;
+  cfg.netapp_flow_bytes = 64 * sim::kKiB;
+  cfg.warmup = sim::Time::milliseconds(5);
+  cfg.measure = sim::Time::milliseconds(5);
+  exp::Scenario s(cfg);
+  const exp::ScenarioResults r = s.run();
+  EXPECT_GT(r.flow_episodes, 10u);
+  EXPECT_GT(r.fct_p50_us, 0.0);
+  EXPECT_GE(r.fct_p99_us, r.fct_p50_us);
+  EXPECT_GE(r.fct_p999_us, r.fct_p99_us);
+  EXPECT_GT(r.net_tput_gbps, 10.0);  // closed loop still saturates
+  // Retransmit-free run: delivered bytes line up with completed bytes.
+  std::ostringstream csv;
+  s.flow_stats().write_csv(csv);
+  EXPECT_NE(csv.str().find("flow,src,"), std::string::npos);
+}
+
+TEST(ScenarioProfilerTest, AttachedProfilerCollectsComponentTags) {
+  exp::ScenarioConfig cfg;
+  cfg.profile = true;
+  cfg.warmup = sim::Time::milliseconds(2);
+  cfg.measure = sim::Time::milliseconds(1);
+  exp::Scenario s(cfg);
+  s.run();
+  std::uint64_t scopes = 0;
+  bool saw_nic = false;
+  for (const auto& t : s.profiler().tags()) {
+    scopes += t.scopes;
+    if (t.name == "receiver/nic") saw_nic = true;
+  }
+  EXPECT_GT(scopes, 1000u);
+  EXPECT_TRUE(saw_nic);
+  EXPECT_FALSE(s.profiler().depth_timeline().empty());
+}
+
+TEST(FabricScenarioTelemetryTest, StablePidsFctAndByteIdenticalExports) {
+  auto make_cfg = [] {
+    exp::FabricScenarioConfig cfg;
+    cfg.topology = "leaf-spine:2x2";
+    cfg.warmup = sim::Time::milliseconds(1);
+    cfg.measure = sim::Time::milliseconds(2);
+    cfg.record_flow_stats = true;
+    cfg.flow_bytes = 64 * sim::kKiB;
+    cfg.telemetry = true;
+    return cfg;
+  };
+  exp::FabricScenario a(make_cfg());
+  const exp::FabricScenarioResults ra = a.run();
+  EXPECT_GT(ra.flow_episodes, 0u);
+  EXPECT_GT(ra.fct_p50_us, 0.0);
+  EXPECT_GE(ra.fct_p99_us, ra.fct_p50_us);
+
+  // Groups are switches (topology order) then hosts (HostId order): pids
+  // are a pure function of the topology.
+  ASSERT_EQ(a.telemetry().group_count(),
+            static_cast<std::size_t>(a.fabric().switch_count() + a.host_count()));
+  EXPECT_EQ(a.telemetry().group_name(1), a.fabric().switch_at(0).name());
+  EXPECT_EQ(a.telemetry().group_name(a.fabric().switch_count() + 1), a.host(0).name());
+
+  std::ostringstream csv_a, trace_a;
+  a.telemetry().write_csv(csv_a);
+  a.telemetry().write_chrome_json(trace_a);
+  EXPECT_NE(csv_a.str().find("time_us,"), std::string::npos);
+  EXPECT_NE(trace_a.str().find("\"ph\":\"C\""), std::string::npos);
+
+  // Identical config -> byte-identical telemetry (the determinism
+  // contract behind the CI artifact diff).
+  exp::FabricScenario b(make_cfg());
+  b.run();
+  std::ostringstream csv_b, trace_b;
+  b.telemetry().write_csv(csv_b);
+  b.telemetry().write_chrome_json(trace_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_EQ(trace_a.str(), trace_b.str());
+}
+
+TEST(FabricScenarioTelemetryTest, DecisionLogCarriesHostNames) {
+  exp::FabricScenarioConfig cfg;
+  cfg.topology = "leaf-spine:2x2";
+  cfg.warmup = sim::Time::milliseconds(1);
+  cfg.measure = sim::Time::milliseconds(1);
+  cfg.hostcc_enabled = true;
+  cfg.record_decisions = true;
+  exp::FabricScenario s(cfg);
+  s.run();
+  ASSERT_FALSE(s.decisions().empty());
+  for (const auto& d : s.decisions().decisions()) {
+    EXPECT_EQ(d.host, s.host(0).name());  // one congested destination
+  }
+  std::ostringstream csv;
+  s.decisions().write_csv(csv);
+  EXPECT_NE(csv.str().find("time_us,host,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hostcc::obs

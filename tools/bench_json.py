@@ -31,15 +31,28 @@ import sys
 from pathlib import Path
 
 # The engine's fast hot-path microbenchmarks plus the end-to-end scenario
-# packet-throughput headline. BM_HostDatapathTracer is excluded from the
-# default smoke set: it runs full millisecond-scale datapath simulations
-# and its acceptance criterion (disabled-tracer overhead) is relative, not
-# absolute.
+# packet-throughput headline, plus the two observability-overhead benches
+# (tracer, self-profiler) whose acceptance criteria are the in-process
+# RATIO_GATES below.
 DEFAULT_FILTER = (
     "BM_EventQueuePushPop$|BM_EventCancellation|BM_EventQueuePushPopRefCapture|"
     "BM_SimulatorTimerChurn|BM_EwmaAdd|BM_HistogramRecord|BM_MemControllerQuantum|"
-    "BM_ScenarioPacketsPerSecond|BM_FabricHostScaling"
+    "BM_ScenarioPacketsPerSecond|BM_FabricHostScaling|BM_HostDatapathTracer|"
+    "BM_ScenarioProfilerOverhead"
 )
+
+# In-process ratio gates: (probe, reference, floor). These acceptance
+# criteria are *relative* — "attached but disabled must cost <= X% vs not
+# attached" — so they compare two benchmarks from the same run on the same
+# machine, where an absolute cross-machine items/sec floor would be
+# meaningless. Checked in --check mode whenever both names are present in
+# the current run (medians when --repetitions > 1).
+RATIO_GATES = [
+    # Self-profiler attached-but-disabled vs detached: <= 1% overhead.
+    ("BM_ScenarioProfilerOverhead/1", "BM_ScenarioProfilerOverhead/0", 0.99),
+    # Packet tracer attached-but-disabled vs no tracer: <= 2% overhead.
+    ("BM_HostDatapathTracer/1", "BM_HostDatapathTracer/0", 0.98),
+]
 
 
 def run_bench(bench, bench_filter, repetitions):
@@ -125,6 +138,36 @@ def check_against(baseline_path, current, tolerance):
     return 0
 
 
+def check_ratio_gates(current):
+    """Within-run relative overhead gates (see RATIO_GATES). Returns 0/1."""
+    benchmarks = current["benchmarks"]
+    failures = []
+    checked = 0
+    for probe, ref, floor in RATIO_GATES:
+        p, r = benchmarks.get(probe), benchmarks.get(ref)
+        if p is None or r is None:
+            continue  # pair not covered by this run's filter
+        if checked == 0:
+            print(f"\n{'ratio gate':<44} {'ratio':>7} {'floor':>7}")
+        checked += 1
+        ratio = p["items_per_second"] / r["items_per_second"]
+        flag = "" if ratio >= floor else "  << OVERHEAD"
+        print(f"{probe + ' / ' + ref:<44} {ratio:>6.3f}x {floor:>6.2f}x{flag}")
+        if ratio < floor:
+            failures.append(
+                f"{probe}: {ratio:.3f}x of {ref} (floor {floor:.2f}x — "
+                f"disabled-path overhead exceeds budget)"
+            )
+    if failures:
+        print(f"\nFAIL: {len(failures)} ratio gate(s) violated:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    if checked:
+        print(f"OK: all {checked} ratio gates hold")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -173,7 +216,9 @@ def main():
     print(f"wrote {out}")
 
     if args.check:
-        return check_against(args.check, current, args.tolerance)
+        rc_abs = check_against(args.check, current, args.tolerance)
+        rc_ratio = check_ratio_gates(current)
+        return 1 if (rc_abs or rc_ratio) else 0
     return 0
 
 

@@ -6,6 +6,7 @@
 //              [--iommu-miss-rate F] [--warmup MS] [--measure MS]
 //              [--seed N] [--signals] [--json]
 //              [--trace FILE] [--metrics FILE] [--decisions FILE]
+//              [--flow-bytes N] [--flow-stats FILE] [--profile FILE]
 //              [--log-level LEVEL]
 //
 // Passing --topology switches to the rack-scale FabricScenario (multi-
@@ -14,18 +15,25 @@
 //   hostcc_sim --topology leaf-spine:4x4 [--hosts N]
 //              [--pattern incast|all-to-all] [--flows-per-pair N]
 //              [--degree N] [--hostcc] [--fault SPEC]...
+//              [--telemetry FILE] [--trace FILE]
 //
 // Runs one scenario and prints the measured results as a table or JSON —
 // the fastest way to explore the host-congestion parameter space without
 // writing code. The observability flags export the run's internals:
-// --trace writes a Chrome trace_event JSON (open in Perfetto), --metrics
-// dumps the end-of-run metrics registry (.json for JSON, else CSV), and
-// --decisions dumps the hostCC decision log (same extension rule).
+// --trace writes a Chrome trace_event JSON (open in Perfetto): packet
+// lifecycle slices in single-host mode, per-switch/per-port occupancy
+// counter tracks in fabric mode. --metrics dumps the end-of-run metrics
+// registry (.json for JSON, else CSV), --decisions the hostCC decision
+// log (same extension rule), --flow-stats the per-flow FCT record,
+// --telemetry the sampled fabric occupancy time-series as wide CSV, and
+// --profile the simulator self-profiler report (wall-clock; the one
+// deliberately non-deterministic output).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -73,9 +81,14 @@ namespace {
                "  --fabric-buffer N   switch shared-buffer size in KiB  [2048]\n"
                "  --signals           record and report I_S/B_S averages\n"
                "  --json              machine-readable output\n"
-               "  --trace FILE        packet-lifecycle Chrome trace JSON\n"
+               "  --trace FILE        Chrome trace JSON: packet lifecycle\n"
+               "                      (single-host) / fabric counter tracks\n"
                "  --metrics FILE      metrics registry dump (.json or CSV)\n"
                "  --decisions FILE    hostCC decision log (.json or CSV)\n"
+               "  --flow-bytes N      closed-loop message size per flow (FCT)\n"
+               "  --flow-stats FILE   per-flow FCT/bytes record (CSV)\n"
+               "  --telemetry FILE    fabric occupancy time-series (CSV)\n"
+               "  --profile FILE      simulator self-profiler report\n"
                "  --log-level LEVEL   trace|debug|info|warn|error|off   [off]\n",
                argv0);
   std::exit(2);
@@ -95,13 +108,35 @@ bool wants_json(const std::string& path) {
   return path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
 }
 
+// Export file paths shared by both scenario modes (empty = don't write).
+struct ExportPaths {
+  std::string trace;
+  std::string metrics;
+  std::string decisions;
+  std::string flow_stats;
+  std::string telemetry;  // fabric mode only
+  std::string profile;
+};
+
+// Opens `path` for writing and streams `fn(out)` into it; false on error.
+template <typename Fn>
+bool export_to(const std::string& path, Fn&& fn) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  fn(out);
+  return true;
+}
+
 }  // namespace
 
 // Rack-scale fabric mode (--topology): builds a FabricScenarioConfig from
 // the shared flags and reports the fabric-centric result set. Reuses the
 // single-star flags where they make sense (--degree, --hostcc, --fault,
 // --warmup/--measure, --seed, --metrics).
-int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const std::string& metrics_path) {
+int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const ExportPaths& paths) {
   const auto wall_start = std::chrono::steady_clock::now();
   exp::FabricScenario fs(std::move(fcfg));
   const exp::FabricScenarioResults r = fs.run();
@@ -112,17 +147,44 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const std::string& met
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
           .count();
 
-  if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
-      return 1;
-    }
-    if (wants_json(metrics_path)) {
-      fs.metrics().write_json(out, fs.simulator().now());
-    } else {
-      fs.metrics().write_csv(out, fs.simulator().now());
-    }
+  if (!paths.metrics.empty() &&
+      !export_to(paths.metrics, [&](std::ostream& out) {
+        if (wants_json(paths.metrics)) {
+          fs.metrics().write_json(out, fs.simulator().now());
+        } else {
+          fs.metrics().write_csv(out, fs.simulator().now());
+        }
+      })) {
+    return 1;
+  }
+  // In fabric mode --trace means the telemetry counter tracks (there is no
+  // single "receiver" datapath to slice-trace).
+  if (!paths.trace.empty() &&
+      !export_to(paths.trace,
+                 [&](std::ostream& out) { fs.telemetry().write_chrome_json(out); })) {
+    return 1;
+  }
+  if (!paths.telemetry.empty() &&
+      !export_to(paths.telemetry, [&](std::ostream& out) { fs.telemetry().write_csv(out); })) {
+    return 1;
+  }
+  if (!paths.decisions.empty() &&
+      !export_to(paths.decisions, [&](std::ostream& out) {
+        if (wants_json(paths.decisions)) {
+          fs.decisions().write_json(out);
+        } else {
+          fs.decisions().write_csv(out);
+        }
+      })) {
+    return 1;
+  }
+  if (!paths.flow_stats.empty() &&
+      !export_to(paths.flow_stats, [&](std::ostream& out) { fs.flow_stats().write_csv(out); })) {
+    return 1;
+  }
+  if (!paths.profile.empty() &&
+      !export_to(paths.profile, [&](std::ostream& out) { fs.profiler().write_report(out); })) {
+    return 1;
   }
 
   const exp::FabricScenarioConfig& cfg = fs.config();
@@ -132,6 +194,12 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const std::string& met
     std::printf("    \"seed\": %llu,\n", static_cast<unsigned long long>(cfg.host.seed));
     std::printf("    \"events_executed\": %llu,\n",
                 static_cast<unsigned long long>(fs.simulator().events_executed()));
+    std::printf("    \"log_lines\": %llu,\n",
+                static_cast<unsigned long long>(obs::logger().lines_written()));
+    if (cfg.telemetry) {
+      std::printf("    \"telemetry_frames\": %llu,\n",
+                  static_cast<unsigned long long>(fs.telemetry().frames_sampled()));
+    }
     std::printf("    \"wall_ms\": %.1f,\n", wall_ms);
     std::printf("    \"sim_us\": %.1f,\n", fs.simulator().now().us());
     std::printf("    \"config\": {\"topology\": \"%s\", \"hosts\": %d, \"switches\": %d, "
@@ -158,9 +226,14 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const std::string& met
     std::printf("  \"avg_pcie_gbps\": %.2f,\n", r.avg_pcie_gbps);
     std::printf("  \"sender_timeouts\": %llu,\n",
                 static_cast<unsigned long long>(r.sender_timeouts));
-    std::printf("  \"invariant_violations\": %llu\n",
+    std::printf("  \"invariant_violations\": %llu",
                 static_cast<unsigned long long>(r.invariant_violations));
-    std::printf("}\n");
+    if (cfg.record_flow_stats) {
+      std::ostringstream fct;
+      fs.flow_stats().write_json_summary(fct);
+      std::printf(",\n  \"fct\": %s", fct.str().c_str());
+    }
+    std::printf("\n}\n");
     return 0;
   }
 
@@ -175,6 +248,12 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const std::string& met
   t.add_row({"peak shared-buffer occupancy (KiB)",
              exp::fmt(static_cast<double>(r.fabric_occupancy_peak) / 1024.0, 1)});
   t.add_row({"avg I_S (cachelines)", exp::fmt(r.avg_iio_occupancy, 1)});
+  if (cfg.record_flow_stats) {
+    t.add_row({"flow episodes", std::to_string(r.flow_episodes)});
+    t.add_row({"FCT p50/p99/p99.9 (us)", exp::fmt(r.fct_p50_us, 1) + " / " +
+                                             exp::fmt(r.fct_p99_us, 1) + " / " +
+                                             exp::fmt(r.fct_p999_us, 1)});
+  }
   if (cfg.check_invariants) {
     t.add_row({"invariant violations", std::to_string(r.invariant_violations)});
   }
@@ -185,7 +264,7 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const std::string& met
 int run_cli(int argc, char** argv) {
   exp::ScenarioConfig cfg;
   bool json = false;
-  std::string trace_path, metrics_path, decisions_path;
+  ExportPaths paths;
   std::string topology;
   int fabric_hosts = 0;
   int flows_per_pair = 2;
@@ -272,13 +351,24 @@ int run_cli(int argc, char** argv) {
     } else if (a == "--json") {
       json = true;
     } else if (a == "--trace") {
-      trace_path = str_arg(argc, argv, i);
+      paths.trace = str_arg(argc, argv, i);
       cfg.trace_packets = true;
     } else if (a == "--metrics") {
-      metrics_path = str_arg(argc, argv, i);
+      paths.metrics = str_arg(argc, argv, i);
     } else if (a == "--decisions") {
-      decisions_path = str_arg(argc, argv, i);
+      paths.decisions = str_arg(argc, argv, i);
       cfg.record_decisions = true;
+    } else if (a == "--flow-bytes") {
+      cfg.netapp_flow_bytes = static_cast<sim::Bytes>(num_arg(argc, argv, i));
+      cfg.record_flow_stats = true;
+    } else if (a == "--flow-stats") {
+      paths.flow_stats = str_arg(argc, argv, i);
+      cfg.record_flow_stats = true;
+    } else if (a == "--telemetry") {
+      paths.telemetry = str_arg(argc, argv, i);
+    } else if (a == "--profile") {
+      paths.profile = str_arg(argc, argv, i);
+      cfg.profile = true;
     } else if (a == "--log-level") {
       obs::logger().set_level(obs::parse_log_level(str_arg(argc, argv, i)));
       obs::logger().set_sink(stderr);
@@ -303,10 +393,16 @@ int run_cli(int argc, char** argv) {
     fcfg.hostcc = cfg.hostcc;
     fcfg.faults = cfg.faults;
     fcfg.check_invariants = cfg.check_invariants;
+    fcfg.flow_bytes = cfg.netapp_flow_bytes;
+    fcfg.record_flow_stats = cfg.record_flow_stats;
+    fcfg.record_decisions = cfg.record_decisions;
+    fcfg.flow_stats = cfg.flow_stats;
+    fcfg.telemetry = !paths.telemetry.empty() || !paths.trace.empty();
+    fcfg.profile = cfg.profile;
     // FabricScenario's own (much shorter) windows apply unless overridden.
     if (warmup_set) fcfg.warmup = cfg.warmup;
     if (measure_set) fcfg.measure = cfg.measure;
-    return run_fabric(std::move(fcfg), json, metrics_path);
+    return run_fabric(std::move(fcfg), json, paths);
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -319,37 +415,37 @@ int run_cli(int argc, char** argv) {
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
           .count();
 
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
-      return 1;
-    }
-    s.tracer().write_chrome_json(out);
+  if (!paths.trace.empty() &&
+      !export_to(paths.trace, [&](std::ostream& out) { s.tracer().write_chrome_json(out); })) {
+    return 1;
   }
-  if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
-      return 1;
-    }
-    if (wants_json(metrics_path)) {
-      s.metrics().write_json(out, s.simulator().now());
-    } else {
-      s.metrics().write_csv(out, s.simulator().now());
-    }
+  if (!paths.metrics.empty() &&
+      !export_to(paths.metrics, [&](std::ostream& out) {
+        if (wants_json(paths.metrics)) {
+          s.metrics().write_json(out, s.simulator().now());
+        } else {
+          s.metrics().write_csv(out, s.simulator().now());
+        }
+      })) {
+    return 1;
   }
-  if (!decisions_path.empty()) {
-    std::ofstream out(decisions_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", decisions_path.c_str());
-      return 1;
-    }
-    if (wants_json(decisions_path)) {
-      s.decisions().write_json(out);
-    } else {
-      s.decisions().write_csv(out);
-    }
+  if (!paths.decisions.empty() &&
+      !export_to(paths.decisions, [&](std::ostream& out) {
+        if (wants_json(paths.decisions)) {
+          s.decisions().write_json(out);
+        } else {
+          s.decisions().write_csv(out);
+        }
+      })) {
+    return 1;
+  }
+  if (!paths.flow_stats.empty() &&
+      !export_to(paths.flow_stats, [&](std::ostream& out) { s.flow_stats().write_csv(out); })) {
+    return 1;
+  }
+  if (!paths.profile.empty() &&
+      !export_to(paths.profile, [&](std::ostream& out) { s.profiler().write_report(out); })) {
+    return 1;
   }
 
   if (json) {
@@ -361,6 +457,8 @@ int run_cli(int argc, char** argv) {
     std::printf("    \"seed\": %llu,\n", static_cast<unsigned long long>(cfg.host.seed));
     std::printf("    \"events_executed\": %llu,\n",
                 static_cast<unsigned long long>(s.simulator().events_executed()));
+    std::printf("    \"log_lines\": %llu,\n",
+                static_cast<unsigned long long>(obs::logger().lines_written()));
     std::printf("    \"wall_ms\": %.1f,\n", wall_ms);
     std::printf("    \"sim_us\": %.1f,\n", s.simulator().now().us());
     std::printf("    \"config\": {\"degree\": %.2f, \"ddio\": %s, \"hostcc\": %s, "
@@ -385,6 +483,11 @@ int run_cli(int argc, char** argv) {
                 static_cast<unsigned long long>(r.sender_timeouts));
     std::printf("  \"invariant_violations\": %llu,\n",
                 static_cast<unsigned long long>(r.invariant_violations));
+    if (cfg.record_flow_stats) {
+      std::ostringstream fct;
+      s.flow_stats().write_json_summary(fct);
+      std::printf("  \"fct\": %s,\n", fct.str().c_str());
+    }
     std::printf("  \"rpc\": [");
     for (std::size_t i = 0; i < r.rpc_latency.size(); ++i) {
       const auto& l = r.rpc_latency[i];
@@ -410,6 +513,12 @@ int run_cli(int argc, char** argv) {
   }
   if (cfg.hostcc_enabled) {
     t.add_row({"host ECN marks", std::to_string(r.ecn_marked_pkts)});
+  }
+  if (cfg.record_flow_stats) {
+    t.add_row({"flow episodes", std::to_string(r.flow_episodes)});
+    t.add_row({"FCT p50/p99/p99.9 (us)", exp::fmt(r.fct_p50_us, 1) + " / " +
+                                             exp::fmt(r.fct_p99_us, 1) + " / " +
+                                             exp::fmt(r.fct_p999_us, 1)});
   }
   if (cfg.check_invariants) {
     t.add_row({"invariant violations", std::to_string(r.invariant_violations)});

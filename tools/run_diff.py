@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Diff two run-result JSONs and print a regression table.
+
+Works on any JSON the repo's runners emit — `hostcc_sim --json`,
+`hostcc_sim --topology ... --json`, and `fig13x_fabric --json` — by
+flattening every numeric field to a dotted path (lists get [i] indices)
+and comparing A vs B field by field. Wall-clock fields (*wall_ms*) are
+skipped: they are the one deliberately non-deterministic part of a run.
+
+By default only changed fields are printed; fields whose relative change
+exceeds --tolerance are flagged and make the exit status non-zero, so the
+tool doubles as an A/B gate in scripts:
+
+  build/tools/hostcc_sim --json > before.json
+  ... change something ...
+  build/tools/hostcc_sim --json > after.json
+  tools/run_diff.py before.json after.json --tolerance 0.05
+
+Use --all to list unchanged fields too, and --filter REGEX to restrict
+the comparison to matching paths (e.g. --filter 'fct|tput').
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def flatten(node, path=""):
+    """Yields (dotted_path, value) for every numeric leaf under node."""
+    if isinstance(node, dict):
+        for k, v in node.items():
+            yield from flatten(v, f"{path}.{k}" if path else k)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            yield from flatten(v, f"{path}[{i}]")
+    elif isinstance(node, bool):
+        return  # bool is an int subclass; config flags aren't metrics
+    elif isinstance(node, (int, float)):
+        yield path, float(node)
+
+
+def load_fields(path, pattern):
+    doc = json.loads(Path(path).read_text())
+    fields = {}
+    for key, value in flatten(doc):
+        if "wall_ms" in key:
+            continue
+        if pattern and not pattern.search(key):
+            continue
+        fields[key] = value
+    return fields
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("a", help="baseline run JSON")
+    ap.add_argument("b", help="candidate run JSON")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="max allowed fractional change before a field is flagged "
+        "(default: %(default)s)",
+    )
+    ap.add_argument(
+        "--filter", default=None, help="only compare paths matching this regex"
+    )
+    ap.add_argument(
+        "--all", action="store_true", help="also print unchanged fields"
+    )
+    args = ap.parse_args()
+
+    pattern = re.compile(args.filter) if args.filter else None
+    fa = load_fields(args.a, pattern)
+    fb = load_fields(args.b, pattern)
+
+    flagged = []
+    rows = []
+    for key in sorted(set(fa) | set(fb)):
+        va, vb = fa.get(key), fb.get(key)
+        if va is None or vb is None:
+            rows.append((key, va, vb, None, "  << ONLY IN " + ("B" if va is None else "A")))
+            flagged.append(key)
+            continue
+        if va == vb:
+            if args.all:
+                rows.append((key, va, vb, 0.0, ""))
+            continue
+        # Relative change against the baseline; a zero baseline with any
+        # change is treated as beyond every tolerance.
+        rel = (vb - va) / abs(va) if va != 0 else float("inf")
+        mark = ""
+        if abs(rel) > args.tolerance:
+            mark = "  << CHANGED"
+            flagged.append(key)
+        rows.append((key, va, vb, rel, mark))
+
+    if not rows:
+        print(f"identical within filter ({len(fa)} numeric fields compared)")
+        return 0
+
+    w = max(len(r[0]) for r in rows)
+    print(f"{'field':<{w}} {'A':>14} {'B':>14} {'delta':>9}")
+    for key, va, vb, rel, mark in rows:
+        sa = f"{va:.6g}" if va is not None else "-"
+        sb = f"{vb:.6g}" if vb is not None else "-"
+        sd = f"{rel:+.2%}" if rel not in (None, float("inf")) else ("inf" if rel else "-")
+        print(f"{key:<{w}} {sa:>14} {sb:>14} {sd:>9}{mark}")
+
+    if flagged:
+        print(
+            f"\n{len(flagged)} field(s) changed beyond {args.tolerance:.0%} "
+            f"(of {len(rows)} differing/compared)"
+        )
+        return 1
+    print(f"\nOK: no field changed beyond {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
