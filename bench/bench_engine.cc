@@ -270,15 +270,17 @@ void BM_ScenarioProfilerOverhead(benchmark::State& state) {
 BENCHMARK(BM_ScenarioProfilerOverhead)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 // Rack-scale headline: wall-clock packet throughput of a warm multi-switch
-// fabric run (N full HostModels incasting through a shared-buffer
-// leaf-spine with ECMP). Arg = participating hosts; the topology stays
-// leaf-spine:4x4 so the switch count is fixed while host fan-in scales.
-// items/sec is packets arriving at the incast destination's NIC per second
-// of wall time.
+// fabric run (N full HostModels incasting through a shared-buffer fabric
+// with ECMP). Arg = participating hosts; up to 16 the topology stays
+// leaf-spine:4x4 (fixed switch count, scaling fan-in); 32 and 64 hosts run
+// on leaf-spine:8x8 so the tail args also scale the switch count. items/sec
+// is packets arriving at the incast destination's NIC per second of wall
+// time.
 void BM_FabricHostScaling(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
   exp::FabricScenarioConfig cfg;
-  cfg.topology = "leaf-spine:4x4";
-  cfg.hosts = static_cast<int>(state.range(0));
+  cfg.topology = hosts <= 16 ? "leaf-spine:4x4" : "leaf-spine:8x8";
+  cfg.hosts = hosts;
   cfg.mapp_degree = 0.0;
   cfg.warmup = sim::Time::milliseconds(5);
   cfg.measure = sim::Time::milliseconds(2);
@@ -293,7 +295,55 @@ void BM_FabricHostScaling(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(pkts));
 }
-BENCHMARK(BM_FabricHostScaling)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FabricHostScaling)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Sharded-engine scaling: the same warm 64-host fat-tree incast executed by
+// the conservative-lookahead ShardedSimulator on 1..N worker threads
+// (args: hosts, shards; shards=0 is the classic single-loop baseline the
+// speedup is measured against). The partition is a pure function of the
+// topology, so every arg pair produces byte-identical simulation results —
+// only the wall clock moves. items/sec counts packets arriving at the
+// incast destination per second of wall time, the same figure of merit as
+// BM_FabricHostScaling.
+void BM_FabricShardScaling(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  exp::FabricScenarioConfig cfg;
+  cfg.topology = hosts <= 16 ? "fat-tree:4" : "fat-tree:8";
+  cfg.hosts = hosts;
+  cfg.shards = static_cast<int>(state.range(1));
+  cfg.mapp_degree = 0.0;
+  cfg.warmup = sim::Time::milliseconds(5);
+  cfg.measure = sim::Time::milliseconds(2);
+  exp::FabricScenario s(std::move(cfg));
+  s.run_warmup();
+  s.run_for(sim::Time::milliseconds(5));  // settle past slow start's tail
+  std::uint64_t pkts = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = s.host(0).nic().stats().arrived_pkts;
+    s.run_for(sim::Time::milliseconds(1));
+    pkts += s.host(0).nic().stats().arrived_pkts - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pkts));
+}
+// UseRealTime matters: with workers, the main thread blocks at epoch
+// barriers while peers simulate, so its CPU time (benchmark's default
+// items/sec denominator) undercounts by ~1/workers and fakes a speedup.
+BENCHMARK(BM_FabricShardScaling)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

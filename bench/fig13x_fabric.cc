@@ -22,6 +22,7 @@
 // Every run audits each switch's shared-buffer ledger; a violation fails
 // the binary.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -37,6 +38,7 @@ namespace {
 struct Options {
   bool quick = false;
   bool json = false;
+  int shards = 0;  // 0 = classic single loop; N >= 1 sharded (same bytes)
   std::string telemetry_dir;
   bool obs() const { return json || !telemetry_dir.empty(); }
 };
@@ -47,6 +49,7 @@ exp::FabricScenarioConfig base_cfg(const Options& opt) {
   cfg.flows_per_pair = 4;
   cfg.mapp_degree = 0.0;
   cfg.fabric.buffer_bytes = 256 * sim::kKiB;  // shallow shared pool
+  cfg.shards = opt.shards;
   cfg.warmup = sim::Time::milliseconds(opt.quick ? 2 : 5);
   cfg.measure = sim::Time::milliseconds(opt.quick ? 3 : 10);
   if (opt.obs()) {
@@ -119,8 +122,11 @@ int main(int argc, char** argv) {
       opt.json = true;
     } else if (a == "--telemetry" && i + 1 < argc) {
       opt.telemetry_dir = argv[++i];
+    } else if (a == "--shards" && i + 1 < argc) {
+      opt.shards = std::atoi(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json] [--telemetry DIR]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--json] [--shards N] [--telemetry DIR]\n",
+                   argv[0]);
       return 2;
     }
   }

@@ -5,10 +5,18 @@
 //   --jobs N    run the sweep's configurations on N threads (0 = all
 //               hardware threads) via sim::SweepRunner; results are
 //               byte-identical for every N
+//   --shards N  run each fabric configuration as a sharded simulation on
+//               N worker threads (exp::FabricScenarioConfig::shards;
+//               0 = classic single-simulator run); results are
+//               byte-identical for every N >= 1. When both --jobs and
+//               --shards are active, pass opts.shards to SweepRunner's
+//               shards_per_task so jobs x shards stays within the
+//               hardware concurrency.
 // Binaries with extra flags (e.g. fig18) parse those themselves; unknown
 // flags here are ignored.
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 
 #include "sim/sweep_runner.h"
@@ -18,12 +26,15 @@ namespace hostcc::exp {
 struct BenchOpts {
   bool quick = false;
   int jobs = 1;
+  int shards = 0;  // 0 = unsharded (legacy single-simulator scenario)
 };
 
 inline BenchOpts parse_bench_opts(int argc, char** argv) {
   BenchOpts opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) opts.quick = true;
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) opts.shards = std::atoi(argv[i + 1]);
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) opts.shards = std::atoi(argv[i] + 9);
   }
   opts.jobs = sim::SweepRunner::parse_jobs_flag(argc, argv);
   return opts;

@@ -43,6 +43,9 @@ std::vector<std::string> validate(const FabricScenarioConfig& cfg,
     errs.push_back("fabric_scenario.flow_bytes must be >= 0 (got " +
                    std::to_string(cfg.flow_bytes) + ")");
   }
+  if (cfg.shards < 0) {
+    errs.push_back("fabric_scenario.shards must be >= 0 (got " + std::to_string(cfg.shards) + ")");
+  }
   if (cfg.mapp_degree < 0.0) errs.push_back("fabric_scenario.mapp_degree must be >= 0");
   if (cfg.congested_hosts < 0) errs.push_back("fabric_scenario.congested_hosts must be >= 0");
   if (cfg.warmup < sim::Time::zero() || cfg.measure < sim::Time::zero()) {
@@ -107,7 +110,37 @@ void FabricScenario::build() {
   const std::vector<int> host_nodes = topo->host_nodes();
   const int n_hosts = cfg_.hosts > 0 ? cfg_.hosts : static_cast<int>(host_nodes.size());
 
-  fabric_ = std::make_unique<fabric::Fabric>(sim_, *topo, cfg_.fabric, coalesced);
+  // Sharded engine: partition the topology into per-switch cells, build
+  // one event loop per cell, and register one SPSC channel per cross-cell
+  // arc (in topology arc order — the deterministic delivery tie-break).
+  // `--shards N` only picks how many threads execute the cells; the
+  // partition and the channels are pure functions of the topology, which
+  // is why output is byte-identical for every N >= 1.
+  if (cfg_.shards > 0) {
+    plan_ = fabric::partition_topology(*topo);
+    engine_ = std::make_unique<sim::ShardedSimulator>(plan_.cells, plan_.lookahead, cfg_.shards);
+    channels_ = std::make_unique<sim::ShardChannels<net::Packet>>(plan_.cells);
+    engine_->set_epoch_hook([this](int cell, std::int64_t epoch, sim::Time window_end) {
+      channels_->begin_epoch(cell, epoch, window_end, engine_->cell(cell));
+    });
+    fabric::FabricShardHooks hooks;
+    hooks.plan = &plan_;
+    hooks.cell_sim = [this](int c) -> sim::Simulator& { return engine_->cell(c); };
+    hooks.make_channel = [this](int from_cell, int to_cell,
+                                std::function<void(const net::Packet&)> deliver) {
+      const int id = channels_->add_channel(from_cell, to_cell, std::move(deliver));
+      return [this, id](sim::Time due, const net::Packet& p) { channels_->push(id, due, p); };
+    };
+    fabric_ = std::make_unique<fabric::Fabric>(engine_->cell(0), *topo, cfg_.fabric, coalesced,
+                                               std::move(hooks));
+  } else {
+    fabric_ = std::make_unique<fabric::Fabric>(sim_, *topo, cfg_.fabric, coalesced);
+  }
+  const int ncells = sharded() ? plan_.cells : 1;
+  host_cell_.assign(n_hosts, 0);
+  if (sharded()) {
+    for (int i = 0; i < n_hosts; ++i) host_cell_[i] = plan_.cell_of_node[host_nodes[i]];
+  }
 
   // Flow destinations: incast concentrates on host 0; all-to-all makes
   // every host a destination. MApps/hostCC ride the first
@@ -127,7 +160,17 @@ void FabricScenario::build() {
   // One shared FlowStats across every stack, attached before any
   // connection exists (the disabled path is the null pointer the stacks
   // hold by default). Records are keyed (flow, src) so sharing is safe.
-  if (cfg_.record_flow_stats) flow_stats_ = obs::FlowStats(cfg_.flow_stats);
+  // Sharded: one FlowStats per cell instead, so every hook fires on its
+  // owning thread (sender-side fields land in the sender's cell, delivery
+  // bytes in the receiver's); run_measure() reunites them via merge_from.
+  if (cfg_.record_flow_stats) {
+    flow_stats_ = obs::FlowStats(cfg_.flow_stats);
+    if (sharded()) {
+      for (int c = 0; c < ncells; ++c) {
+        cell_flow_stats_.push_back(std::make_unique<obs::FlowStats>(cfg_.flow_stats));
+      }
+    }
+  }
 
   // Hosts + stacks + fabric attachment, in HostId order.
   for (int i = 0; i < n_hosts; ++i) {
@@ -138,9 +181,12 @@ void FabricScenario::build() {
     // convention as exp::Scenario's sender hosts).
     if (!is_destination(i)) hc.ddio_enabled = false;
     const std::string& name = topo->nodes()[host_nodes[i]].name;
-    auto h = std::make_unique<host::HostModel>(sim_, hc, name);
-    auto stack = std::make_unique<transport::Stack>(sim_, *h, id, cfg_.transport);
-    if (cfg_.record_flow_stats) stack->set_flow_stats(&flow_stats_);
+    sim::Simulator& hsim = cell_sim(host_cell_[i]);
+    auto h = std::make_unique<host::HostModel>(hsim, hc, name);
+    auto stack = std::make_unique<transport::Stack>(hsim, *h, id, cfg_.transport);
+    if (cfg_.record_flow_stats) {
+      stack->set_flow_stats(sharded() ? cell_flow_stats_[host_cell_[i]].get() : &flow_stats_);
+    }
 
     host::HostModel* hp = h.get();
     net::Link& up = fabric_->attach_host(
@@ -178,7 +224,16 @@ void FabricScenario::build() {
     }
     if (cfg_.hostcc_enabled) {
       auto ctl = std::make_unique<core::HostCcController>(*hosts_[hid], cfg_.hostcc);
-      if (cfg_.record_decisions) ctl->set_decision_log(&decisions_);
+      if (cfg_.record_decisions) {
+        if (sharded()) {
+          // Controllers on different cells tick on different threads; each
+          // logs privately and run_measure() merges time-ordered.
+          ctl_decisions_.push_back(std::make_unique<obs::DecisionLog>());
+          ctl->set_decision_log(ctl_decisions_.back().get());
+        } else {
+          ctl->set_decision_log(&decisions_);
+        }
+      }
       ctl->start();
       controllers_.push_back(std::move(ctl));
       controller_host_.push_back(hid);
@@ -196,31 +251,62 @@ void FabricScenario::build() {
       host_checkers_.push_back(std::make_unique<faults::InvariantChecker>(*h));
       host_checkers_.back()->start();
     }
-    fabric_checker_ = std::make_unique<faults::FabricInvariantChecker>(sim_, *fabric_);
-    fabric_checker_->start();
+    if (sharded() && plan_.parallel()) {
+      // One checker per cell over that cell's switches, on the cell's own
+      // loop: every ledger read stays on the owning thread.
+      for (int c = 0; c < ncells; ++c) {
+        std::vector<int> subset;
+        for (int s = 0; s < fabric_->switch_count(); ++s) {
+          if (fabric_->cell_of_switch(s) == c) subset.push_back(s);
+        }
+        if (subset.empty()) continue;
+        fabric_checkers_.push_back(std::make_unique<faults::FabricInvariantChecker>(
+            engine_->cell(c), *fabric_, std::move(subset)));
+        fabric_checkers_.back()->start();
+      }
+    } else {
+      fabric_checkers_.push_back(
+          std::make_unique<faults::FabricInvariantChecker>(cell_sim(0), *fabric_));
+      fabric_checkers_.back()->start();
+    }
   }
 
   // Fault injection: numeric link targets are uplink indices (= HostIds);
-  // named targets resolve through the fabric's edge surface.
+  // named targets resolve through the fabric's edge surface. Sharded runs
+  // build one injector per cell, armed on that cell's loop and scoped so
+  // each side effect (uplink toggles, per-port edge faults, MSR/MBA hooks)
+  // lands on the thread that owns the component. Every injector replays
+  // the same plan at the same sim times, so the composition is exactly the
+  // unsharded fault schedule.
   if (!cfg_.faults.empty()) {
-    injector_ = std::make_unique<faults::FaultInjector>(sim_, cfg_.faults);
-    injector_->attach_msrs(hosts_[0]->msrs());
-    injector_->attach_mba(hosts_[0]->mba());
-    for (int i = 0; i < n_hosts; ++i) {
-      if (net::Link* up = fabric_->uplink(static_cast<net::HostId>(i))) {
-        injector_->attach_link(i, *up);
+    const int sampler_host = controllers_.empty() ? 0 : controller_host_[0];
+    for (int c = 0; c < ncells; ++c) {
+      auto inj = std::make_unique<faults::FaultInjector>(cell_sim(c), cfg_.faults);
+      if (sharded() && plan_.parallel()) inj->set_edge_cell_scope(c);
+      if (host_cell_[0] == c) {
+        inj->attach_msrs(hosts_[0]->msrs());
+        inj->attach_mba(hosts_[0]->mba());
       }
+      for (int i = 0; i < n_hosts; ++i) {
+        if (host_cell_[i] != c) continue;
+        if (net::Link* up = fabric_->uplink(static_cast<net::HostId>(i))) {
+          inj->attach_link(i, *up);
+        }
+      }
+      inj->attach_fabric(*fabric_);
+      if (host_cell_[sampler_host] == c) {
+        inj->attach_sampler(controllers_.empty() ? *passive_sampler_
+                                                 : controllers_[0]->sampler());
+      }
+      inj->arm();
+      injectors_.push_back(std::move(inj));
     }
-    injector_->attach_fabric(*fabric_);
-    injector_->attach_sampler(controllers_.empty() ? *passive_sampler_
-                                                   : controllers_[0]->sampler());
-    injector_->arm();
   }
 
   // Observability. Host metric prefixes are the topology host names, so
   // per-switch and per-host series line up with docs/TOPOLOGY.md.
   metrics_.gauge("sim/events_executed",
-                 [this] { return static_cast<double>(sim_.events_executed()); });
+                 [this] { return static_cast<double>(events_executed()); });
   for (auto& h : hosts_) h->register_metrics(metrics_);
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
     stacks_[i]->register_metrics(metrics_, hosts_[i]->name() + "/transport");
@@ -236,8 +322,57 @@ void FabricScenario::build() {
   for (std::size_t i = 0; i < host_checkers_.size(); ++i) {
     host_checkers_[i]->register_metrics(metrics_, hosts_[i]->name() + "/invariants");
   }
-  if (fabric_checker_) fabric_checker_->register_metrics(metrics_, "fabric/invariants");
-  if (injector_) injector_->register_metrics(metrics_, "faults");
+  // Sharded runs aggregate their per-cell checkers/injectors under the
+  // legacy metric names (the single-instance paths keep the exact legacy
+  // registration).
+  if (fabric_checkers_.size() == 1) {
+    fabric_checkers_[0]->register_metrics(metrics_, "fabric/invariants");
+  } else if (!fabric_checkers_.empty()) {
+    metrics_.counter_fn("fabric/invariants/checks", [this] {
+      std::uint64_t n = 0;
+      for (auto& c : fabric_checkers_) n += c->checks_run();
+      return n;
+    });
+    metrics_.counter_fn("fabric/invariants/violations", [this] {
+      std::uint64_t n = 0;
+      for (auto& c : fabric_checkers_) n += c->total_violations();
+      return n;
+    });
+    for (int i = 0; i < faults::kFabricInvariantClasses; ++i) {
+      const auto cls = static_cast<faults::FabricInvariantClass>(i);
+      metrics_.counter_fn(
+          std::string("fabric/invariants/") + faults::fabric_invariant_class_name(cls),
+          [this, cls] {
+            std::uint64_t n = 0;
+            for (auto& c : fabric_checkers_) n += c->violations_of(cls);
+            return n;
+          });
+    }
+  }
+  if (injectors_.size() == 1) {
+    injectors_[0]->register_metrics(metrics_, "faults");
+  } else if (!injectors_.empty()) {
+    metrics_.counter_fn("faults/activations", [this] {
+      std::uint64_t n = 0;
+      for (auto& j : injectors_) n += j->activations();
+      return n;
+    });
+    metrics_.counter_fn("faults/deactivations", [this] {
+      std::uint64_t n = 0;
+      for (auto& j : injectors_) n += j->deactivations();
+      return n;
+    });
+    metrics_.counter_fn("faults/skipped", [this] {
+      std::uint64_t n = 0;
+      for (auto& j : injectors_) n += j->skipped();
+      return n;
+    });
+    metrics_.gauge("faults/active", [this] {
+      double n = 0.0;
+      for (auto& j : injectors_) n += j->active_count();
+      return n;
+    });
+  }
 
   // Sampled fabric telemetry: groups registered switches-first then hosts,
   // both in index order, so the Chrome-trace pid layout is a pure function
@@ -246,7 +381,9 @@ void FabricScenario::build() {
     telemetry_ = obs::FabricTelemetry(cfg_.telemetry_cfg);
     for (int s = 0; s < fabric_->switch_count(); ++s) {
       fabric::FabricSwitch* sw = &fabric_->switch_at(s);
-      const int pid = telemetry_.add_group(sw->name());
+      // A group's telemetry domain is its owning cell: the sampler lambdas
+      // below then always run on the thread that owns the state they read.
+      const int pid = telemetry_.add_group(sw->name(), sharded() ? fabric_->cell_of_switch(s) : 0);
       telemetry_.add_series(pid, "occupancy_bytes",
                             [sw] { return static_cast<std::int64_t>(sw->occupancy()); });
       for (int p = 0; p < sw->port_count(); ++p) {
@@ -262,9 +399,9 @@ void FabricScenario::build() {
         });
       }
     }
-    for (auto& hptr : hosts_) {
-      host::HostModel* hp = hptr.get();
-      const int pid = telemetry_.add_group(hp->name());
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      host::HostModel* hp = hosts_[i].get();
+      const int pid = telemetry_.add_group(hp->name(), sharded() ? host_cell_[i] : 0);
       telemetry_.add_series(pid, "nic_queued_bytes", [hp] {
         return static_cast<std::int64_t>(hp->nic().queued_bytes());
       });
@@ -272,13 +409,45 @@ void FabricScenario::build() {
         return static_cast<std::int64_t>(hp->iio().occupancy_bytes());
       });
     }
-    telemetry_.start(sim_);
+    if (sharded()) {
+      std::vector<sim::Simulator*> sims;
+      for (int c = 0; c < ncells; ++c) sims.push_back(&engine_->cell(c));
+      telemetry_.start_multi(sims);
+    } else {
+      telemetry_.start(sim_);
+    }
   }
 
   if (cfg_.profile) attach_profiler(true);
 }
 
 void FabricScenario::attach_profiler(bool enable) {
+  if (sharded()) {
+    // One profiler per cell (scope enter/exit and the self-time stack are
+    // single-threaded state); run_measure() folds them into profiler_.
+    if (cell_profilers_.empty()) {
+      for (int c = 0; c < plan_.cells; ++c) {
+        cell_profilers_.push_back(std::make_unique<obs::SimProfiler>());
+      }
+    }
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      hosts_[i]->set_profiler(cell_profilers_[host_cell_[i]].get());
+      stacks_[i]->set_profiler(
+          cell_profilers_[host_cell_[i]]->handle(hosts_[i]->name() + "/transport"));
+    }
+    for (int s = 0; s < fabric_->switch_count(); ++s) {
+      fabric::FabricSwitch& sw = fabric_->switch_at(s);
+      sw.set_profiler(cell_profilers_[fabric_->cell_of_switch(s)]->handle(sw.name() + "/forward"));
+    }
+    for (int c = 0; c < plan_.cells; ++c) {
+      cell_profilers_[c]->set_enabled(enable);
+      if (enable) {
+        cell_profilers_[c]->start_depth_timeline(engine_->cell(c), sim::Time::microseconds(50));
+      }
+    }
+    profiler_.set_enabled(enable);
+    return;
+  }
   for (auto& h : hosts_) h->set_profiler(&profiler_);
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
     stacks_[i]->set_profiler(profiler_.handle(hosts_[i]->name() + "/transport"));
@@ -291,7 +460,13 @@ void FabricScenario::attach_profiler(bool enable) {
   if (enable) profiler_.start_depth_timeline(sim_, sim::Time::microseconds(50));
 }
 
-void FabricScenario::run_for(sim::Time d) { sim_.run_until(sim_.now() + d); }
+void FabricScenario::run_for(sim::Time d) {
+  if (engine_) {
+    engine_->run_until(engine_->now() + d);
+  } else {
+    sim_.run_until(sim_.now() + d);
+  }
+}
 
 void FabricScenario::run_warmup() {
   run_for(cfg_.warmup);
@@ -299,7 +474,7 @@ void FabricScenario::run_warmup() {
 }
 
 void FabricScenario::mark_measurement_start() {
-  const sim::Time now = sim_.now();
+  const sim::Time mark = now();
   const fabric::FabricSwitch::Totals t = fabric_->totals();
   base_fabric_drops_ = t.drops;
   base_fabric_marks_ = t.marks;
@@ -309,20 +484,41 @@ void FabricScenario::mark_measurement_start() {
     base_dst_arrived_ += hosts_[d]->nic().stats().arrived_pkts;
     base_dst_dropped_ += hosts_[d]->nic().stats().dropped_pkts;
   }
-  for (auto& app : tput_apps_) app->goodput_since_mark(now);
-  measure_start_ = now;
+  for (auto& app : tput_apps_) app->goodput_since_mark(mark);
+  measure_start_ = mark;
   // FCT percentiles cover the measurement window only (per-flow lifetime
   // records and open episodes survive the reset).
   flow_stats_.reset_window();
+  for (auto& f : cell_flow_stats_) f->reset_window();
 }
 
 FabricScenarioResults FabricScenario::run_measure() {
   run_for(cfg_.measure);
-  const sim::Time now = sim_.now();
+  const sim::Time end = now();
+
+  // Fold the sharded run's per-thread observability into the aggregate
+  // objects the accessors expose (no-ops when unsharded). Merge order is
+  // cell/controller index order — deterministic, and identical for every
+  // worker count because the partition is.
+  if (!cell_flow_stats_.empty()) {
+    flow_stats_ = obs::FlowStats(cfg_.flow_stats);
+    for (auto& f : cell_flow_stats_) flow_stats_.merge_from(*f);
+  }
+  if (!ctl_decisions_.empty()) {
+    decisions_.clear();
+    std::vector<obs::Decision> all;
+    for (auto& log : ctl_decisions_) {
+      for (const obs::Decision& d : log->decisions()) all.push_back(d);
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const obs::Decision& a, const obs::Decision& b) { return a.at < b.at; });
+    for (const obs::Decision& d : all) decisions_.record(d);
+  }
+  for (auto& p : cell_profilers_) profiler_.merge_from(*p);
 
   FabricScenarioResults r;
   double tput = 0.0;
-  for (auto& app : tput_apps_) tput += app->goodput_since_mark(now).as_gbps();
+  for (auto& app : tput_apps_) tput += app->goodput_since_mark(end).as_gbps();
   r.net_tput_gbps = tput;
 
   std::uint64_t arrived = 0, dropped = 0;
@@ -366,9 +562,9 @@ FabricScenarioResults FabricScenario::run_measure() {
     c->check_now();  // final sweep at the measurement boundary
     r.invariant_violations += c->total_violations();
   }
-  if (fabric_checker_) {
-    fabric_checker_->check_now();
-    r.invariant_violations += fabric_checker_->total_violations();
+  for (auto& c : fabric_checkers_) {
+    c->check_now();
+    r.invariant_violations += c->total_violations();
   }
 
   if (cfg_.record_flow_stats) {
@@ -379,8 +575,9 @@ FabricScenarioResults FabricScenario::run_measure() {
     r.fct_p999_us = fs.p999.us();
   }
   // Capture the final telemetry frame at the measurement boundary so the
-  // exported series always end exactly at run end.
-  if (cfg_.telemetry) telemetry_.sample_now(now);
+  // exported series always end exactly at run end (sample_now covers every
+  // domain; the workers are quiesced here, so this is race-free).
+  if (cfg_.telemetry) telemetry_.sample_now(end);
   return r;
 }
 

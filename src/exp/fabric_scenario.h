@@ -24,6 +24,7 @@
 #include "apps/mem_app.h"
 #include "apps/throughput_app.h"
 #include "fabric/fabric.h"
+#include "fabric/partition.h"
 #include "fabric/topology.h"
 #include "faults/fabric_invariants.h"
 #include "faults/fault_plan.h"
@@ -36,6 +37,8 @@
 #include "obs/flow_stats.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "sim/shard_channel.h"
+#include "sim/sharded_sim.h"
 #include "sim/simulator.h"
 #include "transport/stack.h"
 
@@ -52,6 +55,15 @@ struct FabricScenarioConfig {
   // 0 = instantiate every topology host; otherwise only hosts 0..N-1
   // participate (the scaling knob behind `--hosts`).
   int hosts = 0;
+
+  // 0 = classic single-simulator run. N >= 1 partitions the fabric into
+  // per-switch cells (fabric::partition_topology) executed by a
+  // sim::ShardedSimulator on min(N, cells) worker threads under
+  // conservative lookahead. The partition is a pure function of the
+  // topology, so results — run JSON, telemetry CSV, traces — are
+  // byte-identical for every N >= 1 (the legacy N=0 path interleaves
+  // events differently and is only self-consistent).
+  int shards = 0;
 
   host::HostConfig host;                 // per-host config (seeds differentiated)
   transport::TransportConfig transport;
@@ -130,19 +142,40 @@ class FabricScenario {
   FabricScenarioResults run_measure();
   void run_for(sim::Time d);
 
-  sim::Simulator& simulator() { return sim_; }
+  // Legacy (shards == 0) event loop. Sharded runs have one Simulator per
+  // cell; use now()/events_executed() for quantities that must hold in
+  // both modes.
+  sim::Simulator& simulator() { return engine_ ? engine_->cell(0) : sim_; }
+  // Current simulation time / total executed events, mode-independent.
+  sim::Time now() const { return engine_ ? engine_->now() : sim_.now(); }
+  std::uint64_t events_executed() const {
+    return engine_ ? engine_->events_executed() : sim_.events_executed();
+  }
+  // Sharded-run surface (null/default when cfg.shards == 0).
+  bool sharded() const { return engine_ != nullptr; }
+  sim::ShardedSimulator* engine() { return engine_.get(); }
+  const fabric::ShardPlan& shard_plan() const { return plan_; }
   fabric::Fabric& fabric() { return *fabric_; }
   int host_count() const { return static_cast<int>(hosts_.size()); }
   host::HostModel& host(int i) { return *hosts_.at(i); }
   transport::Stack& stack(int i) { return *stacks_.at(i); }
   core::HostCcController* controller(int i = 0);
-  faults::FaultInjector* injector() { return injector_.get(); }
-  faults::FabricInvariantChecker* fabric_invariants() { return fabric_checker_.get(); }
+  faults::FaultInjector* injector() {
+    return injectors_.empty() ? nullptr : injectors_.front().get();
+  }
+  faults::FabricInvariantChecker* fabric_invariants() {
+    return fabric_checkers_.empty() ? nullptr : fabric_checkers_.front().get();
+  }
   obs::MetricsRegistry& metrics() { return metrics_; }
-  // Per-flow FCT/slowdown accounting (cfg.record_flow_stats).
+  // Per-flow FCT/slowdown accounting (cfg.record_flow_stats). Sharded
+  // runs keep one FlowStats per cell during execution (each touched only
+  // by its owning thread) and fold them into this aggregate inside
+  // run_measure(); read it after run_measure() returns.
   const obs::FlowStats& flow_stats() const { return flow_stats_; }
   // Shared hostCC decision record across every controller; the `host`
   // column disambiguates (cfg.record_decisions, hostcc runs only).
+  // Sharded runs log per controller and merge (time-ordered, controller
+  // order on ties) inside run_measure().
   const obs::DecisionLog& decisions() const { return decisions_; }
   // Sampled per-switch/per-port occupancy time-series (cfg.telemetry).
   obs::FabricTelemetry& telemetry() { return telemetry_; }
@@ -155,9 +188,21 @@ class FabricScenario {
  private:
   void build();
   void mark_measurement_start();
+  // The simulator a cell's components schedule on: the engine's per-cell
+  // loop when sharded, the single legacy loop otherwise.
+  sim::Simulator& cell_sim(int cell) { return engine_ ? engine_->cell(cell) : sim_; }
 
   FabricScenarioConfig cfg_;
   sim::Simulator sim_;
+
+  // Sharded execution (cfg.shards >= 1): the topology partition, the
+  // per-cell event loops, and the cross-cell packet channels. The epoch
+  // hook glues them: at each cell's first entry into an epoch,
+  // ShardChannels::begin_epoch schedules that epoch's cross-cell arrivals.
+  fabric::ShardPlan plan_;
+  std::unique_ptr<sim::ShardedSimulator> engine_;
+  std::unique_ptr<sim::ShardChannels<net::Packet>> channels_;
+  std::vector<int> host_cell_;  // HostId -> owning cell (all 0 unsharded)
 
   std::unique_ptr<fabric::Fabric> fabric_;
   std::vector<std::unique_ptr<host::HostModel>> hosts_;
@@ -168,8 +213,11 @@ class FabricScenario {
   std::vector<int> controller_host_;  // parallel: which host each controls
   std::unique_ptr<core::SignalSampler> passive_sampler_;  // host 0, hostCC off
   std::vector<std::unique_ptr<faults::InvariantChecker>> host_checkers_;
-  std::unique_ptr<faults::FabricInvariantChecker> fabric_checker_;
-  std::unique_ptr<faults::FaultInjector> injector_;
+  // One fabric checker / injector per cell when sharded (each on its
+  // cell's simulator, scoped to the switches/uplinks that cell owns);
+  // exactly one of each, unscoped, otherwise.
+  std::vector<std::unique_ptr<faults::FabricInvariantChecker>> fabric_checkers_;
+  std::vector<std::unique_ptr<faults::FaultInjector>> injectors_;
   std::vector<int> destinations_;  // flow-destination host ids, ascending
 
   obs::MetricsRegistry metrics_;
@@ -177,6 +225,11 @@ class FabricScenario {
   obs::DecisionLog decisions_;
   obs::FabricTelemetry telemetry_;
   obs::SimProfiler profiler_;
+  // Per-thread observability staging for sharded runs, folded into the
+  // aggregates above by run_measure().
+  std::vector<std::unique_ptr<obs::FlowStats>> cell_flow_stats_;      // per cell
+  std::vector<std::unique_ptr<obs::DecisionLog>> ctl_decisions_;      // per controller
+  std::vector<std::unique_ptr<obs::SimProfiler>> cell_profilers_;     // per cell
 
   // Measurement-window baselines.
   std::uint64_t base_fabric_drops_ = 0;

@@ -17,43 +17,72 @@ std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t idx) {
 }  // namespace
 
 Fabric::Fabric(sim::Simulator& sim, Topology topo, FabricSwitchConfig cfg, bool coalesced_drains)
+    : Fabric(sim, std::move(topo), cfg, coalesced_drains, FabricShardHooks{}) {}
+
+Fabric::Fabric(sim::Simulator& sim, Topology topo, FabricSwitchConfig cfg, bool coalesced_drains,
+               FabricShardHooks hooks)
     : sim_(sim), topo_(std::move(topo)), cfg_(cfg), coalesced_(coalesced_drains) {
   topo_.throw_if_invalid();
+  const bool sharded = hooks.active();
 
   switch_of_node_.assign(topo_.node_count(), -1);
   for (int n : topo_.switch_nodes()) {
     FabricSwitchConfig sw_cfg = cfg_;
     sw_cfg.seed = mix_seed(cfg_.seed, switches_.size());
     switch_of_node_[n] = static_cast<int>(switches_.size());
+    const int cell = sharded ? hooks.plan->cell_of_switch[switches_.size()] : 0;
+    sim::Simulator& ssim = sharded ? hooks.cell_sim(cell) : sim_;
+    cell_of_switch_.push_back(cell);
+    sim_of_switch_.push_back(&ssim);
     switches_.push_back(
-        std::make_unique<FabricSwitch>(sim_, topo_.nodes()[n].name, sw_cfg));
+        std::make_unique<FabricSwitch>(ssim, topo_.nodes()[n].name, sw_cfg));
   }
   adjacency_.resize(switches_.size());
 
-  // Switch-switch ports, in arc declaration order (deterministic).
+  // Switch-switch ports, in arc declaration order (deterministic — this is
+  // also the cross-cell channel registration order, which pins the channel
+  // ids that break same-time arrival ties).
   for (const TopoArc& arc : topo_.arcs()) {
     const int from_sw = switch_of_node_[arc.from];
     const int to_sw = switch_of_node_[arc.to];
     if (from_sw < 0 || to_sw < 0) continue;  // host edges wired at attach
     FabricSwitch* next = switches_[to_sw].get();
+    const bool cross = sharded && cell_of_switch_[from_sw] != cell_of_switch_[to_sw];
     FabricSwitch::PortSink sink;
-    if (coalesced_) {
+    if (cross) {
+      // Cross-cell hop: stamp the arrival time producer-side and hand off
+      // through the epoch channel. The consumer's by-value ingress bridge
+      // re-pools the packet on its own cell, so refcounts never cross a
+      // thread. Identical in both drain modes — the propagation rides the
+      // stamped due time, never the delivery port's extra delay.
+      auto push = hooks.make_channel(cell_of_switch_[from_sw], cell_of_switch_[to_sw],
+                                     [next](const net::Packet& pkt) { next->ingress(pkt); });
+      sim::Simulator* src_sim = sim_of_switch_[from_sw];
+      const sim::Time delay = arc.delay;
+      sink = [push = std::move(push), src_sim, delay](const net::PacketRef& p) {
+        push(src_sim->now() + delay, *p);
+      };
+    } else if (coalesced_) {
       sink = [next](const net::PacketRef& p) { next->ingress(p); };
     } else {
+      sim::Simulator* hop_sim = sim_of_switch_[from_sw];
       const sim::Time delay = arc.delay;
-      sink = [this, next, delay](const net::PacketRef& p) {
-        sim_.after(delay, [next, p] { next->ingress(p); });
+      sink = [hop_sim, next, delay](const net::PacketRef& p) {
+        hop_sim->after(delay, [next, p] { next->ingress(p); });
       };
     }
-    const int port = add_switch_port(from_sw, arc, std::move(sink));
+    const int port = add_switch_port(from_sw, arc, std::move(sink), cross);
     adjacency_[from_sw].push_back({port, to_sw});
   }
 }
 
-int Fabric::add_switch_port(int switch_idx, const TopoArc& arc, FabricSwitch::PortSink sink) {
+int Fabric::add_switch_port(int switch_idx, const TopoArc& arc, FabricSwitch::PortSink sink,
+                            bool cross_cell) {
   // Coalesced drains fold the edge's propagation into the delivery event;
-  // per-packet mode relays it inside the sink instead.
-  const sim::Time extra = coalesced_ ? arc.delay : sim::Time::zero();
+  // per-packet mode relays it inside the sink instead. Cross-cell ports
+  // carry it in the channel due stamp, so neither applies.
+  const sim::Time extra =
+      (coalesced_ && !cross_cell) ? arc.delay : sim::Time::zero();
   const int port = switches_[switch_idx]->add_port(arc.link, arc.rate, std::move(sink), extra);
   edge_ports_[arc.link].push_back({switch_idx, port});
   return port;
@@ -82,7 +111,11 @@ net::Link& Fabric::attach_host(net::HostId id, const std::string& host_name, Del
   HostAttach at;
   at.node = host_node;
   at.switch_idx = sw;
-  at.uplink = std::make_unique<net::Link>(sim_, up->link, up->rate, up->delay);
+  // Hosts live on their leaf's cell: the uplink Link (and the per-packet
+  // delivery relay below) schedule on the leaf's simulator, which is sim_
+  // itself on a classic build.
+  sim::Simulator& hsim = *sim_of_switch_[sw];
+  at.uplink = std::make_unique<net::Link>(hsim, up->link, up->rate, up->delay);
   FabricSwitch* ingress_sw = switches_[sw].get();
   at.uplink->set_sink([ingress_sw](const net::PacketRef& p) { ingress_sw->ingress(p); });
 
@@ -96,8 +129,9 @@ net::Link& Fabric::attach_host(net::HostId id, const std::string& host_name, Del
     // the port (and its sink) outlive every in-flight event, and a
     // by-value copy of a std::function per packet could heap-allocate.
     const sim::Time delay = up->delay;
-    sink = [this, delay, deliver = std::move(deliver)](const net::PacketRef& p) {
-      sim_.after(delay, [&d = deliver, p] { d(p); });
+    sim::Simulator* hop_sim = &hsim;
+    sink = [hop_sim, delay, deliver = std::move(deliver)](const net::PacketRef& p) {
+      hop_sim->after(delay, [&d = deliver, p] { d(p); });
     };
   }
   // Reuse the uplink arc for port naming/rate: the reverse arc is
@@ -165,31 +199,33 @@ void Fabric::finalize() {
   }
 }
 
-bool Fabric::set_edge_down(const std::string& edge, bool down) {
-  bool found = set_edge_port_down(edge, down);
+bool Fabric::set_edge_down(const std::string& edge, bool down, int cell) {
+  bool found = set_edge_port_down(edge, down, cell);
   for (auto& [id, at] : hosts_) {
     (void)id;
     if (at.uplink && at.uplink->name() == edge) {
-      at.uplink->set_down(down);
+      if (cell < 0 || cell_of_switch_[at.switch_idx] == cell) at.uplink->set_down(down);
       found = true;
     }
   }
   return found;
 }
 
-bool Fabric::set_edge_port_down(const std::string& edge, bool down) {
+bool Fabric::set_edge_port_down(const std::string& edge, bool down, int cell) {
   auto it = edge_ports_.find(edge);
   if (it == edge_ports_.end()) return false;
   for (const SwitchPortRef& ref : it->second) {
+    if (cell >= 0 && cell_of_switch_[ref.switch_idx] != cell) continue;
     switches_[ref.switch_idx]->set_port_down(ref.port, down);
   }
   return true;
 }
 
-bool Fabric::set_edge_rate_factor(const std::string& edge, double factor) {
+bool Fabric::set_edge_rate_factor(const std::string& edge, double factor, int cell) {
   bool found = false;
   if (auto it = edge_ports_.find(edge); it != edge_ports_.end()) {
     for (const SwitchPortRef& ref : it->second) {
+      if (cell >= 0 && cell_of_switch_[ref.switch_idx] != cell) continue;
       switches_[ref.switch_idx]->set_port_rate_factor(ref.port, factor);
     }
     found = true;
@@ -197,7 +233,7 @@ bool Fabric::set_edge_rate_factor(const std::string& edge, double factor) {
   for (auto& [id, at] : hosts_) {
     (void)id;
     if (at.uplink && at.uplink->name() == edge) {
-      at.uplink->set_rate_factor(factor);
+      if (cell < 0 || cell_of_switch_[at.switch_idx] == cell) at.uplink->set_rate_factor(factor);
       found = true;
     }
   }

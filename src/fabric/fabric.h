@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "fabric/fabric_switch.h"
+#include "fabric/partition.h"
 #include "fabric/topology.h"
 #include "net/link.h"
 #include "net/packet.h"
@@ -35,6 +36,24 @@
 #include "sim/simulator.h"
 
 namespace hostcc::fabric {
+
+// Sharded-execution wiring (sim::ShardedSimulator + sim::ShardChannels).
+// When `plan` is set and has > 1 cell, each switch is built on its cell's
+// simulator (via `cell_sim`) and every cross-cell switch-switch arc sends
+// through a channel obtained from `make_channel` instead of a direct port
+// sink. All fields empty = classic single-simulator fabric.
+struct FabricShardHooks {
+  const ShardPlan* plan = nullptr;
+  // Returns the simulator that owns `cell`.
+  std::function<sim::Simulator&(int cell)> cell_sim;
+  // Registers a channel from_cell -> to_cell whose consumer-side delivery
+  // is `deliver`; returns the producer-side push(due, packet) function.
+  std::function<std::function<void(sim::Time, const net::Packet&)>(
+      int from_cell, int to_cell, std::function<void(const net::Packet&)> deliver)>
+      make_channel;
+
+  bool active() const { return plan != nullptr && plan->parallel(); }
+};
 
 class Fabric {
  public:
@@ -44,6 +63,12 @@ class Fabric {
   // every switch and switch-switch port.
   Fabric(sim::Simulator& sim, Topology topo, FabricSwitchConfig cfg,
          bool coalesced_drains = true);
+
+  // Sharded build: switches live on their cell's simulator and cross-cell
+  // arcs hand off through `hooks.make_channel`. `sim` remains the default
+  // simulator for cell 0 / fallback accessors.
+  Fabric(sim::Simulator& sim, Topology topo, FabricSwitchConfig cfg, bool coalesced_drains,
+         FabricShardHooks hooks);
 
   // Attaches a full host: an uplink net::Link (host-side serialization +
   // propagation, named after the topology edge so faults can address it)
@@ -69,9 +94,12 @@ class Fabric {
   void finalize();
 
   // --- edge-name fault surface (returns false for unknown edges) ---
-  bool set_edge_down(const std::string& edge, bool down);
-  bool set_edge_port_down(const std::string& edge, bool down);
-  bool set_edge_rate_factor(const std::string& edge, double factor);
+  // `cell` >= 0 restricts the side effects to ports/uplinks owned by that
+  // cell (sharded runs apply each fault once per cell, on the cell's own
+  // thread); the return value still reports whether the edge exists.
+  bool set_edge_down(const std::string& edge, bool down, int cell = -1);
+  bool set_edge_port_down(const std::string& edge, bool down, int cell = -1);
+  bool set_edge_rate_factor(const std::string& edge, double factor, int cell = -1);
   bool has_edge(const std::string& edge) const;
   std::vector<std::string> edge_names() const;  // sorted, for error messages
 
@@ -82,6 +110,11 @@ class Fabric {
   net::Link* uplink(net::HostId id);  // null for direct-attached hosts
   const Topology& topology() const { return topo_; }
   std::vector<net::HostId> attached_hosts() const;  // sorted
+
+  // --- shard placement (all zeros / &sim on a classic build) ---
+  int cell_of_switch(int i) const { return cell_of_switch_.at(i); }
+  int host_cell(net::HostId id) const { return cell_of_switch_.at(hosts_.at(id).switch_idx); }
+  sim::Simulator& switch_sim(int i) { return *sim_of_switch_.at(i); }
 
   // Aggregate drop/mark/occupancy totals across every switch.
   FabricSwitch::Totals totals() const;
@@ -101,7 +134,8 @@ class Fabric {
   };
 
   const TopoArc* uplink_arc_for(const std::string& host_name, int* host_node) const;
-  int add_switch_port(int switch_idx, const TopoArc& arc, FabricSwitch::PortSink sink);
+  int add_switch_port(int switch_idx, const TopoArc& arc, FabricSwitch::PortSink sink,
+                      bool cross_cell = false);
 
   sim::Simulator& sim_;
   Topology topo_;
@@ -110,6 +144,8 @@ class Fabric {
 
   std::vector<std::unique_ptr<FabricSwitch>> switches_;
   std::vector<int> switch_of_node_;  // topology node -> switches_ index or -1
+  std::vector<int> cell_of_switch_;           // switches_ index -> cell
+  std::vector<sim::Simulator*> sim_of_switch_;  // switches_ index -> owning sim
   // Per switch: (port, neighbor switch) pairs for the BFS route computation.
   std::vector<std::vector<std::pair<int, int>>> adjacency_;
   std::map<net::HostId, HostAttach> hosts_;  // sorted: deterministic iteration

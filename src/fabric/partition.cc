@@ -1,0 +1,63 @@
+#include "fabric/partition.h"
+
+namespace hostcc::fabric {
+
+ShardPlan partition_topology(const Topology& topo) {
+  ShardPlan plan;
+  const std::vector<TopoNode>& nodes = topo.nodes();
+  const std::vector<TopoArc>& arcs = topo.arcs();
+
+  // Switch order index per topology node (Fabric's switches_ order).
+  std::vector<int> switch_of_node(nodes.size(), -1);
+  int sw_count = 0;
+  for (int n : topo.switch_nodes()) switch_of_node[n] = sw_count++;
+
+  // One cell per switch.
+  plan.cells = sw_count > 0 ? sw_count : 1;
+  plan.cell_of_switch.resize(sw_count);
+  for (int i = 0; i < sw_count; ++i) plan.cell_of_switch[i] = i;
+
+  plan.cell_of_node.assign(nodes.size(), 0);
+  for (int n = 0; n < static_cast<int>(nodes.size()); ++n) {
+    if (!nodes[n].is_host) {
+      plan.cell_of_node[n] = plan.cell_of_switch[switch_of_node[n]];
+      continue;
+    }
+    // Hosts ride their uplink leaf's cell (single-homed by validation).
+    for (const TopoArc& a : arcs) {
+      if (a.from == n && a.to >= 0 && switch_of_node[a.to] >= 0) {
+        plan.cell_of_node[n] = plan.cell_of_switch[switch_of_node[a.to]];
+        break;
+      }
+    }
+  }
+
+  // Cross-cell arcs in declaration order; lookahead = min cross delay.
+  bool have_cross = false;
+  sim::Time min_delay = sim::Time::zero();
+  for (int i = 0; i < static_cast<int>(arcs.size()); ++i) {
+    const TopoArc& a = arcs[i];
+    if (a.from < 0 || a.to < 0) continue;
+    if (nodes[a.from].is_host || nodes[a.to].is_host) continue;  // intra-cell
+    const int fc = plan.cell_of_node[a.from];
+    const int tc = plan.cell_of_node[a.to];
+    if (fc == tc) continue;
+    plan.cross_arcs.push_back({i, fc, tc});
+    if (!have_cross || a.delay < min_delay) min_delay = a.delay;
+    have_cross = true;
+  }
+  plan.lookahead = have_cross ? min_delay : sim::Time::zero();
+
+  // Collapse to a single cell when no positive lookahead window exists:
+  // a zero-delay cross arc would force zero-width epochs (livelock).
+  if (plan.cells <= 1 || !have_cross || plan.lookahead <= sim::Time::zero()) {
+    plan.cells = 1;
+    for (int& c : plan.cell_of_switch) c = 0;
+    for (int& c : plan.cell_of_node) c = 0;
+    plan.cross_arcs.clear();
+    plan.lookahead = sim::Time::zero();
+  }
+  return plan;
+}
+
+}  // namespace hostcc::fabric

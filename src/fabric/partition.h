@@ -1,0 +1,57 @@
+// ShardPlan: the static partition of a fabric topology into simulation
+// cells for sim::ShardedSimulator. Each switch is its own cell and every
+// host joins its uplink leaf's cell, so the only cross-cell edges are
+// switch-switch arcs — host<->leaf traffic (uplink Link, delivery port,
+// NIC/IIO/memory models) never crosses a thread boundary.
+//
+// The conservative lookahead window is the minimum propagation delay over
+// all cross-cell arcs: a packet leaving cell A at time t cannot arrive in
+// cell B before t + lookahead, so cells may advance a full window between
+// barriers without risking a causality violation (SimBricks-style
+// link-latency synchronization).
+//
+// The plan is a pure function of the topology — it does not depend on the
+// worker count. `--shards N` only chooses how many threads execute the
+// cells, which is why run output is byte-identical for every N >= 1.
+//
+// Degenerate shapes collapse to a single cell (cells == 1, no cross arcs,
+// zero lookahead): star topologies (one switch), and any topology with a
+// zero-delay switch-switch arc, where no positive window exists.
+#pragma once
+
+#include <vector>
+
+#include "fabric/topology.h"
+#include "sim/time.h"
+
+namespace hostcc::fabric {
+
+struct ShardPlan {
+  int cells = 1;
+  sim::Time lookahead = sim::Time::zero();  // zero when cells == 1
+
+  // Switch order index (Topology::switch_nodes() order — the same order
+  // Fabric builds its switches_ vector) -> cell. Identity today; kept as a
+  // map so future plans can co-locate switches without touching callers.
+  std::vector<int> cell_of_switch;
+
+  // Topology node index -> cell. Hosts map to their uplink leaf's cell.
+  std::vector<int> cell_of_node;
+
+  // Directed switch-switch arcs whose endpoints live in different cells,
+  // in topology arc order (the deterministic channel-id assignment order).
+  struct CrossArc {
+    int arc_index = -1;  // index into Topology::arcs()
+    int from_cell = -1;
+    int to_cell = -1;
+  };
+  std::vector<CrossArc> cross_arcs;
+
+  bool parallel() const { return cells > 1; }
+};
+
+// Computes the plan for a validated topology (see file comment for the
+// partitioning rule and the collapse conditions).
+ShardPlan partition_topology(const Topology& topo);
+
+}  // namespace hostcc::fabric

@@ -59,12 +59,23 @@ class FabricInvariantChecker {
   FabricInvariantChecker(sim::Simulator& sim, fabric::Fabric& fab, FabricInvariantConfig cfg = {})
       : sim_(sim), fabric_(fab), cfg_(cfg), timer_(sim, cfg.period, [this] { check_now(); }) {}
 
+  // Switch-subset form for sharded runs: audits only the listed switch
+  // indices, so each cell runs a checker over its own switches on its own
+  // simulator (ledger reads stay on the owning thread). An empty subset
+  // means "all switches" (the whole-fabric form above).
+  FabricInvariantChecker(sim::Simulator& sim, fabric::Fabric& fab, std::vector<int> subset,
+                         FabricInvariantConfig cfg = {})
+      : sim_(sim), fabric_(fab), cfg_(cfg), subset_(std::move(subset)),
+        timer_(sim, cfg.period, [this] { check_now(); }) {}
+
   void start() { timer_.start(); }
   void stop() { timer_.stop(); }
 
   void check_now() {
     ++checks_;
-    for (int s = 0; s < fabric_.switch_count(); ++s) {
+    const int n = subset_.empty() ? fabric_.switch_count() : static_cast<int>(subset_.size());
+    for (int i = 0; i < n; ++i) {
+      const int s = subset_.empty() ? i : subset_[i];
       const fabric::FabricSwitch& sw = fabric_.switch_at(s);
       const sim::Bytes occ = sw.occupancy();
       const std::uint64_t accounted =
@@ -149,6 +160,7 @@ class FabricInvariantChecker {
   sim::Simulator& sim_;
   fabric::Fabric& fabric_;
   FabricInvariantConfig cfg_;
+  std::vector<int> subset_;  // empty = every switch
   sim::PeriodicTimer timer_;
   std::uint64_t checks_ = 0;
   std::uint64_t total_violations_ = 0;

@@ -49,6 +49,10 @@ class FaultInjector {
   // Multi-switch topologies: link/port faults with a `target_edge` resolve
   // through the fabric's edge-name surface.
   void attach_fabric(fabric::Fabric& fab) { fabric_ = &fab; }
+  // Sharded runs build one injector per cell, each armed on its cell's
+  // simulator; scoping restricts the fabric edge calls to ports/uplinks
+  // that cell owns so every side effect happens on the owning thread.
+  void set_edge_cell_scope(int cell) { edge_cell_ = cell; }
 
   const FaultPlan& plan() const { return plan_; }
   bool plan_has(FaultKind k) const {
@@ -71,17 +75,19 @@ class FaultInjector {
   std::uint64_t activations() const { return activations_; }
   std::uint64_t deactivations() const { return deactivations_; }
   std::uint64_t skipped() const { return skipped_; }
+  // Distinct (kind, target) faults currently in force.
+  double active_count() const {
+    double n = 0.0;
+    for (const auto& [key, count] : active_) n += count > 0 ? 1.0 : 0.0;
+    for (const auto& [key, count] : active_named_) n += count > 0 ? 1.0 : 0.0;
+    return n;
+  }
 
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
     reg.counter_fn(prefix + "/activations", [this] { return activations_; });
     reg.counter_fn(prefix + "/deactivations", [this] { return deactivations_; });
     reg.counter_fn(prefix + "/skipped", [this] { return skipped_; });
-    reg.gauge(prefix + "/active", [this] {
-      double n = 0.0;
-      for (const auto& [key, count] : active_) n += count > 0 ? 1.0 : 0.0;
-      for (const auto& [key, count] : active_named_) n += count > 0 ? 1.0 : 0.0;
-      return n;
-    });
+    reg.gauge(prefix + "/active", [this] { return active_count(); });
   }
 
  private:
@@ -153,11 +159,11 @@ class FaultInjector {
     if (!fabric_) return false;
     switch (ev.kind) {
       case FaultKind::kLinkDown:
-        return fabric_->set_edge_down(ev.target_edge, on);
+        return fabric_->set_edge_down(ev.target_edge, on, edge_cell_);
       case FaultKind::kLinkDegrade:
-        return fabric_->set_edge_rate_factor(ev.target_edge, on ? param : 1.0);
+        return fabric_->set_edge_rate_factor(ev.target_edge, on ? param : 1.0, edge_cell_);
       case FaultKind::kPortDown:
-        return fabric_->set_edge_port_down(ev.target_edge, on);
+        return fabric_->set_edge_port_down(ev.target_edge, on, edge_cell_);
       default:
         return false;
     }
@@ -223,6 +229,7 @@ class FaultInjector {
   net::Switch* switch_ = nullptr;
   core::SignalSampler* sampler_ = nullptr;
   fabric::Fabric* fabric_ = nullptr;
+  int edge_cell_ = -1;  // -1 = whole fabric
   std::map<std::pair<FaultKind, int>, int> active_;
   std::map<std::pair<FaultKind, std::string>, int> active_named_;
   std::uint64_t activations_ = 0;

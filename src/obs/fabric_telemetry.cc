@@ -1,5 +1,6 @@
 #include "obs/fabric_telemetry.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cinttypes>
 #include <cstdio>
@@ -15,64 +16,104 @@ void ps_to_us(char* buf, std::size_t n, std::int64_t ps) {
 }
 }  // namespace
 
-int FabricTelemetry::add_group(std::string name) {
-  groups_.push_back(std::move(name));
+int FabricTelemetry::add_group(std::string name, int domain) {
+  assert(domain >= 0 && "negative telemetry domain");
+  groups_.push_back({std::move(name), domain});
   return static_cast<int>(groups_.size());  // 1-based pid
 }
 
 void FabricTelemetry::add_series(int pid, std::string name,
                                  std::function<std::int64_t()> sample) {
   assert(pid >= 1 && pid <= static_cast<int>(groups_.size()) && "unknown telemetry group");
-  assert(!timer_ && "add_series after start()");
-  series_.push_back({pid, std::move(name), std::move(sample)});
+  assert(!started_ && "add_series after start()");
+  series_.push_back({pid, std::move(name), std::move(sample), 0, 0});
   high_water_.push_back(0);
 }
 
-void FabricTelemetry::start(sim::Simulator& sim) {
-  if (timer_) return;
-  sim_ = &sim;
-  timer_ = std::make_unique<sim::PeriodicTimer>(sim, cfg_.sample_period, [this] { tick(); });
-  timer_->start();
+void FabricTelemetry::start(sim::Simulator& sim) { start_multi({&sim}); }
+
+void FabricTelemetry::start_multi(const std::vector<sim::Simulator*>& sims) {
+  if (started_) return;
+  started_ = true;
+  domains_.resize(sims.size());
+  for (std::size_t d = 0; d < sims.size(); ++d) domains_[d].sim = sims[d];
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    Series& s = series_[i];
+    s.domain = groups_[s.pid - 1].domain;
+    assert(s.domain < static_cast<int>(domains_.size()) && "series domain has no simulator");
+    Domain& dom = domains_[s.domain];
+    s.col = static_cast<int>(dom.series.size());
+    dom.series.push_back(i);
+  }
+  // One lane per domain, all on the same cadence starting at t=0: frame i
+  // of every domain carries the same timestamp (the zip invariant).
+  for (Domain& dom : domains_) {
+    Domain* dp = &dom;
+    dom.timer = std::make_unique<sim::PeriodicTimer>(
+        *dom.sim, cfg_.sample_period, [this, dp] { sample_domain(*dp, dp->sim->now()); });
+    dom.timer->start();
+  }
 }
 
 void FabricTelemetry::stop() {
-  if (timer_) timer_->stop();
+  for (Domain& dom : domains_) {
+    if (dom.timer) dom.timer->stop();
+  }
 }
 
-void FabricTelemetry::tick() { sample_now(sim_->now()); }
-
 void FabricTelemetry::sample_now(sim::Time now) {
+  for (Domain& dom : domains_) sample_domain(dom, now);
+}
+
+void FabricTelemetry::sample_domain(Domain& dom, sim::Time now) {
   Frame* f;
-  if (frames_.size() < cfg_.max_frames) {
-    f = &frames_.emplace_back();
+  if (dom.frames.size() < cfg_.max_frames) {
+    f = &dom.frames.emplace_back();
   } else {
     // Ring full: overwrite the oldest frame in place (its values vector
     // keeps its capacity — steady-state sampling allocates nothing).
-    f = &frames_[head_];
-    head_ = (head_ + 1) % frames_.size();
-    ++frames_dropped_;
+    f = &dom.frames[dom.head];
+    dom.head = (dom.head + 1) % dom.frames.size();
+    ++dom.dropped;
   }
   f->ts_ps = now.ps();
-  f->values.resize(series_.size());
-  for (std::size_t i = 0; i < series_.size(); ++i) {
-    const std::int64_t v = series_[i].sample();
-    f->values[i] = v;
-    if (v > high_water_[i]) high_water_[i] = v;
+  f->values.resize(dom.series.size());
+  for (std::size_t j = 0; j < dom.series.size(); ++j) {
+    const std::size_t gi = dom.series[j];
+    const std::int64_t v = series_[gi].sample();
+    f->values[j] = v;
+    // high_water_ elements are owned by exactly one domain each —
+    // cross-thread writes never touch the same slot.
+    if (v > high_water_[gi]) high_water_[gi] = v;
   }
-  ++frames_sampled_;
+  ++dom.sampled;
+}
+
+std::uint64_t FabricTelemetry::frames_sampled() const {
+  return domains_.empty() ? 0 : domains_[0].sampled;
+}
+
+std::uint64_t FabricTelemetry::frames_dropped() const {
+  return domains_.empty() ? 0 : domains_[0].dropped;
+}
+
+std::size_t FabricTelemetry::frames_retained() const {
+  return domains_.empty() ? 0 : domains_[0].frames.size();
 }
 
 void FabricTelemetry::write_csv(std::ostream& os) const {
   os << "time_us";
-  for (const auto& s : series_) os << ',' << groups_[s.pid - 1] << '/' << s.name;
+  for (const auto& s : series_) os << ',' << groups_[s.pid - 1].name << '/' << s.name;
   os << '\n';
+  if (domains_.empty()) return;
+  std::size_t n = domains_[0].frames.size();
+  for (const Domain& dom : domains_) n = std::min(n, dom.frames.size());
   char ts[40], num[32];
-  const std::size_t n = frames_.size();
   for (std::size_t i = 0; i < n; ++i) {
-    const Frame& f = frames_[(head_ + i) % n];
-    ps_to_us(ts, sizeof(ts), f.ts_ps);
+    ps_to_us(ts, sizeof(ts), frame_at(domains_[0], i).ts_ps);
     os << ts;
-    for (const std::int64_t v : f.values) {
+    for (const Series& s : series_) {
+      const std::int64_t v = frame_at(domains_[s.domain], i).values[s.col];
       std::snprintf(num, sizeof(num), ",%" PRId64, v);
       os << num;
     }
@@ -86,18 +127,22 @@ void FabricTelemetry::write_chrome_json(std::ostream& os) const {
   for (std::size_t g = 0; g < groups_.size(); ++g) {
     os << (first ? "" : ",\n") << "{\"ph\":\"M\",\"pid\":" << (g + 1)
        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
-       << json_escape(groups_[g]) << "\"}}";
+       << json_escape(groups_[g].name) << "\"}}";
     first = false;
   }
   char ts[40], line[64];
-  const std::size_t n = frames_.size();
+  std::size_t n = 0;
+  if (!domains_.empty()) {
+    n = domains_[0].frames.size();
+    for (const Domain& dom : domains_) n = std::min(n, dom.frames.size());
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    const Frame& f = frames_[(head_ + i) % n];
-    ps_to_us(ts, sizeof(ts), f.ts_ps);
+    ps_to_us(ts, sizeof(ts), frame_at(domains_[0], i).ts_ps);
     for (std::size_t s = 0; s < series_.size(); ++s) {
       os << ",\n{\"ph\":\"C\",\"pid\":" << series_[s].pid << ",\"tid\":0,\"name\":\""
          << json_escape(series_[s].name) << "\",\"ts\":" << ts << ",\"args\":{\"value\":";
-      std::snprintf(line, sizeof(line), "%" PRId64 "}}", f.values[s]);
+      std::snprintf(line, sizeof(line), "%" PRId64 "}}",
+                    frame_at(domains_[series_[s].domain], i).values[series_[s].col]);
       os << line;
     }
   }

@@ -10,10 +10,20 @@
 // pid/tid layout stable for a given topology: the same run opens
 // identically in chrome://tracing every time.
 //
+// Sampling domains: a sharded run (sim::ShardedSimulator) splits state
+// across per-cell simulators whose samplers must run on the owning cell's
+// thread. Each group therefore belongs to a domain (default 0); at
+// start_multi() every domain gets its own periodic lane on its own
+// simulator, all on the same cadence, so the per-domain frame rings stay
+// index-aligned (frame i of every domain carries the same timestamp).
+// Exports zip frames by index across domains back into the exact wide
+// rows a single-domain run produces — the CSV/trace bytes depend only on
+// the registration order, never on domain count or thread schedule.
+//
 // Samples are (sim time, int64 values): exported CSV and Chrome counter
-// tracks are byte-identical across fixed-seed runs. The ring keeps the
-// most recent `max_frames` samples (oldest overwritten, counted in
-// frames_dropped()); per-series high-water marks cover the whole run
+// tracks are byte-identical across fixed-seed runs. Each domain's ring
+// keeps the most recent `max_frames` samples (oldest overwritten, counted
+// in frames_dropped()); per-series high-water marks cover the whole run
 // regardless of ring evictions.
 #pragma once
 
@@ -31,35 +41,41 @@ namespace hostcc::obs {
 
 struct FabricTelemetryConfig {
   sim::Time sample_period = sim::Time::microseconds(5);
-  std::size_t max_frames = 1u << 14;  // ring capacity (frames, not values)
+  std::size_t max_frames = 1u << 14;  // per-domain ring capacity (frames)
 };
 
 class FabricTelemetry {
  public:
   explicit FabricTelemetry(FabricTelemetryConfig cfg = {}) : cfg_(cfg) {}
 
-  // --- registration (before start()) ---
+  // --- registration (before start()/start_multi()) ---
   // Returns the group's Chrome-trace pid (1-based, registration order).
-  int add_group(std::string name);
+  // `domain` indexes the simulator passed to start_multi() whose thread
+  // owns this group's samplers (always 0 for single-simulator runs).
+  int add_group(std::string name, int domain = 0);
   void add_series(int pid, std::string name, std::function<std::int64_t()> sample);
 
-  // Begins periodic sampling on `sim`. Idempotent per telemetry object.
+  // Begins periodic sampling on `sim` (single domain 0). Idempotent.
   void start(sim::Simulator& sim);
+  // Sharded form: sims[d] drives domain d's sampling lane.
+  void start_multi(const std::vector<sim::Simulator*>& sims);
   void stop();
-  // Takes one sample immediately (used for a final sample at run end).
+  // Takes one sample of every domain immediately (used for a final sample
+  // at run end, when all cells sit at the same time, single-threaded).
   void sample_now(sim::Time now);
 
-  // --- results ---
+  // --- results (frame counts are per domain and identical across
+  //     domains; domain 0 is the canonical one) ---
   std::size_t group_count() const { return groups_.size(); }
   std::size_t series_count() const { return series_.size(); }
-  std::uint64_t frames_sampled() const { return frames_sampled_; }
-  std::uint64_t frames_dropped() const { return frames_dropped_; }
-  std::size_t frames_retained() const { return frames_.size(); }
+  std::uint64_t frames_sampled() const;
+  std::uint64_t frames_dropped() const;
+  std::size_t frames_retained() const;
   // Whole-run high-water mark of series `i` (registration order).
   std::int64_t high_water(std::size_t i) const { return high_water_[i]; }
   const std::string& series_name(std::size_t i) const { return series_[i].name; }
   int series_pid(std::size_t i) const { return series_[i].pid; }
-  const std::string& group_name(int pid) const { return groups_[pid - 1]; }
+  const std::string& group_name(int pid) const { return groups_[pid - 1].name; }
 
   // Wide CSV: time_us,<group/series>,... one row per retained frame,
   // oldest first.
@@ -69,28 +85,42 @@ class FabricTelemetry {
   void write_chrome_json(std::ostream& os) const;
 
  private:
+  struct Group {
+    std::string name;
+    int domain = 0;
+  };
   struct Series {
     int pid = 0;
     std::string name;
     std::function<std::int64_t()> sample;
+    int domain = 0;  // assigned at start from the group
+    int col = 0;     // column within the domain's frames
   };
   struct Frame {
     std::int64_t ts_ps = 0;
     std::vector<std::int64_t> values;
   };
+  struct Domain {
+    sim::Simulator* sim = nullptr;
+    std::unique_ptr<sim::PeriodicTimer> timer;
+    std::vector<std::size_t> series;  // global indices, registration order
+    std::vector<Frame> frames;        // ring once full; head = oldest
+    std::size_t head = 0;
+    std::uint64_t sampled = 0;
+    std::uint64_t dropped = 0;
+  };
 
-  void tick();
+  void sample_domain(Domain& dom, sim::Time now);
+  const Frame& frame_at(const Domain& dom, std::size_t i) const {
+    return dom.frames[(dom.head + i) % dom.frames.size()];
+  }
 
   FabricTelemetryConfig cfg_;
-  std::vector<std::string> groups_;
+  std::vector<Group> groups_;
   std::vector<Series> series_;
-  std::vector<Frame> frames_;  // ring once full; head_ = oldest
-  std::size_t head_ = 0;
+  std::vector<Domain> domains_;  // built at start; empty before
   std::vector<std::int64_t> high_water_;
-  std::uint64_t frames_sampled_ = 0;
-  std::uint64_t frames_dropped_ = 0;
-  std::unique_ptr<sim::PeriodicTimer> timer_;
-  sim::Simulator* sim_ = nullptr;
+  bool started_ = false;
 };
 
 }  // namespace hostcc::obs

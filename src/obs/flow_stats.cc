@@ -75,6 +75,33 @@ void FlowStats::episode_abandoned(net::FlowId flow, net::HostId src) {
   rec(flow, src).episode_start = sim::Time::max();
 }
 
+void FlowStats::merge_from(const FlowStats& other) {
+  for (const auto& [k, o] : other.flows_) {
+    Record& r = flows_[k];
+    r.first_start = std::min(r.first_start, o.first_start);
+    r.first_byte = std::min(r.first_byte, o.first_byte);
+    r.last_completion = std::max(r.last_completion, o.last_completion);
+    r.episodes_started += o.episodes_started;
+    r.episodes_completed += o.episodes_completed;
+    r.bytes_completed += o.bytes_completed;
+    r.bytes_delivered += o.bytes_delivered;
+    r.bytes_retransmitted += o.bytes_retransmitted;
+    // An open episode lives in exactly one cell (the sender's).
+    r.episode_start = std::min(r.episode_start, o.episode_start);
+  }
+  fct_.merge(other.fct_);
+  slowdown_.merge(other.slowdown_);
+  for (const auto& [lg, osb] : other.by_size_) {
+    SizeBucket& sb = by_size_[lg];
+    sb.fct.merge(osb.fct);
+    sb.slowdown_milli.merge(osb.slowdown_milli);
+    sb.bytes += osb.bytes;
+    sb.episodes += osb.episodes;
+  }
+  started_ += other.started_;
+  completed_ += other.completed_;
+}
+
 void FlowStats::reset_window() {
   fct_.reset();
   slowdown_.reset();

@@ -84,6 +84,13 @@ class FlowStats {
     std::uint64_t episodes = 0;
   };
 
+  // Folds another FlowStats into this one. Sharded runs keep one FlowStats
+  // per cell (sender-side hooks fire on the sender's cell, delivery hooks
+  // on the destination's), so a (flow, src) record can exist in several
+  // cells with disjoint fields populated; the merge is field-wise
+  // min/max/sum and is order-independent for such disjoint records.
+  void merge_from(const FlowStats& other);
+
   // CSV: one row per (flow, src), key-sorted — deterministic.
   void write_csv(std::ostream& os) const;
   // JSON object: {"episodes":N,"fct_p50_us":...,"by_size":[...]} — appended

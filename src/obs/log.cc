@@ -32,6 +32,7 @@ void Logger::write(LogLevel lvl, sim::Time now, const char* component, const cha
   va_start(ap, fmt);
   std::vsnprintf(msg, sizeof(msg), fmt, ap);
   va_end(ap);
+  std::lock_guard<std::mutex> lk(mu_);
   std::fprintf(sink_, "[%12.3fus] %-5s %s: %s\n", now.us(), level_name(lvl), component, msg);
   ++lines_;
 }

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 
 #include "sim/time.h"
 
@@ -40,6 +41,9 @@ class Logger {
   LogLevel level_ = LogLevel::kOff;
   std::FILE* sink_ = stderr;
   std::uint64_t lines_ = 0;
+  // Sharded runs log from per-cell worker threads; the enabled() check on
+  // the hot path stays lock-free, only actual writes serialize.
+  std::mutex mu_;
 };
 
 // The process-wide logger instance used by OBS_LOG.

@@ -1,5 +1,6 @@
 #include "obs/profiler.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <ostream>
@@ -21,6 +22,18 @@ void SimProfiler::start_depth_timeline(sim::Simulator& sim, sim::Time period) {
     depth_.push_back({sim.now().ps(), sim.pending_events(), sim.events_executed()});
   });
   depth_timer_->start();
+}
+
+void SimProfiler::merge_from(const SimProfiler& other) {
+  for (const auto& t : other.tags_) {
+    TagStats& mine = tags_[static_cast<std::size_t>(handle(t.name).tag)];
+    mine.scopes += t.scopes;
+    mine.total_ns += t.total_ns;
+    mine.self_ns += t.self_ns;
+  }
+  depth_.insert(depth_.end(), other.depth_.begin(), other.depth_.end());
+  std::stable_sort(depth_.begin(), depth_.end(),
+                   [](const DepthSample& a, const DepthSample& b) { return a.ts_ps < b.ts_ps; });
 }
 
 void SimProfiler::write_report(std::ostream& os) const {

@@ -62,6 +62,12 @@ class SimProfiler {
   const std::vector<TagStats>& tags() const { return tags_; }
   const std::vector<DepthSample>& depth_timeline() const { return depth_; }
 
+  // Folds another profiler's counters into this one: tags matched by name
+  // (summing scopes and wall time), depth samples appended and re-sorted
+  // by sim time. Used to aggregate sharded runs' per-cell profilers into
+  // one report.
+  void merge_from(const SimProfiler& other);
+
   // Human-readable report: per-tag scope counts, total/self wall time and
   // shares, then the depth timeline. Wall-clock fields vary run to run.
   void write_report(std::ostream& os) const;

@@ -1,0 +1,88 @@
+// ShardedSimulator: runs one logical simulation as N per-cell event loops
+// (sim::Simulator instances) advancing in lockstep under a conservative
+// lookahead window L. Time is divided into the absolute epoch grid
+// [k*L, (k+1)*L); within an epoch every cell runs independently (its
+// inbound cross-cell traffic for the epoch was fully published before the
+// epoch began), and a barrier separates consecutive epochs.
+//
+// The per-epoch hook fires on the cell's worker thread at its FIRST entry
+// into each epoch, before any of the cell's events in that epoch execute —
+// this is where ShardChannels::begin_epoch drains and schedules the
+// epoch's cross-cell arrivals. run_until() may stop mid-epoch (warmup /
+// measurement boundaries); resuming the same epoch later does not re-fire
+// the hook.
+//
+// Workers: cells are distributed round-robin over min(workers, cells)
+// threads; the calling thread doubles as worker 0. With workers <= 1 the
+// epoch loop runs serially on the caller — same hook sequence, same
+// per-cell event order, byte-identical output (worker count is pure
+// execution policy, never schedule policy). Exceptions from any cell are
+// captured and the lowest-worker-index one rethrown after all threads
+// joined.
+//
+// Degenerate runs (1 cell, or zero lookahead) bypass the epoch machinery
+// entirely: one run_until on cell 0, no hook calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace hostcc::sim {
+
+class ShardedSimulator {
+ public:
+  using EpochHook = std::function<void(int cell, std::int64_t epoch, Time window_end)>;
+
+  // `workers` <= 0 selects std::thread::hardware_concurrency(); the count
+  // is clamped to the cell count either way.
+  ShardedSimulator(int cells, Time lookahead, int workers);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  Simulator& cell(int i) { return *cells_[i]; }
+  const Simulator& cell(int i) const { return *cells_[i]; }
+  int cell_count() const { return static_cast<int>(cells_.size()); }
+  int workers() const { return workers_; }
+  Time lookahead() const { return lookahead_; }
+
+  void set_epoch_hook(EpochHook hook) { hook_ = std::move(hook); }
+
+  // Advances every cell to `deadline` (global position; all cells end at
+  // the same sim time).
+  void run_until(Time deadline);
+  Time now() const { return now_; }
+
+  // Sum of per-cell executed events — independent of the worker count.
+  std::uint64_t events_executed() const;
+  // Epoch windows entered by the parallel loop (0 on degenerate runs).
+  std::uint64_t epochs_entered() const { return epochs_entered_; }
+
+  // Per-cell wall-clock spent inside run_until (profiling only; excluded
+  // from the determinism contract like every other wall-clock figure).
+  double cell_wall_ms(int i) const { return static_cast<double>(wall_ns_[i]) * 1e-6; }
+  double max_cell_wall_ms() const;
+
+ private:
+  void step_cell(int c, std::int64_t epoch, Time seg_end, Time window_end);
+  void run_epochs_serial(Time deadline);
+  void run_epochs_parallel(Time deadline);
+
+  std::vector<std::unique_ptr<Simulator>> cells_;
+  Time lookahead_;
+  int workers_;
+  EpochHook hook_;
+
+  Time now_ = Time::zero();
+  std::vector<std::int64_t> cell_epoch_;  // last epoch each cell entered
+  std::vector<std::int64_t> wall_ns_;
+  std::uint64_t epochs_entered_ = 0;
+};
+
+}  // namespace hostcc::sim

@@ -27,10 +27,19 @@ namespace hostcc::sim {
 class SweepRunner {
  public:
   // jobs <= 0 selects the hardware concurrency; jobs == 1 runs inline.
-  explicit SweepRunner(int jobs = 1) {
-    if (jobs <= 0) {
-      const unsigned hw = std::thread::hardware_concurrency();
-      jobs = hw == 0 ? 1 : static_cast<int>(hw);
+  //
+  // `shards_per_task` > 1 declares that each task itself runs a sharded
+  // simulation on that many worker threads (exp::FabricScenarioConfig::
+  // shards). The runner then caps jobs so jobs * shards_per_task does not
+  // oversubscribe the hardware: total worker threads stay within
+  // hardware_concurrency (never below one job). The cap changes wall
+  // clock only — task results are index-addressed either way.
+  explicit SweepRunner(int jobs = 1, int shards_per_task = 1) {
+    const unsigned hw_raw = std::thread::hardware_concurrency();
+    const int hw = hw_raw == 0 ? 1 : static_cast<int>(hw_raw);
+    if (jobs <= 0) jobs = hw;
+    if (shards_per_task > 1) {
+      jobs = std::min(jobs, std::max(1, hw / shards_per_task));
     }
     jobs_ = jobs;
   }

@@ -77,6 +77,26 @@ TEST(SweepRunnerTest, ZeroJobsSelectsHardwareConcurrency) {
   EXPECT_EQ(SweepRunner().jobs(), 1);
 }
 
+TEST(SweepRunnerTest, ShardsPerTaskCapsTotalWorkerThreads) {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const int hw = hw_raw == 0 ? 1 : static_cast<int>(hw_raw);
+  // jobs * shards_per_task never exceeds the hardware concurrency (but at
+  // least one job always runs, even when a single sharded task already
+  // saturates the machine).
+  for (const int shards : {2, 4, 8, 64}) {
+    const int capped = SweepRunner(0, shards).jobs();
+    EXPECT_GE(capped, 1) << shards;
+    EXPECT_LE(capped, std::max(1, hw / shards)) << shards;
+  }
+  // Explicit small job counts are left alone when they already fit.
+  if (hw >= 2) {
+    EXPECT_EQ(SweepRunner(1, 2).jobs(), 1);
+  }
+  // shards_per_task <= 1 is the classic unsharded behaviour.
+  EXPECT_EQ(SweepRunner(3, 1).jobs(), 3);
+  EXPECT_EQ(SweepRunner(3, 0).jobs(), 3);
+}
+
 TEST(SweepRunnerTest, EmptyTaskListReturnsEmpty) {
   EXPECT_TRUE(SweepRunner(4).run(std::vector<std::function<int()>>{}).empty());
 }

@@ -37,8 +37,8 @@ from pathlib import Path
 DEFAULT_FILTER = (
     "BM_EventQueuePushPop$|BM_EventCancellation|BM_EventQueuePushPopRefCapture|"
     "BM_SimulatorTimerChurn|BM_EwmaAdd|BM_HistogramRecord|BM_MemControllerQuantum|"
-    "BM_ScenarioPacketsPerSecond|BM_FabricHostScaling|BM_HostDatapathTracer|"
-    "BM_ScenarioProfilerOverhead"
+    "BM_ScenarioPacketsPerSecond|BM_FabricHostScaling|BM_FabricShardScaling|"
+    "BM_HostDatapathTracer|BM_ScenarioProfilerOverhead"
 )
 
 # In-process ratio gates: (probe, reference, floor). These acceptance

@@ -76,6 +76,9 @@ namespace {
                "  --topology SPEC     rack-scale fabric run; SPEC is star:<n>,\n"
                "                      leaf-spine:<l>x<h>[x<s>], or fat-tree:<k>\n"
                "  --hosts N           participating hosts (0 = all in topology)\n"
+               "  --shards N          fabric mode: sharded parallel run on N\n"
+               "                      worker threads (0 = classic single loop;\n"
+               "                      output byte-identical for every N >= 1)\n"
                "  --pattern NAME      incast | all-to-all                [incast]\n"
                "  --flows-per-pair N  long flows per (sender, dest) pair [2]\n"
                "  --fabric-buffer N   switch shared-buffer size in KiB  [2048]\n"
@@ -150,9 +153,9 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const ExportPaths& pat
   if (!paths.metrics.empty() &&
       !export_to(paths.metrics, [&](std::ostream& out) {
         if (wants_json(paths.metrics)) {
-          fs.metrics().write_json(out, fs.simulator().now());
+          fs.metrics().write_json(out, fs.now());
         } else {
-          fs.metrics().write_csv(out, fs.simulator().now());
+          fs.metrics().write_csv(out, fs.now());
         }
       })) {
     return 1;
@@ -193,15 +196,26 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const ExportPaths& pat
     std::printf("  \"meta\": {\n");
     std::printf("    \"seed\": %llu,\n", static_cast<unsigned long long>(cfg.host.seed));
     std::printf("    \"events_executed\": %llu,\n",
-                static_cast<unsigned long long>(fs.simulator().events_executed()));
+                static_cast<unsigned long long>(fs.events_executed()));
     std::printf("    \"log_lines\": %llu,\n",
                 static_cast<unsigned long long>(obs::logger().lines_written()));
     if (cfg.telemetry) {
       std::printf("    \"telemetry_frames\": %llu,\n",
                   static_cast<unsigned long long>(fs.telemetry().frames_sampled()));
     }
+    if (fs.sharded()) {
+      // Worker count and wall clocks vary run to run / machine to machine;
+      // tools/run_diff.py skips these fields when diffing against an
+      // unsharded run. cells/lookahead are deterministic topology facts.
+      std::printf("    \"shards\": %d,\n", fs.engine()->workers());
+      std::printf("    \"cells\": %d,\n", fs.engine()->cell_count());
+      std::printf("    \"lookahead_us\": %.3f,\n", fs.engine()->lookahead().us());
+      std::printf("    \"epochs\": %llu,\n",
+                  static_cast<unsigned long long>(fs.engine()->epochs_entered()));
+      std::printf("    \"shard_wall_ms\": %.1f,\n", fs.engine()->max_cell_wall_ms());
+    }
     std::printf("    \"wall_ms\": %.1f,\n", wall_ms);
-    std::printf("    \"sim_us\": %.1f,\n", fs.simulator().now().us());
+    std::printf("    \"sim_us\": %.1f,\n", fs.now().us());
     std::printf("    \"config\": {\"topology\": \"%s\", \"hosts\": %d, \"switches\": %d, "
                 "\"pattern\": \"%s\", \"flows_per_pair\": %d, \"degree\": %.2f, "
                 "\"hostcc\": %s, \"warmup_ms\": %.1f, \"measure_ms\": %.1f}\n",
@@ -267,6 +281,7 @@ int run_cli(int argc, char** argv) {
   ExportPaths paths;
   std::string topology;
   int fabric_hosts = 0;
+  int fabric_shards = 0;
   int flows_per_pair = 2;
   int fabric_buffer_kib = 0;  // 0 = FabricSwitchConfig default
   bool all_to_all = false;
@@ -324,6 +339,8 @@ int run_cli(int argc, char** argv) {
       topology = str_arg(argc, argv, i);
     } else if (a == "--hosts") {
       fabric_hosts = static_cast<int>(num_arg(argc, argv, i));
+    } else if (a == "--shards") {
+      fabric_shards = static_cast<int>(num_arg(argc, argv, i));
     } else if (a == "--pattern") {
       const std::string name = str_arg(argc, argv, i);
       if (name == "incast") {
@@ -381,6 +398,7 @@ int run_cli(int argc, char** argv) {
     exp::FabricScenarioConfig fcfg;
     fcfg.topology = topology;
     fcfg.hosts = fabric_hosts;
+    fcfg.shards = fabric_shards;
     fcfg.host = cfg.host;
     fcfg.transport = cfg.transport;
     fcfg.traffic = all_to_all ? exp::FabricTraffic::kAllToAll : exp::FabricTraffic::kIncast;

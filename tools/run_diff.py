@@ -4,8 +4,12 @@
 Works on any JSON the repo's runners emit — `hostcc_sim --json`,
 `hostcc_sim --topology ... --json`, and `fig13x_fabric --json` — by
 flattening every numeric field to a dotted path (lists get [i] indices)
-and comparing A vs B field by field. Wall-clock fields (*wall_ms*) are
+and comparing A vs B field by field. Wall-clock fields (*wall_ms*,
+including the sharded runner's per-shard meta.shard_wall_ms) are
 skipped: they are the one deliberately non-deterministic part of a run.
+Sharded-execution policy fields (meta.shards/cells/lookahead_us/epochs)
+are skipped too — --shards N is pure execution policy, so a legacy run
+and a sharded run of the same config should diff clean on physics.
 
 By default only changed fields are printed; fields whose relative change
 exceeds --tolerance are flagged and make the exit status non-zero, so the
@@ -41,11 +45,15 @@ def flatten(node, path=""):
         yield path, float(node)
 
 
+# Execution-policy metadata emitted only by sharded runs; not physics.
+SHARD_META_KEYS = {"meta.shards", "meta.cells", "meta.lookahead_us", "meta.epochs"}
+
+
 def load_fields(path, pattern):
     doc = json.loads(Path(path).read_text())
     fields = {}
     for key, value in flatten(doc):
-        if "wall_ms" in key:
+        if "wall_ms" in key or key in SHARD_META_KEYS:
             continue
         if pattern and not pattern.search(key):
             continue
