@@ -54,6 +54,9 @@ std::vector<std::string> validate(const FabricScenarioConfig& cfg,
   if (cfg.flow_stagger < sim::Time::zero()) {
     errs.push_back("fabric_scenario.flow_stagger must be >= 0");
   }
+  if (cfg.storm_breaker && !cfg.lossless && !cfg.fabric.pfc_enabled) {
+    errs.push_back("fabric_scenario.storm_breaker requires lossless mode (--lossless)");
+  }
   if (topo) {
     const int avail = topo->host_count();
     if (cfg.hosts < 0 || cfg.hosts > avail) {
@@ -76,8 +79,19 @@ std::vector<std::string> validate(const FabricScenarioConfig& cfg,
         }
       }
       if (!found) {
+        // List the topology's edge names so a typo'd plan is fixable from
+        // the error alone (arc pairs share a link name; dedupe).
+        std::string known;
+        std::vector<std::string> seen;
+        for (const fabric::TopoArc& a : topo->arcs()) {
+          if (std::find(seen.begin(), seen.end(), a.link) != seen.end()) continue;
+          seen.push_back(a.link);
+          if (!known.empty()) known += ", ";
+          known += a.link;
+        }
         errs.push_back(std::string("fault ") + faults::fault_kind_name(ev.kind) + ": edge '" +
-                       ev.target_edge + "' does not exist in topology '" + cfg.topology + "'");
+                       ev.target_edge + "' does not exist in topology '" + cfg.topology +
+                       "' (known edges: " + known + ")");
       }
     }
   }
@@ -106,6 +120,13 @@ void FabricScenario::build() {
   if (const char* mode = std::getenv("HOSTCC_DRAIN_MODE")) {
     coalesced = std::string_view(mode) != "per_packet";
   }
+
+  // Lossless mode and switch PFC are one knob viewed from two layers:
+  // cfg.lossless turns on the switches' PFC machinery, and setting
+  // fabric.pfc_enabled directly gets the scenario-level wiring (NIC
+  // watermarks, pause ledger, deep invariants) too.
+  if (cfg_.fabric.pfc_enabled) cfg_.lossless = true;
+  if (cfg_.lossless) cfg_.fabric.pfc_enabled = true;
 
   const std::vector<int> host_nodes = topo->host_nodes();
   const int n_hosts = cfg_.hosts > 0 ? cfg_.hosts : static_cast<int>(host_nodes.size());
@@ -193,11 +214,37 @@ void FabricScenario::build() {
         id, name, [hp](const net::PacketRef& p) { hp->receive_from_wire(p); });
     up.set_on_dequeue([hp](const net::Packet& p) { hp->wire_dequeued(p); });
     hp->set_egress([lnk = &up](const net::PacketRef& p) { lnk->send(p); });
+    if (cfg_.lossless) {
+      // Watermark-driven host backpressure: ask the leaf to pause the
+      // delivery port at half the RX SRAM, resume at a quarter. With the
+      // leaf's headroom annex absorbing the reaction gap, the NIC buffer
+      // stops being the lossy element — host congestion propagates
+      // upstream as pause instead of dropping here.
+      fabric::Fabric* fab = fabric_.get();
+      const sim::Bytes buf = hc.nic_rx_buffer_bytes;
+      hp->nic().set_pfc(buf / 2, buf / 4,
+                        [fab, id](bool on) { fab->host_pause_request(id, 0, on); });
+    }
 
     hosts_.push_back(std::move(h));
     stacks_.push_back(std::move(stack));
   }
   fabric_->finalize();
+
+  // Fabric-wide pause accounting: one ledger per cell when parallel (each
+  // touched only by its owning thread), a single one otherwise; folded
+  // into pause_ledger_ by run_measure().
+  if (cfg_.lossless) {
+    if (sharded() && plan_.parallel()) {
+      for (int c = 0; c < ncells; ++c) {
+        cell_ledgers_.push_back(std::make_unique<fabric::PauseLedger>());
+        fabric_->set_pause_ledger(cell_ledgers_.back().get(), c);
+      }
+    } else {
+      cell_ledgers_.push_back(std::make_unique<fabric::PauseLedger>());
+      fabric_->set_pause_ledger(cell_ledgers_.back().get());
+    }
+  }
 
   // Long flows: one ThroughputApp per (sender, destination) pair with
   // globally unique flow ids.
@@ -251,9 +298,15 @@ void FabricScenario::build() {
       host_checkers_.push_back(std::make_unique<faults::InvariantChecker>(*h));
       host_checkers_.back()->start();
     }
+    faults::FabricInvariantConfig icfg;
+    icfg.storm_breaker = cfg_.storm_breaker;
     if (sharded() && plan_.parallel()) {
       // One checker per cell over that cell's switches, on the cell's own
-      // loop: every ledger read stays on the owning thread.
+      // loop: every ledger read stays on the owning thread. The deep
+      // whole-fabric sweeps (dangling XOFF, deadlock cycles) read every
+      // cell's pause state, so they are deferred to the quiesced
+      // measurement boundary in run_measure().
+      icfg.deep_periodic = false;
       for (int c = 0; c < ncells; ++c) {
         std::vector<int> subset;
         for (int s = 0; s < fabric_->switch_count(); ++s) {
@@ -261,12 +314,12 @@ void FabricScenario::build() {
         }
         if (subset.empty()) continue;
         fabric_checkers_.push_back(std::make_unique<faults::FabricInvariantChecker>(
-            engine_->cell(c), *fabric_, std::move(subset)));
+            engine_->cell(c), *fabric_, std::move(subset), icfg));
         fabric_checkers_.back()->start();
       }
     } else {
       fabric_checkers_.push_back(
-          std::make_unique<faults::FabricInvariantChecker>(cell_sim(0), *fabric_));
+          std::make_unique<faults::FabricInvariantChecker>(cell_sim(0), *fabric_, icfg));
       fabric_checkers_.back()->start();
     }
   }
@@ -386,6 +439,15 @@ void FabricScenario::build() {
       const int pid = telemetry_.add_group(sw->name(), sharded() ? fabric_->cell_of_switch(s) : 0);
       telemetry_.add_series(pid, "occupancy_bytes",
                             [sw] { return static_cast<std::int64_t>(sw->occupancy()); });
+      if (cfg_.lossless) {
+        // Lossless-only series (legacy exports stay byte-identical).
+        telemetry_.add_series(pid, "pfc_paused_ports", [sw] {
+          return static_cast<std::int64_t>(sw->paused_port_count());
+        });
+        telemetry_.add_series(pid, "pfc_xoffs_sent", [sw] {
+          return static_cast<std::int64_t>(sw->pfc_xoffs_sent());
+        });
+      }
       for (int p = 0; p < sw->port_count(); ++p) {
         const std::string& pn = sw->port_name(p);
         telemetry_.add_series(pid, pn + "/queue_bytes", [sw, p] {
@@ -475,6 +537,13 @@ void FabricScenario::run_warmup() {
 
 void FabricScenario::mark_measurement_start() {
   const sim::Time mark = now();
+  // Sharded parallel lossless runs deep-check only at quiesced boundaries;
+  // this one arms the deadlock candidate so a wedge spanning the whole
+  // measurement window confirms (persisted without progress) at the final
+  // boundary in run_measure().
+  if (cfg_.lossless && sharded() && plan_.parallel() && !fabric_checkers_.empty()) {
+    fabric_checkers_[0]->check_deep_now();
+  }
   const fabric::FabricSwitch::Totals t = fabric_->totals();
   base_fabric_drops_ = t.drops;
   base_fabric_marks_ = t.marks;
@@ -562,9 +631,28 @@ FabricScenarioResults FabricScenario::run_measure() {
     c->check_now();  // final sweep at the measurement boundary
     r.invariant_violations += c->total_violations();
   }
-  for (auto& c : fabric_checkers_) {
-    c->check_now();
-    r.invariant_violations += c->total_violations();
+  for (auto& c : fabric_checkers_) c->check_now();
+  // Sharded parallel runs defer the whole-fabric deep sweeps (dangling
+  // XOFF + deadlock cycles) to quiesced boundaries; run them once here,
+  // where every cell's pause state is race-free to read.
+  if (cfg_.lossless && sharded() && plan_.parallel() && !fabric_checkers_.empty()) {
+    fabric_checkers_[0]->check_deep_now();
+  }
+  for (auto& c : fabric_checkers_) r.invariant_violations += c->total_violations();
+
+  if (cfg_.lossless) {
+    pause_ledger_ = fabric::PauseLedger();
+    for (auto& l : cell_ledgers_) pause_ledger_.merge_from(*l);
+    r.pfc_xoff_frames = t.pfc_xoffs_sent;
+    r.pfc_xon_frames = t.pfc_xons_sent;
+    r.pfc_muted_xons = t.pfc_muted_xons;
+    r.pause_outstanding = pause_ledger_.outstanding();
+    r.pause_max_outstanding = pause_ledger_.max_outstanding();
+    r.pause_last_all_clear_us = pause_ledger_.last_all_clear().us();
+    for (auto& c : fabric_checkers_) {
+      r.pause_tree_depth_peak = std::max(r.pause_tree_depth_peak, c->tree_depth_peak());
+      r.storm_breaks += c->storm_breaks();
+    }
   }
 
   if (cfg_.record_flow_stats) {

@@ -25,6 +25,7 @@
 #include "apps/throughput_app.h"
 #include "fabric/fabric.h"
 #include "fabric/partition.h"
+#include "fabric/pause_ledger.h"
 #include "fabric/topology.h"
 #include "faults/fabric_invariants.h"
 #include "faults/fault_plan.h"
@@ -84,6 +85,16 @@ struct FabricScenarioConfig {
   faults::FaultPlan faults;              // link/port faults by edge name
   bool check_invariants = true;          // per-host checkers + fabric ledger audit
 
+  // Lossless fabric mode: enables per-priority PFC on every switch
+  // (cfg.fabric.pfc_* thresholds + headroom), NIC watermark backpressure
+  // on every host, a fabric-wide PauseLedger, and the losslessness /
+  // pause-ledger / pause-deadlock invariant classes.
+  bool lossless = false;
+  // Opt-in watchdog: when the deadlock invariant detects a pause-dependency
+  // cycle, force-XON every port of the cycle's switches so the run drains
+  // instead of wedging. The detection itself still counts as a violation.
+  bool storm_breaker = false;
+
   // Rack-scale runs multiply event load by hosts x switches; defaults are
   // far shorter than exp::Scenario's calibrated windows.
   sim::Time warmup = sim::Time::milliseconds(10);
@@ -120,6 +131,16 @@ struct FabricScenarioResults {
   std::uint64_t sender_fast_retransmits = 0;
 
   std::uint64_t invariant_violations = 0;  // hosts + fabric ledger, whole run
+
+  // Lossless-mode accounting (cfg.lossless only; zero otherwise).
+  std::uint64_t pfc_xoff_frames = 0;       // switch + host XOFFs emitted
+  std::uint64_t pfc_xon_frames = 0;        // switch + host XONs emitted
+  std::uint64_t pfc_muted_xons = 0;        // XONs suppressed by pfc_mute faults
+  int pause_outstanding = 0;               // still-paused (port,prio) at run end
+  int pause_max_outstanding = 0;           // peak concurrently paused pairs
+  double pause_last_all_clear_us = 0.0;    // last time the ledger fully drained
+  int pause_tree_depth_peak = 0;           // longest pause-dependency chain seen
+  std::uint64_t storm_breaks = 0;          // watchdog interventions (storm_breaker)
 
   // Flow completion times over the measurement window (record_flow_stats
   // with flow_bytes > 0).
@@ -179,6 +200,9 @@ class FabricScenario {
   const obs::DecisionLog& decisions() const { return decisions_; }
   // Sampled per-switch/per-port occupancy time-series (cfg.telemetry).
   obs::FabricTelemetry& telemetry() { return telemetry_; }
+  // Merged fabric-wide pause ledger (cfg.lossless). Sharded runs keep one
+  // ledger per cell and fold them here inside run_measure().
+  const fabric::PauseLedger& pause_ledger() const { return pause_ledger_; }
   // Simulator self-profiler. Detached until attach_profiler() (or
   // cfg.profile) wires its handles into hosts, switches, and stacks.
   obs::SimProfiler& profiler() { return profiler_; }
@@ -218,6 +242,10 @@ class FabricScenario {
   // exactly one of each, unscoped, otherwise.
   std::vector<std::unique_ptr<faults::FabricInvariantChecker>> fabric_checkers_;
   std::vector<std::unique_ptr<faults::FaultInjector>> injectors_;
+  // Lossless mode: one pause ledger per cell (a single one unsharded),
+  // merged into pause_ledger_ by run_measure().
+  std::vector<std::unique_ptr<fabric::PauseLedger>> cell_ledgers_;
+  fabric::PauseLedger pause_ledger_;
   std::vector<int> destinations_;  // flow-destination host ids, ascending
 
   obs::MetricsRegistry metrics_;

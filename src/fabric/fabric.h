@@ -10,6 +10,21 @@
 //   set_edge_port_down  switch-side egress ports only (a wedged port; the
 //                       host can still transmit into the dead port's queue)
 //   set_edge_rate_factor degraded line rate on every lane of the edge
+//   set_edge_forced_pause pause_storm: force-XOFF a priority on every lane
+//   set_edge_xon_mute    pfc_mute: drop XON deliveries on every lane
+//
+// Lossless mode (cfg.pfc_enabled): every arc's downstream switch registers
+// an ingress on itself whose pause emitter applies XOFF/XON at the
+// *upstream* end (switch egress port, or host uplink Link) after the arc's
+// propagation delay. Same-cell arcs schedule the apply directly; cross-cell
+// arcs carry pause frames as pfc-tagged net::Packets through dedicated
+// reverse ShardChannels registered *after* all data channels (second pass),
+// so data channel ids — and hence same-time tie-breaks — are unchanged from
+// a lossy build. Headroom per ingress is sized from the arc's rate-delay
+// product (2x RTT-worth + 2 jumbo frames). The pause_relations() registry
+// records every emitter/applier pair so the dangling-XOFF invariant can
+// compare both ends, and hosts push NIC-watermark backpressure into their
+// leaf's delivery port via host_pause_request().
 //
 // Determinism: switches, ports, and routes live in vectors built in
 // topology order; host attaches iterate a sorted map; ECMP hashing draws
@@ -100,8 +115,41 @@ class Fabric {
   bool set_edge_down(const std::string& edge, bool down, int cell = -1);
   bool set_edge_port_down(const std::string& edge, bool down, int cell = -1);
   bool set_edge_rate_factor(const std::string& edge, double factor, int cell = -1);
+  // pause_storm: force-XOFF `prio` on every switch-side lane of the edge
+  // (and the host uplink when the edge reaches a host).
+  bool set_edge_forced_pause(const std::string& edge, int prio, bool on, int cell = -1);
+  // pfc_mute: drop XON deliveries on every lane of the edge while active.
+  bool set_edge_xon_mute(const std::string& edge, bool on, int cell = -1);
   bool has_edge(const std::string& edge) const;
   std::vector<std::string> edge_names() const;  // sorted, for error messages
+
+  // --- PFC surface (lossless mode) ---
+
+  // Routes applied pause transitions on `cell`'s switches and host uplinks
+  // into `ledger` (sharded runs: one ledger per cell, merged at quiesce).
+  void set_pause_ledger(PauseLedger* ledger, int cell = -1);
+
+  // One emitter/applier pause pair, for the dangling-XOFF invariant and
+  // the pause-dependency (wait-for) graph. Emitter is either a downstream
+  // switch ingress (dn_switch >= 0) or a host NIC watermark (host >= 0);
+  // applier is either an upstream switch egress port or a host uplink.
+  struct PauseRelation {
+    int dn_switch = -1;
+    int in_idx = -1;
+    std::int64_t host = -1;  // net::HostId, -1 = none
+    int up_switch = -1;
+    int up_port = -1;
+    net::Link* uplink = nullptr;
+    sim::Time delay;
+    std::string edge;
+  };
+  const std::vector<PauseRelation>& pause_relations() const { return pause_relations_; }
+
+  // Host NIC backpressure: pause/resume the leaf's delivery port toward
+  // this host (applied after the uplink edge's propagation delay).
+  void host_pause_request(net::HostId id, int prio, bool on);
+  bool host_wants_pause(net::HostId id, int prio) const;
+  sim::Time host_wants_change(net::HostId id, int prio) const;
 
   int switch_count() const { return static_cast<int>(switches_.size()); }
   FabricSwitch& switch_at(int i) { return *switches_.at(i); }
@@ -127,6 +175,11 @@ class Fabric {
     int switch_idx = -1;  // index into switches_
     int host_port = -1;   // switch->host port on that switch
     std::unique_ptr<net::Link> uplink;  // null for direct attach
+    sim::Time edge_delay;               // uplink arc propagation
+    // NIC-watermark emitter state (what the host currently wants), for the
+    // dangling-XOFF comparison against the leaf port's applied state.
+    bool wants_pause[net::kPfcPriorities] = {};
+    sim::Time wants_change[net::kPfcPriorities] = {};
   };
   struct SwitchPortRef {
     int switch_idx;
@@ -136,6 +189,9 @@ class Fabric {
   const TopoArc* uplink_arc_for(const std::string& host_name, int* host_node) const;
   int add_switch_port(int switch_idx, const TopoArc& arc, FabricSwitch::PortSink sink,
                       bool cross_cell = false);
+  // Ingress headroom from the arc's rate-delay product (0 = config default
+  // for ideal rate-zero links).
+  sim::Bytes pfc_headroom_for(const TopoArc& arc) const;
 
   sim::Simulator& sim_;
   Topology topo_;
@@ -150,6 +206,9 @@ class Fabric {
   std::vector<std::vector<std::pair<int, int>>> adjacency_;
   std::map<net::HostId, HostAttach> hosts_;  // sorted: deterministic iteration
   std::map<std::string, std::vector<SwitchPortRef>> edge_ports_;
+  std::vector<PauseRelation> pause_relations_;
+  std::uint64_t host_pfc_xoffs_ = 0;  // host NIC pause requests (frames)
+  std::uint64_t host_pfc_xons_ = 0;
 };
 
 }  // namespace hostcc::fabric

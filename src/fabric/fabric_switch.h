@@ -30,7 +30,24 @@
 //
 // Fault surface (FaultInjector, addressed by topology edge name via
 // Fabric): per-port down (queue drop-tails under DT) and per-port rate
-// degradation.
+// degradation; in lossless mode, per-port forced pause (pause_storm) and
+// XON muting (pfc_mute).
+//
+// Lossless mode (cfg.pfc_enabled): per-priority PFC on top of the shared
+// buffer. Each upstream neighbor registers an *ingress* (add_ingress) with
+// a pause emitter and a headroom allowance. Per-(ingress, priority) byte
+// counts are stamped on admission and released at drain; when a count
+// crosses the XOFF threshold — carved from the DT pool as
+//   threshold = max(pfc_alpha * (B - occupancy), pfc_min_threshold)
+// — the ingress emits XOFF upstream, and XON once it drains back under
+// pfc_xon_fraction of the (re-evaluated) threshold. While PFC is on,
+// lossless admission replaces the DT drop path: packets are admitted as
+// long as they fit in buffer_bytes plus the summed per-ingress headroom
+// (the annex that absorbs the one-RTT flight between XOFF emission and the
+// upstream actually stopping), so a drop in lossless mode is an invariant
+// violation, never policy. Egress ports carry per-priority pause state
+// (set_port_pause); a paused head-of-queue priority stalls the whole port
+// FIFO — head-of-line blocking is the modelled pathology, not a bug.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +56,7 @@
 #include <utility>
 #include <vector>
 
+#include "fabric/pause_ledger.h"
 #include "net/packet.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -61,11 +79,30 @@ struct FabricSwitchConfig {
   // draw entirely (required for the byte-exact ideal testbed).
   sim::Time forward_jitter_max = sim::Time::microseconds(2);
   std::uint64_t seed = 0xfab51c;
+
+  // --- PFC / lossless mode ---
+  bool pfc_enabled = false;
+  // XOFF threshold as a fraction of the free shared pool (DT-style: the
+  // allowance shrinks as the switch fills, so a hot ingress pauses its
+  // upstream before it can starve everyone else's headroom).
+  double pfc_alpha = 0.125;
+  // XON once the ingress count drains under this fraction of the (current)
+  // XOFF threshold — hysteresis against pause/resume flapping.
+  double pfc_xon_fraction = 0.5;
+  // Threshold floor: keeps XON reachable when occupancy is near the pool
+  // cap (a zero threshold would wedge every paused ingress forever).
+  sim::Bytes pfc_min_threshold = 8 * sim::kKiB;
+  // Default per-ingress headroom when add_ingress passes 0. Sized by the
+  // Fabric from the arc's rate-delay product; this is the fallback.
+  sim::Bytes pfc_headroom_bytes = 64 * sim::kKiB;
 };
 
 class FabricSwitch {
  public:
   using PortSink = std::function<void(const net::PacketRef&)>;
+  // Pause emitter toward one upstream sender: called when this switch
+  // wants that sender to stop (on=true, XOFF) or resume (XON) a priority.
+  using PauseFn = std::function<void(int prio, bool on)>;
 
   FabricSwitch(sim::Simulator& sim, std::string name, FabricSwitchConfig cfg)
       : sim_(sim),
@@ -107,9 +144,29 @@ class FabricSwitch {
 
   // Self-profiler attribution for routing/admission and port dequeue.
   void set_profiler(obs::ProfHandle h) { prof_ = h; }
+  // Applied pause transitions are recorded here (one ledger per cell in
+  // sharded runs; the Fabric wires it).
+  void set_pause_ledger(PauseLedger* ledger) { ledger_ = ledger; }
 
-  // Packet arriving on any input port: route, admit (DT), mark, enqueue.
-  void ingress(net::PacketRef p) {
+  // Registers an upstream sender for PFC accounting: packets entering via
+  // `in_idx` are charged to this ingress until drained, and `pause` is
+  // invoked on XOFF/XON threshold crossings. `headroom` (0 = config
+  // default) extends the lossless admission capacity to absorb the bytes
+  // in flight between XOFF emission and the upstream actually stopping.
+  int add_ingress(std::string ingress_name, PauseFn pause, sim::Bytes headroom = 0) {
+    Ingress in;
+    in.name = std::move(ingress_name);
+    in.pause = std::move(pause);
+    in.headroom = headroom > 0 ? headroom : cfg_.pfc_headroom_bytes;
+    headroom_total_ += in.headroom;
+    ingresses_.push_back(std::move(in));
+    return static_cast<int>(ingresses_.size()) - 1;
+  }
+
+  // Packet arriving on input `in_idx` (-1 = unregistered ingress, e.g. a
+  // direct-attached testbed host): route, admit (DT, or lossless when PFC
+  // is on), mark, enqueue.
+  void ingress(net::PacketRef p, int in_idx) {
     obs::ProfScope scope(prof_);
     const int pi = route(p->dst, p->flow);
     if (pi < 0) {
@@ -125,16 +182,28 @@ class FabricSwitch {
     }
     Port& port = ports_[pi];
 
-    // DT admission against the shared pool: the per-port allowance shrinks
-    // as switch-wide occupancy grows. The absolute pool cap also binds
-    // (alpha > 1 must never oversubscribe physical buffer).
-    const sim::Bytes headroom = cfg_.buffer_bytes - occupancy_;
-    const sim::Bytes dt_limit =
-        static_cast<sim::Bytes>(cfg_.dt_alpha * static_cast<double>(headroom));
-    if (port.q_bytes + p->size > dt_limit || occupancy_ + p->size > cfg_.buffer_bytes) {
-      ++port.drops;
-      dropped_bytes_ += p->size;
-      return;
+    if (cfg_.pfc_enabled) {
+      // Lossless admission: the DT drop path is replaced by backpressure.
+      // Physical capacity is the shared pool plus the headroom annex; an
+      // overflow beyond it means the headroom was undersized (the
+      // losslessness invariant reports it as a violation).
+      if (occupancy_ + p->size > capacity_bytes()) {
+        ++port.drops;
+        dropped_bytes_ += p->size;
+        return;
+      }
+    } else {
+      // DT admission against the shared pool: the per-port allowance
+      // shrinks as switch-wide occupancy grows. The absolute pool cap also
+      // binds (alpha > 1 must never oversubscribe physical buffer).
+      const sim::Bytes headroom = cfg_.buffer_bytes - occupancy_;
+      const sim::Bytes dt_limit =
+          static_cast<sim::Bytes>(cfg_.dt_alpha * static_cast<double>(headroom));
+      if (port.q_bytes + p->size > dt_limit || occupancy_ + p->size > cfg_.buffer_bytes) {
+        ++port.drops;
+        dropped_bytes_ += p->size;
+        return;
+      }
     }
     if (port.q_bytes >= cfg_.ecn_threshold && p->ecn == net::Ecn::kEct0) {
       p->ecn = net::Ecn::kCe;
@@ -144,22 +213,32 @@ class FabricSwitch {
     occupancy_ += p->size;
     admitted_bytes_ += p->size;
     if (occupancy_ > occupancy_peak_) occupancy_peak_ = occupancy_;
+    if (cfg_.pfc_enabled) {
+      p->sw_in = static_cast<std::int16_t>(in_idx);
+      if (in_idx >= 0) pfc_on_admit(in_idx, p->prio, p->size);
+    }
     port.q.push_back(std::move(p));
     if (!port.busy && !port.down) transmit_next(port);
   }
-  // By-value bridge (unit tests driving the switch directly).
-  void ingress(const net::Packet& p) { ingress(pool_.make(p)); }
+  void ingress(net::PacketRef p) { ingress(std::move(p), -1); }
+  // By-value bridges (unit tests, and the cross-cell channel consumer
+  // which re-pools the packet on its own cell).
+  void ingress(const net::Packet& p) { ingress(pool_.make(p), -1); }
+  void ingress(const net::Packet& p, int in_idx) { ingress(pool_.make(p), in_idx); }
 
   struct PortStats {
     std::uint64_t drops = 0;
     std::uint64_t marks = 0;
     sim::Bytes queue_bytes = 0;
     bool down = false;
+    // Monotone forwarded-byte count: the deadlock invariant's progress
+    // witness (a paused port that also stopped advancing this is wedged).
+    std::uint64_t tx_bytes = 0;
   };
   PortStats port_stats(int port) const {
     if (port < 0 || port >= static_cast<int>(ports_.size())) return {};
     const Port& p = ports_[port];
-    return {p.drops, p.marks, p.q_bytes, p.down};
+    return {p.drops, p.marks, p.q_bytes, p.down, p.tx_bytes};
   }
   int port_count() const { return static_cast<int>(ports_.size()); }
   const std::string& port_name(int port) const { return ports_.at(port).name; }
@@ -176,6 +255,9 @@ class FabricSwitch {
     std::uint64_t no_route_drops = 0;
     sim::Bytes occupancy = 0;
     sim::Bytes occupancy_peak = 0;
+    std::uint64_t pfc_xoffs_sent = 0;
+    std::uint64_t pfc_xons_sent = 0;
+    std::uint64_t pfc_muted_xons = 0;
   };
   Totals totals() const {
     Totals t;
@@ -186,6 +268,9 @@ class FabricSwitch {
     t.no_route_drops = no_route_drops_;
     t.occupancy = occupancy_;
     t.occupancy_peak = occupancy_peak_;
+    t.pfc_xoffs_sent = pfc_xoffs_sent_;
+    t.pfc_xons_sent = pfc_xons_sent_;
+    t.pfc_muted_xons = muted_xons_;
     return t;
   }
 
@@ -235,6 +320,115 @@ class FabricSwitch {
             name_.c_str(), ports_[port].name.c_str(), ports_[port].rate_factor);
   }
 
+  // --- PFC pause surface ---
+
+  // Applies a pause (XOFF) or resume (XON) from the downstream neighbor on
+  // egress `port`. An active XON mute (pfc_mute fault) drops resumes — the
+  // lost-XON failure — leaving the port wedged. Returns whether applied.
+  bool set_port_pause(int port, int prio, bool on) {
+    if (port < 0 || port >= port_count() || prio < 0 || prio >= net::kPfcPriorities) return false;
+    Port& p = ports_[port];
+    if (!on && p.xon_mute) {
+      ++muted_xons_;
+      if (ledger_) ledger_->record_muted_xon();
+      OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "fabric/switch", "%s port %s XON prio %d muted",
+              name_.c_str(), p.name.c_str(), prio);
+      return false;
+    }
+    if (p.pause_in[prio] == on) return true;
+    p.pause_in[prio] = on;
+    if (on) {
+      ++pfc_xoffs_applied_;
+    } else {
+      ++pfc_xons_applied_;
+    }
+    if (ledger_) ledger_->record(pause_key(p, prio), on, sim_.now());
+    if (!on && !p.busy && !p.down) transmit_next(p);
+    return true;
+  }
+  // pause_storm injection: forces the priority paused on this egress,
+  // independent of (and without disturbing) the real pause state.
+  void set_port_forced_pause(int port, int prio, bool on) {
+    if (port < 0 || port >= port_count() || prio < 0 || prio >= net::kPfcPriorities) return;
+    Port& p = ports_[port];
+    if (p.forced_pause[prio] == on) return;
+    p.forced_pause[prio] = on;
+    if (on) ++forced_pauses_;
+    OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "fabric/switch", "%s port %s forced pause prio %d %s",
+            name_.c_str(), p.name.c_str(), prio, on ? "on" : "off");
+    if (!on && !p.busy && !p.down) transmit_next(p);
+  }
+  // pfc_mute injection: XON deliveries to this egress are dropped.
+  void set_port_xon_mute(int port, bool on) {
+    if (port < 0 || port >= port_count()) return;
+    ports_[port].xon_mute = on;
+  }
+  // Storm-breaker hook: force-XONs every pause bit (real and forced) on
+  // the port. Real releases are recorded in the ledger as applied XONs.
+  void clear_port_pauses(int port) {
+    if (port < 0 || port >= port_count()) return;
+    Port& p = ports_[port];
+    bool was = false;
+    for (int prio = 0; prio < net::kPfcPriorities; ++prio) {
+      if (p.pause_in[prio]) {
+        p.pause_in[prio] = false;
+        ++pfc_xons_applied_;
+        if (ledger_) ledger_->record(pause_key(p, prio), false, sim_.now());
+        was = true;
+      }
+      was = was || p.forced_pause[prio];
+      p.forced_pause[prio] = false;
+    }
+    if (was && !p.busy && !p.down) transmit_next(p);
+  }
+  bool port_paused(int port, int prio) const {
+    if (port < 0 || port >= port_count() || prio < 0 || prio >= net::kPfcPriorities) return false;
+    return ports_[port].pause_in[prio] || ports_[port].forced_pause[prio];
+  }
+  bool port_real_paused(int port, int prio) const {
+    return port >= 0 && port < port_count() && prio >= 0 && prio < net::kPfcPriorities &&
+           ports_[port].pause_in[prio];
+  }
+  bool port_forced_paused(int port, int prio) const {
+    return port >= 0 && port < port_count() && prio >= 0 && prio < net::kPfcPriorities &&
+           ports_[port].forced_pause[prio];
+  }
+  bool port_xon_muted(int port) const {
+    return port >= 0 && port < port_count() && ports_[port].xon_mute;
+  }
+
+  bool pfc_enabled() const { return cfg_.pfc_enabled; }
+  // Physical capacity: the shared pool plus the lossless headroom annex.
+  sim::Bytes capacity_bytes() const {
+    return cfg_.pfc_enabled ? cfg_.buffer_bytes + headroom_total_ : cfg_.buffer_bytes;
+  }
+  int ingress_count() const { return static_cast<int>(ingresses_.size()); }
+  const std::string& ingress_name(int in) const { return ingresses_.at(in).name; }
+  sim::Bytes ingress_bytes(int in, int prio) const { return ingresses_.at(in).bytes[prio]; }
+  // Whether this switch currently wants the upstream behind ingress `in`
+  // paused for `prio` (the emitter-side truth the dangling-XOFF invariant
+  // compares against the upstream's applied state).
+  bool ingress_paused_out(int in, int prio) const { return ingresses_.at(in).paused_out[prio]; }
+  sim::Time ingress_paused_change(int in, int prio) const {
+    return ingresses_.at(in).paused_change[prio];
+  }
+  std::uint64_t pfc_xoffs_sent() const { return pfc_xoffs_sent_; }
+  std::uint64_t pfc_xons_sent() const { return pfc_xons_sent_; }
+  std::uint64_t pfc_xoffs_applied() const { return pfc_xoffs_applied_; }
+  std::uint64_t pfc_xons_applied() const { return pfc_xons_applied_; }
+  std::uint64_t muted_xons() const { return muted_xons_; }
+  std::uint64_t forced_pauses() const { return forced_pauses_; }
+  // Currently-paused (port, prio) pairs, for telemetry.
+  int paused_port_count() const {
+    int n = 0;
+    for (const Port& p : ports_) {
+      for (int prio = 0; prio < net::kPfcPriorities; ++prio) {
+        if (p.pause_in[prio] || p.forced_pause[prio]) ++n;
+      }
+    }
+    return n;
+  }
+
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
     reg.counter_fn(prefix + "/no_route_drops", [this] { return no_route_drops_; });
     reg.counter_fn(prefix + "/drops", [this] { return totals().drops; });
@@ -242,6 +436,13 @@ class FabricSwitch {
     reg.gauge(prefix + "/occupancy_bytes", [this] { return static_cast<double>(occupancy_); });
     reg.gauge(prefix + "/occupancy_peak_bytes",
               [this] { return static_cast<double>(occupancy_peak_); });
+    if (cfg_.pfc_enabled) {
+      reg.counter_fn(prefix + "/pfc_xoffs_sent", [this] { return pfc_xoffs_sent_; });
+      reg.counter_fn(prefix + "/pfc_xons_sent", [this] { return pfc_xons_sent_; });
+      reg.counter_fn(prefix + "/pfc_muted_xons", [this] { return muted_xons_; });
+      reg.gauge(prefix + "/pfc_paused_ports",
+                [this] { return static_cast<double>(paused_port_count()); });
+    }
     for (const Port& port : ports_) {
       const std::string p = prefix + "/port/" + port.name;
       const Port* pp = &port;
@@ -264,9 +465,68 @@ class FabricSwitch {
     bool down = false;
     std::uint64_t drops = 0;
     std::uint64_t marks = 0;
+    std::uint64_t tx_bytes = 0;
     sim::Time last_out;
     sim::Time extra_delay;  // folded downstream propagation (coalesced)
+    // PFC state (lossless mode): pause_in is the real protocol pause the
+    // downstream applied; forced_pause is the pause_storm overlay.
+    bool pause_in[net::kPfcPriorities] = {};
+    bool forced_pause[net::kPfcPriorities] = {};
+    bool xon_mute = false;
   };
+
+  // One registered upstream sender: per-priority byte occupancy charged on
+  // admission, released at drain, with the emitter-side pause state.
+  struct Ingress {
+    std::string name;
+    PauseFn pause;
+    sim::Bytes headroom = 0;
+    sim::Bytes bytes[net::kPfcPriorities] = {};
+    bool paused_out[net::kPfcPriorities] = {};
+    sim::Time paused_change[net::kPfcPriorities] = {};
+  };
+
+  std::string pause_key(const Port& port, int prio) const {
+    return name_ + ":" + port.name + "/p" + std::to_string(prio);
+  }
+
+  // Current XOFF threshold: DT-style fraction of the free shared pool with
+  // a floor so XON stays reachable when the pool is nearly full.
+  sim::Bytes pfc_threshold() const {
+    const sim::Bytes free =
+        occupancy_ < cfg_.buffer_bytes ? cfg_.buffer_bytes - occupancy_ : 0;
+    const sim::Bytes dt = static_cast<sim::Bytes>(cfg_.pfc_alpha * static_cast<double>(free));
+    return dt > cfg_.pfc_min_threshold ? dt : cfg_.pfc_min_threshold;
+  }
+
+  void pfc_on_admit(int in_idx, int prio, sim::Bytes size) {
+    if (prio < 0 || prio >= net::kPfcPriorities) return;
+    Ingress& in = ingresses_[in_idx];
+    in.bytes[prio] += size;
+    if (!in.paused_out[prio] && in.bytes[prio] > pfc_threshold()) {
+      in.paused_out[prio] = true;
+      in.paused_change[prio] = sim_.now();
+      ++pfc_xoffs_sent_;
+      OBS_LOG(obs::LogLevel::kDebug, sim_.now(), "fabric/switch", "%s XOFF -> %s prio %d (%llu B)",
+              name_.c_str(), in.name.c_str(), prio,
+              static_cast<unsigned long long>(in.bytes[prio]));
+      if (in.pause) in.pause(prio, true);
+    }
+  }
+
+  void pfc_on_drain(int in_idx, int prio, sim::Bytes size) {
+    if (in_idx < 0 || in_idx >= ingress_count() || prio < 0 || prio >= net::kPfcPriorities) return;
+    Ingress& in = ingresses_[in_idx];
+    in.bytes[prio] = in.bytes[prio] > size ? in.bytes[prio] - size : 0;
+    if (in.paused_out[prio] &&
+        static_cast<double>(in.bytes[prio]) <=
+            cfg_.pfc_xon_fraction * static_cast<double>(pfc_threshold())) {
+      in.paused_out[prio] = false;
+      in.paused_change[prio] = sim_.now();
+      ++pfc_xons_sent_;
+      if (in.pause) in.pause(prio, false);
+    }
+  }
 
   static constexpr std::uint64_t splitmix64(std::uint64_t x) {
     x += 0x9e3779b97f4a7c15ull;
@@ -280,6 +540,16 @@ class FabricSwitch {
       port.busy = false;
       return;
     }
+    if (cfg_.pfc_enabled) {
+      // A paused head-of-queue priority stalls the whole FIFO (HoL blocking
+      // by design — the port is a single lane). A later set_port_pause(off)
+      // or clear_port_pauses restarts it.
+      const int head_prio = port.q.front()->prio;
+      if (port.pause_in[head_prio] || port.forced_pause[head_prio]) {
+        port.busy = false;
+        return;
+      }
+    }
     obs::ProfScope scope(prof_);
     port.busy = true;
     net::PacketRef p = std::move(port.q.front());
@@ -287,6 +557,8 @@ class FabricSwitch {
     port.q_bytes -= p->size;
     occupancy_ -= p->size;
     drained_bytes_ += p->size;
+    port.tx_bytes += static_cast<std::uint64_t>(p->size);
+    if (cfg_.pfc_enabled) pfc_on_drain(p->sw_in, p->prio, p->size);
     // Serialization time must be read before the init-capture below moves
     // `p` (argument evaluation order is unspecified).
     const sim::Time ser = port.rate.is_zero()
@@ -323,6 +595,17 @@ class FabricSwitch {
   std::uint64_t dropped_bytes_ = 0;
   std::uint64_t no_route_drops_ = 0;
   obs::ProfHandle prof_;
+
+  // PFC (lossless mode).
+  std::vector<Ingress> ingresses_;
+  sim::Bytes headroom_total_ = 0;
+  PauseLedger* ledger_ = nullptr;
+  std::uint64_t pfc_xoffs_sent_ = 0;    // XOFFs this switch emitted upstream
+  std::uint64_t pfc_xons_sent_ = 0;     // XONs this switch emitted upstream
+  std::uint64_t pfc_xoffs_applied_ = 0;  // XOFFs applied to our egress ports
+  std::uint64_t pfc_xons_applied_ = 0;
+  std::uint64_t muted_xons_ = 0;
+  std::uint64_t forced_pauses_ = 0;
 };
 
 }  // namespace hostcc::fabric

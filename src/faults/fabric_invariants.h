@@ -9,17 +9,53 @@
 //
 //   occupancy (kOccupancyBounds)
 //     The switch-wide occupancy equals the sum of the per-port queues and
-//     never leaves [0, buffer_bytes] — DT admission must not oversubscribe
+//     never leaves [0, capacity] — DT admission must not oversubscribe
 //     the shared pool even with alpha > 1, and a down port's queue still
-//     counts against it.
+//     counts against it. In lossless mode the bound is buffer + headroom.
 //
-// Read-only: enabling the checker perturbs no random stream and no
-// behaviour (same contract as the host InvariantChecker).
+// Lossless mode adds three classes:
+//
+//   losslessness (kLosslessness)
+//     While PFC is enabled a switch drop is never policy — any increase in
+//     a switch's drop count means the headroom was undersized or pause
+//     propagation failed.
+//
+//   pause ledger (kPauseLedger)
+//     Dangling XOFF: for every pause relation (emitter ingress / host
+//     watermark vs applier port / uplink), once more than the edge's
+//     propagation delay has elapsed since the emitter's last transition,
+//     both ends must agree. A muted XON (pfc_mute) leaves the applier
+//     paused with the emitter cleared — exactly this violation.
+//
+//   pause deadlock (kPauseDeadlock)
+//     Cycle detection over the live pause-dependency (wait-for) graph:
+//     switch U depends on V when any of U's egress ports toward V is
+//     paused. A cycle at one sampling instant is only a *candidate* —
+//     transient mutual pauses are normal in a live lossless fabric (XON
+//     turnaround is sub-microsecond, the check period is 25 us). A
+//     violation requires confirmation: the same wait-for edges still
+//     paused at the next deep check with ZERO bytes forwarded by those
+//     ports in between (persistence without progress = a real wedge).
+//     The longest dependency chain is the congestion-tree depth (peak
+//     exported for fig22).
+//
+// The dangling/deadlock sweeps read the whole fabric, so sharded runs must
+// disable them on the periodic cadence (deep_periodic=false) and invoke
+// check_deep_now() only at quiesced epoch boundaries.
+//
+// Read-only by default: enabling the checker perturbs no random stream and
+// no behaviour (same contract as the host InvariantChecker). The one
+// exception is the opt-in storm breaker (cfg.storm_breaker): when a
+// deadlock cycle is detected it force-XONs every port on the cycle —
+// mirroring the PR 3 watchdog pattern — so the run completes instead of
+// wedging; each intervention is counted in storm_breaks().
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fabric/fabric.h"
@@ -32,13 +68,19 @@ namespace hostcc::faults {
 enum class FabricInvariantClass : std::uint8_t {
   kBufferLedger,
   kOccupancyBounds,
+  kLosslessness,
+  kPauseLedger,
+  kPauseDeadlock,
 };
-inline constexpr int kFabricInvariantClasses = 2;
+inline constexpr int kFabricInvariantClasses = 5;
 
 inline const char* fabric_invariant_class_name(FabricInvariantClass c) {
   switch (c) {
     case FabricInvariantClass::kBufferLedger: return "buffer_ledger";
     case FabricInvariantClass::kOccupancyBounds: return "occupancy_bounds";
+    case FabricInvariantClass::kLosslessness: return "losslessness";
+    case FabricInvariantClass::kPauseLedger: return "pause_ledger";
+    case FabricInvariantClass::kPauseDeadlock: return "pause_deadlock";
   }
   return "?";
 }
@@ -52,6 +94,13 @@ struct FabricViolation {
 struct FabricInvariantConfig {
   sim::Time period = sim::Time::microseconds(25);
   std::size_t max_recorded = 64;  // counting continues past the cap
+  // Run the whole-fabric deep sweeps (dangling XOFF + deadlock cycle) on
+  // the periodic cadence. Sharded per-cell checkers must set this false
+  // and call check_deep_now() at quiesced boundaries instead.
+  bool deep_periodic = true;
+  // Opt-in graceful degradation: force-XON detected deadlock cycles so the
+  // run completes (counted in storm_breaks()).
+  bool storm_breaker = false;
 };
 
 class FabricInvariantChecker {
@@ -92,11 +141,179 @@ class FabricInvariantChecker {
              static_cast<long long>(occ),
              static_cast<long long>(sw.queued_bytes_across_ports()));
       }
-      if (occ < 0 || occ > sw.buffer_bytes()) {
+      // In lossless mode the physical bound includes the headroom annex
+      // (capacity_bytes() == buffer_bytes on a lossy switch).
+      if (occ < 0 || occ > sw.capacity_bytes()) {
         fail(FabricInvariantClass::kOccupancyBounds,
              "%s occupancy %lld outside [0, %lld]", sw.name().c_str(),
-             static_cast<long long>(occ), static_cast<long long>(sw.buffer_bytes()));
+             static_cast<long long>(occ), static_cast<long long>(sw.capacity_bytes()));
       }
+      if (sw.pfc_enabled()) {
+        const std::uint64_t drops = sw.totals().drops;
+        std::uint64_t& seen = last_drops_[s];
+        if (drops > seen) {
+          fail(FabricInvariantClass::kLosslessness,
+               "%s dropped %llu packet(s) while PFC enabled (undersized headroom "
+               "or failed pause propagation)",
+               sw.name().c_str(), static_cast<unsigned long long>(drops - seen));
+        }
+        seen = drops;
+      }
+    }
+    if (cfg_.deep_periodic) check_deep_now();
+  }
+
+  // Whole-fabric sweeps: dangling-XOFF conservation and deadlock-cycle
+  // detection over the pause-dependency graph. Reads every cell's state,
+  // so sharded runs call this only at quiesced boundaries.
+  void check_deep_now() {
+    // Lossy fabrics register no pause relations: nothing to sweep, and the
+    // periodic deep check must stay off the datapath's zero-alloc budget
+    // (the DFS below uses heap scratch).
+    if (fabric_.pause_relations().empty()) return;
+    const sim::Time now = sim_.now();
+    // -- dangling XOFF: both ends of every pause relation must agree once
+    // the propagation delay has elapsed since the emitter's transition.
+    // Strict '>' so a check event sharing a timestamp with the in-flight
+    // apply event never false-positives.
+    for (const fabric::Fabric::PauseRelation& rel : fabric_.pause_relations()) {
+      for (int prio = 0; prio < net::kPfcPriorities; ++prio) {
+        bool wants = false;
+        sim::Time change;
+        if (rel.dn_switch >= 0) {
+          const fabric::FabricSwitch& dn = fabric_.switch_at(rel.dn_switch);
+          wants = dn.ingress_paused_out(rel.in_idx, prio);
+          change = dn.ingress_paused_change(rel.in_idx, prio);
+        } else {
+          wants = fabric_.host_wants_pause(static_cast<net::HostId>(rel.host), prio);
+          change = fabric_.host_wants_change(static_cast<net::HostId>(rel.host), prio);
+        }
+        const bool applied = rel.uplink
+                                 ? rel.uplink->pfc_real_paused(prio)
+                                 : fabric_.switch_at(rel.up_switch).port_real_paused(
+                                       rel.up_port, prio);
+        if (wants != applied && now - change > rel.delay) {
+          fail(FabricInvariantClass::kPauseLedger,
+               "%s/p%d dangling %s: emitter %s, applier %s for %.1fus > delay %.1fus",
+               rel.edge.c_str(), prio, applied ? "XOFF" : "XON", wants ? "paused" : "clear",
+               applied ? "paused" : "clear", (now - change).us(), rel.delay.us());
+        }
+      }
+    }
+    // -- deadlock / congestion tree: wait-for edge U -> V when any of U's
+    // egress ports toward V is paused (real or forced).
+    const int n = fabric_.switch_count();
+    std::vector<std::vector<int>> adj(n);
+    for (const fabric::Fabric::PauseRelation& rel : fabric_.pause_relations()) {
+      if (rel.up_switch < 0 || rel.dn_switch < 0) continue;
+      bool paused = false;
+      for (int prio = 0; prio < net::kPfcPriorities && !paused; ++prio) {
+        paused = fabric_.switch_at(rel.up_switch).port_paused(rel.up_port, prio);
+      }
+      if (paused) adj[rel.up_switch].push_back(rel.dn_switch);
+    }
+    // Iterative DFS: colors for cycle detection, memoized depth (chain
+    // length in switches) for the congestion-tree metric.
+    std::vector<int> color(n, 0);  // 0 white, 1 on stack, 2 done
+    std::vector<int> depth(n, 0);
+    bool cycle = false;
+    std::vector<int> cycle_nodes;
+    for (int root = 0; root < n; ++root) {
+      if (color[root] != 0) continue;
+      std::vector<std::pair<int, std::size_t>> stack{{root, 0}};
+      color[root] = 1;
+      while (!stack.empty()) {
+        auto& [u, next] = stack.back();
+        if (next < adj[u].size()) {
+          const int v = adj[u][next++];
+          if (color[v] == 0) {
+            color[v] = 1;
+            stack.push_back({v, 0});
+          } else if (color[v] == 1) {
+            // Back edge: everything on the stack from v onward is a cycle.
+            if (!cycle) {
+              bool in = false;
+              for (const auto& [s, ni] : stack) {
+                (void)ni;
+                if (s == v) in = true;
+                if (in) cycle_nodes.push_back(s);
+              }
+            }
+            cycle = true;
+          } else if (depth[v] + 1 > depth[u]) {
+            depth[u] = depth[v] + 1;
+          }
+        } else {
+          color[u] = 2;
+          const int du = depth[u];
+          stack.pop_back();
+          if (!stack.empty()) {
+            const int p = stack.back().first;
+            if (du + 1 > depth[p]) depth[p] = du + 1;
+          }
+        }
+      }
+    }
+    int max_depth = 0;
+    for (int d : depth) {
+      if (d > max_depth) max_depth = d;
+    }
+    // A node's depth counts edges below it; a cycle makes the true depth
+    // unbounded — report the cycle length instead.
+    if (cycle && static_cast<int>(cycle_nodes.size()) > max_depth) {
+      max_depth = static_cast<int>(cycle_nodes.size());
+    }
+    if (max_depth > tree_depth_peak_) tree_depth_peak_ = max_depth;
+    if (!cycle) {
+      pending_cycle_.clear();
+      return;
+    }
+    // Candidate cycle: snapshot the paused wait-for edges (cycle members
+    // only) with their ports' forwarded-byte counters. The candidate is
+    // confirmed as a deadlock only if every one of those edges was already
+    // in the previous deep check's snapshot with an UNCHANGED tx counter:
+    // still paused, and not a single byte of progress in a whole check
+    // period. A transient mutual pause resumes (and forwards) in between
+    // and never confirms.
+    std::vector<char> in_cycle(static_cast<std::size_t>(n), 0);
+    for (int s : cycle_nodes) in_cycle[s] = 1;
+    std::map<std::pair<int, int>, std::uint64_t> snap;  // (switch, port) -> tx_bytes
+    for (const fabric::Fabric::PauseRelation& rel : fabric_.pause_relations()) {
+      if (rel.up_switch < 0 || rel.dn_switch < 0) continue;
+      if (!in_cycle[rel.up_switch] || !in_cycle[rel.dn_switch]) continue;
+      bool paused = false;
+      for (int prio = 0; prio < net::kPfcPriorities && !paused; ++prio) {
+        paused = fabric_.switch_at(rel.up_switch).port_paused(rel.up_port, prio);
+      }
+      if (paused) {
+        snap[{rel.up_switch, rel.up_port}] =
+            fabric_.switch_at(rel.up_switch).port_stats(rel.up_port).tx_bytes;
+      }
+    }
+    bool confirmed = !snap.empty() && !pending_cycle_.empty();
+    for (const auto& [key, tx] : snap) {
+      if (!confirmed) break;
+      const auto it = pending_cycle_.find(key);
+      confirmed = it != pending_cycle_.end() && it->second == tx;
+    }
+    pending_cycle_ = std::move(snap);
+    if (!confirmed) return;  // armed; the next consecutive check decides
+    std::string members;
+    for (int s : cycle_nodes) {
+      if (!members.empty()) members += "->";
+      members += fabric_.switch_at(s).name();
+    }
+    fail(FabricInvariantClass::kPauseDeadlock, "pause cycle (no progress): %s", members.c_str());
+    if (cfg_.storm_breaker) {
+      ++storm_breaks_;
+      OBS_LOG(obs::LogLevel::kError, now, "faults/fabric_invariants",
+              "storm breaker: force-XON on %d cycle switch(es)",
+              static_cast<int>(cycle_nodes.size()));
+      for (int s : cycle_nodes) {
+        fabric::FabricSwitch& sw = fabric_.switch_at(s);
+        for (int p = 0; p < sw.port_count(); ++p) sw.clear_port_pauses(p);
+      }
+      pending_cycle_.clear();
     }
   }
 
@@ -106,13 +323,22 @@ class FabricInvariantChecker {
     return by_class_[static_cast<int>(c)];
   }
   const std::vector<FabricViolation>& violations() const { return recorded_; }
+  // Peak congestion-tree depth (longest pause-dependency chain, in hops)
+  // observed across all deep checks, and storm-breaker interventions.
+  int tree_depth_peak() const { return tree_depth_peak_; }
+  std::uint64_t storm_breaks() const { return storm_breaks_; }
 
   std::string report() const {
+    // Silent no-route drops can't hide: the final count is always in the
+    // end-of-run report (and `--json` meta), even on an otherwise-OK run.
+    const std::string no_route =
+        "fabric no-route drops: " + std::to_string(fabric_.totals().no_route_drops);
     if (total_violations_ == 0) {
-      return "fabric invariants: OK (" + std::to_string(checks_) + " checks)";
+      return "fabric invariants: OK (" + std::to_string(checks_) + " checks)\n" + no_route;
     }
     std::string out = "fabric invariants: " + std::to_string(total_violations_) +
-                      " violation(s) in " + std::to_string(checks_) + " checks\n";
+                      " violation(s) in " + std::to_string(checks_) + " checks\n" + no_route +
+                      "\n";
     for (int i = 0; i < kFabricInvariantClasses; ++i) {
       if (by_class_[i] == 0) continue;
       out += "  " +
@@ -140,6 +366,9 @@ class FabricInvariantChecker {
           prefix + "/" + fabric_invariant_class_name(static_cast<FabricInvariantClass>(i)),
           [this, i] { return by_class_[i]; });
     }
+    reg.gauge(prefix + "/pause_tree_depth_peak",
+              [this] { return static_cast<double>(tree_depth_peak_); });
+    reg.counter_fn(prefix + "/storm_breaks", [this] { return storm_breaks_; });
   }
 
  private:
@@ -164,8 +393,14 @@ class FabricInvariantChecker {
   sim::PeriodicTimer timer_;
   std::uint64_t checks_ = 0;
   std::uint64_t total_violations_ = 0;
-  std::uint64_t by_class_[kFabricInvariantClasses] = {0, 0};
+  std::uint64_t by_class_[kFabricInvariantClasses] = {};
   std::vector<FabricViolation> recorded_;
+  std::map<int, std::uint64_t> last_drops_;  // per audited switch (lossless)
+  // Deadlock candidate from the previous deep check: the cycle's paused
+  // (switch, port) wait-for edges with their tx_bytes progress witnesses.
+  std::map<std::pair<int, int>, std::uint64_t> pending_cycle_;
+  int tree_depth_peak_ = 0;
+  std::uint64_t storm_breaks_ = 0;
 };
 
 }  // namespace hostcc::faults

@@ -20,6 +20,8 @@
 //   link_degrade@500+200:0.25:1   uplink 1 serializes at 0.25x its rate
 //   port_down@500+100:0      switch output port to host 0 stops transmitting
 //   sampler_pause@500+200    the hostCC sampler thread is preempted
+//   pause_storm@500+200:1:leaf0-spine0   force-XOFF priority 1 on the edge
+//   pfc_mute@500+200:leaf0-spine0        XON deliveries dropped (lost resume)
 //
 // Fabric scenarios address links and ports by topology *edge name* instead
 // of an index (a non-numeric target field):
@@ -50,6 +52,8 @@ enum class FaultKind : std::uint8_t {
   kLinkDegrade,   // param: rate factor in (0,1]; target: uplink index
   kPortDown,      // target: switch output port (destination host id)
   kSamplerPause,  // hostCC sampler preempted for the window
+  kPauseStorm,    // param: PFC priority (default 0); target: edge name
+  kPfcMute,       // target: edge name; XON deliveries dropped while active
 };
 
 inline const char* fault_kind_name(FaultKind k) {
@@ -63,8 +67,30 @@ inline const char* fault_kind_name(FaultKind k) {
     case FaultKind::kLinkDegrade: return "link_degrade";
     case FaultKind::kPortDown: return "port_down";
     case FaultKind::kSamplerPause: return "sampler_pause";
+    case FaultKind::kPauseStorm: return "pause_storm";
+    case FaultKind::kPfcMute: return "pfc_mute";
   }
   return "?";
+}
+
+// Every kind, in enum order — parse_kind iterates it and error messages
+// list it so an unknown-kind failure names what would have been accepted.
+inline const std::vector<FaultKind>& all_fault_kinds() {
+  static const std::vector<FaultKind> kinds = {
+      FaultKind::kMsrStall,      FaultKind::kMsrFreeze, FaultKind::kMsrTorn,
+      FaultKind::kMbaWriteFail,  FaultKind::kMbaWriteDelay, FaultKind::kLinkDown,
+      FaultKind::kLinkDegrade,   FaultKind::kPortDown,  FaultKind::kSamplerPause,
+      FaultKind::kPauseStorm,    FaultKind::kPfcMute};
+  return kinds;
+}
+
+inline std::string fault_kind_list() {
+  std::string out;
+  for (FaultKind k : all_fault_kinds()) {
+    if (!out.empty()) out += ", ";
+    out += fault_kind_name(k);
+  }
+  return out;
 }
 
 struct FaultEvent {
@@ -102,18 +128,18 @@ namespace detail {
 // single trailing field is the target (e.g. link_down@500+100:2 = uplink 2).
 inline bool kind_takes_param(FaultKind k) {
   return k == FaultKind::kMsrStall || k == FaultKind::kMsrTorn ||
-         k == FaultKind::kMbaWriteDelay || k == FaultKind::kLinkDegrade;
+         k == FaultKind::kMbaWriteDelay || k == FaultKind::kLinkDegrade ||
+         k == FaultKind::kPauseStorm;
 }
 
 // Kinds whose target may be a topology edge name instead of an index.
 inline bool kind_takes_edge(FaultKind k) {
-  return k == FaultKind::kLinkDown || k == FaultKind::kLinkDegrade || k == FaultKind::kPortDown;
+  return k == FaultKind::kLinkDown || k == FaultKind::kLinkDegrade ||
+         k == FaultKind::kPortDown || k == FaultKind::kPauseStorm || k == FaultKind::kPfcMute;
 }
 
 inline std::optional<FaultKind> parse_kind(const std::string& s) {
-  for (FaultKind k : {FaultKind::kMsrStall, FaultKind::kMsrFreeze, FaultKind::kMsrTorn,
-                      FaultKind::kMbaWriteFail, FaultKind::kMbaWriteDelay, FaultKind::kLinkDown,
-                      FaultKind::kLinkDegrade, FaultKind::kPortDown, FaultKind::kSamplerPause}) {
+  for (FaultKind k : all_fault_kinds()) {
     if (s == fault_kind_name(k)) return k;
   }
   return std::nullopt;
@@ -129,7 +155,10 @@ inline std::optional<std::string> FaultPlan::add_spec(const std::string& spec) {
   const std::size_t at = spec.find('@');
   if (at == std::string::npos) return fail("missing '@'");
   const auto kind = detail::parse_kind(spec.substr(0, at));
-  if (!kind) return fail("unknown kind '" + spec.substr(0, at) + "'");
+  if (!kind) {
+    return fail("unknown kind '" + spec.substr(0, at) + "' (valid kinds: " + fault_kind_list() +
+                ")");
+  }
 
   const std::size_t plus = spec.find('+', at + 1);
   if (plus == std::string::npos) return fail("missing '+<duration_us>'");
@@ -214,13 +243,20 @@ inline std::vector<std::string> FaultPlan::validate() const {
       case FaultKind::kMbaWriteDelay:
         if (ev.param < 0.0) errs.push_back(who + ": parameter must be >= 0");
         break;
+      case FaultKind::kPauseStorm:
+        if (ev.param < 0.0 || ev.param >= 8.0)
+          errs.push_back(who + ": PFC priority must be a small non-negative class index");
+        break;
+      case FaultKind::kPfcMute:
+        if (ev.target_edge.empty())
+          errs.push_back(who + ": requires a topology edge name target");
+        break;
       default:
         break;
     }
-    if (!ev.target_edge.empty() && ev.kind != FaultKind::kLinkDown &&
-        ev.kind != FaultKind::kLinkDegrade && ev.kind != FaultKind::kPortDown) {
+    if (!ev.target_edge.empty() && !detail::kind_takes_edge(ev.kind)) {
       errs.push_back(who + ": edge-name target '" + ev.target_edge +
-                     "' only applies to link_down/link_degrade/port_down");
+                     "' only applies to link_down/link_degrade/port_down/pause_storm/pfc_mute");
     }
   }
   return errs;

@@ -164,6 +164,12 @@ class FaultInjector {
         return fabric_->set_edge_rate_factor(ev.target_edge, on ? param : 1.0, edge_cell_);
       case FaultKind::kPortDown:
         return fabric_->set_edge_port_down(ev.target_edge, on, edge_cell_);
+      case FaultKind::kPauseStorm:
+        // param carries the PFC priority (default 0 — the data class).
+        return fabric_->set_edge_forced_pause(ev.target_edge, static_cast<int>(param), on,
+                                              edge_cell_);
+      case FaultKind::kPfcMute:
+        return fabric_->set_edge_xon_mute(ev.target_edge, on, edge_cell_);
       default:
         return false;
     }
@@ -208,6 +214,10 @@ class FaultInjector {
         if (!switch_) return false;
         switch_->set_port_down(static_cast<net::HostId>(target), on);
         return true;
+      case FaultKind::kPauseStorm:
+      case FaultKind::kPfcMute:
+        // PFC faults are edge-addressed only (no numeric-target surface).
+        return false;
       case FaultKind::kSamplerPause:
         if (!sampler_) return false;
         // The pause is expressed as one preemption covering the whole

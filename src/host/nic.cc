@@ -53,7 +53,19 @@ void NicRx::packet_from_wire(net::PacketRef p) {
   q_bytes_ += p->size;
   if (tracer_) tracer_->stage(obs::PacketStage::kNicArrive, *p, sim_.now());
   q_.push_back({std::move(p), sim_.now()});
+  maybe_pfc();
   try_start_dma();
+}
+
+void NicRx::maybe_pfc() {
+  if (!pfc_fn_) return;
+  if (!pfc_asserted_ && q_bytes_ >= pfc_hi_) {
+    pfc_asserted_ = true;
+    pfc_fn_(true);
+  } else if (pfc_asserted_ && q_bytes_ <= pfc_lo_) {
+    pfc_asserted_ = false;
+    pfc_fn_(false);
+  }
 }
 
 void NicRx::descriptor_returned() {
@@ -82,6 +94,7 @@ void NicRx::try_start_dma() {
     q_.pop_front();
     --descriptors_;
     dma_active_ = true;
+    maybe_pfc();
   }
   start_next_chunk();
 }

@@ -46,6 +46,18 @@ class NicRx {
   // Observer invoked on every tail-drop (tests/telemetry).
   void set_on_drop(std::function<void(const net::Packet&)> fn) { on_drop_ = std::move(fn); }
 
+  // Lossless fabric mode: watermark-driven PFC backpressure. When the RX
+  // SRAM occupancy crosses `hi` the NIC asks its leaf to pause (fn(true));
+  // once it drains back under `lo` it asks to resume. With the fabric
+  // honoring the pause, the SRAM stops being the lossy element — host
+  // congestion propagates upstream instead of dropping here.
+  void set_pfc(sim::Bytes hi, sim::Bytes lo, std::function<void(bool on)> fn) {
+    pfc_hi_ = hi;
+    pfc_lo_ = lo;
+    pfc_fn_ = std::move(fn);
+  }
+  bool pfc_asserted() const { return pfc_asserted_; }
+
   // Opt-in packet-lifecycle tracing (kNicArrive / kDmaStart stages).
   void set_tracer(obs::PacketTracer* t) { tracer_ = t; }
   // Self-profiler attribution for NIC admission + DMA chunking.
@@ -103,6 +115,7 @@ class NicRx {
  private:
   void try_start_dma();
   void start_next_chunk();
+  void maybe_pfc();
   double overhead_fraction(sim::Bytes pkt_size) const;
 
   sim::Simulator& sim_;
@@ -131,6 +144,10 @@ class NicRx {
   Stats stats_;
   sim::Histogram queue_delay_hist_;
   std::function<void(const net::Packet&)> on_drop_;
+  sim::Bytes pfc_hi_ = 0;
+  sim::Bytes pfc_lo_ = 0;
+  bool pfc_asserted_ = false;
+  std::function<void(bool)> pfc_fn_;
   obs::PacketTracer* tracer_ = nullptr;
   obs::ProfHandle prof_;
 };

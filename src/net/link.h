@@ -6,6 +6,14 @@
 // frames queue but nothing serializes, like a flapping port with NIC-side
 // buffering) or degrade (set_rate_factor — serialization slows, modelling
 // a renegotiated lower line rate). Both are deterministic and reversible.
+//
+// PFC (lossless fabric mode): a downstream switch can pause a priority on
+// this link (set_pfc_paused). While the head-of-queue packet's priority is
+// paused nothing serializes (head-of-line blocking by design — the link is
+// a single FIFO lane); a frame mid-serialization completes. fault_force_
+// pause is the pause_storm injection hook (independent of real pause
+// state), and set_pfc_xon_mute models the lost-resume failure: XON
+// deliveries are dropped, leaving the link wedged until the mute clears.
 #pragma once
 
 #include <functional>
@@ -71,6 +79,65 @@ class Link {
   }
   double rate_factor() const { return rate_factor_; }
 
+  // --- PFC pause surface (lossless fabric mode) ---
+
+  // Applies a pause (XOFF, on=true) or resume (XON, on=false) for `prio`.
+  // While the XON mute is active, resumes are dropped (counted), modelling
+  // the classic lost-XON failure. Returns true when the state was applied.
+  bool set_pfc_paused(int prio, bool on) {
+    if (prio < 0 || prio >= kPfcPriorities) return false;
+    if (!on && xon_mute_) {
+      ++muted_xons_;
+      OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "net/link", "%s XON for prio %d muted",
+              name_.c_str(), prio);
+      return false;
+    }
+    if (pfc_paused_[prio] == on) return true;
+    pfc_paused_[prio] = on;
+    if (pfc_observer_) pfc_observer_(prio, on);
+    if (on) {
+      ++pfc_xoffs_;
+    } else {
+      ++pfc_xons_;
+      if (!busy_) transmit_next();
+    }
+    return true;
+  }
+  // pause_storm injection: forces the priority paused regardless of (and
+  // without disturbing) the real pause state.
+  void fault_force_pause(int prio, bool on) {
+    if (prio < 0 || prio >= kPfcPriorities) return;
+    if (pfc_forced_[prio] == on) return;
+    pfc_forced_[prio] = on;
+    OBS_LOG(obs::LogLevel::kWarn, sim_.now(), "net/link", "%s forced pause prio %d %s",
+            name_.c_str(), prio, on ? "on" : "off");
+    if (!on && !busy_) transmit_next();
+  }
+  // pfc_mute injection: XON deliveries are dropped while active.
+  void set_pfc_xon_mute(bool on) { xon_mute_ = on; }
+  // Storm-breaker hook: clears every pause bit (real and forced).
+  void clear_pfc_pauses() {
+    bool was = false;
+    for (int p = 0; p < kPfcPriorities; ++p) {
+      was = was || pfc_paused_[p] || pfc_forced_[p];
+      pfc_paused_[p] = pfc_forced_[p] = false;
+    }
+    if (was && !busy_) transmit_next();
+  }
+  // Observer for *applied* pause transitions (the fabric's PauseLedger).
+  void set_pfc_observer(std::function<void(int prio, bool on)> fn) {
+    pfc_observer_ = std::move(fn);
+  }
+  bool pfc_paused(int prio) const {
+    return prio >= 0 && prio < kPfcPriorities && (pfc_paused_[prio] || pfc_forced_[prio]);
+  }
+  bool pfc_real_paused(int prio) const {
+    return prio >= 0 && prio < kPfcPriorities && pfc_paused_[prio];
+  }
+  std::uint64_t pfc_xoffs() const { return pfc_xoffs_; }
+  std::uint64_t pfc_xons() const { return pfc_xons_; }
+  std::uint64_t muted_xons() const { return muted_xons_; }
+
   const std::string& name() const { return name_; }
   sim::Bandwidth rate() const { return rate_; }
   sim::Time propagation() const { return prop_; }
@@ -87,7 +154,7 @@ class Link {
 
  private:
   void transmit_next() {
-    if (q_.empty() || down_) {
+    if (q_.empty() || down_ || pfc_paused(q_.front()->prio)) {
       busy_ = false;
       return;
     }
@@ -118,6 +185,13 @@ class Link {
   bool down_ = false;
   double rate_factor_ = 1.0;
   std::uint64_t flaps_ = 0;
+  bool pfc_paused_[kPfcPriorities] = {};
+  bool pfc_forced_[kPfcPriorities] = {};
+  bool xon_mute_ = false;
+  std::uint64_t pfc_xoffs_ = 0;
+  std::uint64_t pfc_xons_ = 0;
+  std::uint64_t muted_xons_ = 0;
+  std::function<void(int, bool)> pfc_observer_;
   sim::IntervalMeter meter_;
 };
 

@@ -63,8 +63,27 @@ struct Packet {
   bool retransmit = false;
   bool tlp_probe = false;
 
+  // PFC (802.1Qbb) lossless mode. `prio` is the packet's traffic class
+  // (all data defaults to 0). The pfc_* fields make a Packet double as a
+  // pause/resume control frame so cross-cell pause propagation can ride
+  // the same sim::ShardChannels the data does; pfc frames never enter a
+  // switch queue (they are consumed by the channel's deliver hook).
+  std::uint8_t prio = 0;
+  bool pfc_frame = false;  // this Packet is a pause/resume control frame
+  bool pfc_xoff = false;   // true = XOFF (pause), false = XON (resume)
+  // Switch-residence tag: the ingress index the packet entered the current
+  // switch on, stamped at ingress and read back at drain time for the
+  // per-(ingress, priority) PFC byte accounting. Meaningless outside a
+  // single switch residence; re-stamped at every hop.
+  std::int16_t sw_in = -1;
+
   SeqNum end_seq() const { return seq + payload; }
 };
+
+// Number of PFC traffic classes the fabric models. Data defaults to
+// priority 0; the spare class exists so pause_storm faults can target a
+// priority that carries no traffic (pure control-plane stress).
+inline constexpr int kPfcPriorities = 2;
 
 // Pooled packet handle: the datapath allocates Packets from a per-host
 // sim::Pool and passes this 8-byte ref through NIC → PCIe → IIO → MC →

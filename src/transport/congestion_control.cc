@@ -12,6 +12,8 @@ std::unique_ptr<CongestionControl> make_cc(CcKind kind, const CcConfig& cfg) {
       return std::make_unique<RenoCc>(cfg);
     case CcKind::kSwift:
       return std::make_unique<SwiftCc>(cfg);
+    case CcKind::kDcqcn:
+      return std::make_unique<DcqcnCc>(cfg);
   }
   return nullptr;
 }

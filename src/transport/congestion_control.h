@@ -151,7 +151,107 @@ class DctcpCc : public CongestionControl {
   sim::Bytes window_left_ = cwnd();
 };
 
-enum class CcKind { kDctcp, kReno, kSwift };
+// DCQCN-style rate-based control (Zhu et al., SIGCOMM'15), recast onto the
+// window interface the transport drives: the "rate" is cwnd/RTT, so the
+// target/current rate pair (Rt/Rc) becomes a target/current window pair
+// (Wt/Wc). Per window of acknowledged data:
+//   * marked window:  alpha <- (1-g)alpha + g,  Wt <- Wc,
+//                     Wc <- Wc(1 - alpha/2)          (rate decrease)
+//   * clean window:   alpha <- (1-g)alpha, then recovery stages —
+//     fast recovery (first kFastRecoveryWindows): Wc <- (Wt+Wc)/2
+//     additive increase:                          Wt += Rai,  Wc <- (Wt+Wc)/2
+//     hyper increase (after kHyperAfter clean):   Wt += kHyperFactor*Rai
+// Driving every stage off windows-of-data instead of wall-clock timers
+// keeps the controller deterministic and clock-free (the byte counter is
+// the DCQCN byte counter; the rate timer's role collapses into it at
+// simulation fidelity). Losses fall back to halving — a lossless fabric
+// should never show them, and the invariant checker reports them if the
+// fabric does.
+class DcqcnCc : public CongestionControl {
+ public:
+  static constexpr int kFastRecoveryWindows = 5;
+  static constexpr int kHyperAfter = 10;
+  static constexpr double kHyperFactor = 5.0;
+
+  explicit DcqcnCc(const CcConfig& cfg)
+      : CongestionControl(cfg),
+        target_(cwnd_),
+        rai_(static_cast<double>(cfg.mss)) {}
+
+  std::string name() const override { return "dcqcn"; }
+  bool ecn_capable() const override { return true; }
+
+  void on_ack(sim::Bytes newly_acked, bool ece, sim::Time /*rtt*/, bool in_recovery) override {
+    acked_bytes_ += newly_acked;
+    if (ece) marked_bytes_ += newly_acked;
+    window_left_ -= newly_acked;
+    if (window_left_ > 0) {
+      (void)in_recovery;
+      return;
+    }
+    // One window of data acknowledged: run the DCQCN update.
+    const bool marked = marked_bytes_ > 0;
+    const double f = acked_bytes_ > 0
+                         ? static_cast<double>(marked_bytes_) / static_cast<double>(acked_bytes_)
+                         : 0.0;
+    alpha_ = (1.0 - cfg_.dctcp_g) * alpha_ + cfg_.dctcp_g * (marked ? f : 0.0);
+    if (marked) {
+      target_ = cwnd_;
+      cwnd_ *= (1.0 - alpha_ / 2.0);
+      clean_windows_ = 0;
+    } else {
+      ++clean_windows_;
+      if (clean_windows_ > kFastRecoveryWindows) {
+        // Additive (then hyper) increase raises the target; the current
+        // window converges toward it at half the gap per window.
+        const double inc =
+            clean_windows_ > kFastRecoveryWindows + kHyperAfter ? kHyperFactor * rai_ : rai_;
+        target_ += inc;
+        if (target_ > static_cast<double>(cfg_.max_cwnd)) {
+          target_ = static_cast<double>(cfg_.max_cwnd);
+        }
+      }
+      cwnd_ = (target_ + cwnd_) / 2.0;
+    }
+    clamp_cwnd();
+    acked_bytes_ = 0;
+    marked_bytes_ = 0;
+    window_left_ = cwnd();
+  }
+
+  void on_loss() override {
+    // A lossless fabric should never get here; behave like a marked window
+    // with the classic halving floor so lossy runs still converge.
+    target_ = cwnd_;
+    cwnd_ /= 2.0;
+    clean_windows_ = 0;
+    clamp_cwnd();
+    window_left_ = cwnd();
+  }
+
+  void on_timeout() override {
+    target_ = cwnd_;
+    cwnd_ = static_cast<double>(cfg_.mss);
+    clean_windows_ = 0;
+    acked_bytes_ = marked_bytes_ = 0;
+    window_left_ = cwnd();
+  }
+
+  double alpha() const { return alpha_; }
+  double target_window() const { return target_; }
+  int clean_windows() const { return clean_windows_; }
+
+ private:
+  double alpha_ = 1.0;   // conservative start, like DCTCP
+  double target_;        // Wt — the rate-target analogue
+  double rai_;           // additive-increase step (one MSS per window)
+  int clean_windows_ = 0;
+  sim::Bytes acked_bytes_ = 0;
+  sim::Bytes marked_bytes_ = 0;
+  sim::Bytes window_left_ = cwnd();
+};
+
+enum class CcKind { kDctcp, kReno, kSwift, kDcqcn };
 
 // Factory defined in congestion_control.cc (SwiftCc lives in swift.h).
 std::unique_ptr<CongestionControl> make_cc(CcKind kind, const CcConfig& cfg);
@@ -164,6 +264,8 @@ inline const char* cc_kind_name(CcKind k) {
       return "reno";
     case CcKind::kSwift:
       return "swift";
+    case CcKind::kDcqcn:
+      return "dcqcn";
   }
   return "?";
 }

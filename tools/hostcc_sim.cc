@@ -15,6 +15,7 @@
 //   hostcc_sim --topology leaf-spine:4x4 [--hosts N]
 //              [--pattern incast|all-to-all] [--flows-per-pair N]
 //              [--degree N] [--hostcc] [--fault SPEC]...
+//              [--lossless] [--storm-breaker] [--cc dcqcn]
 //              [--telemetry FILE] [--trace FILE]
 //
 // Runs one scenario and prints the measured results as a table or JSON —
@@ -57,7 +58,7 @@ namespace {
                "  --sender-hostcc     enable the sender-side response\n"
                "  --bt GBPS           hostCC target bandwidth B_T        [80]\n"
                "  --it LINES          hostCC IIO threshold I_T           [70]\n"
-               "  --cc NAME           dctcp | reno | swift               [dctcp]\n"
+               "  --cc NAME           dctcp | reno | swift | dcqcn       [dctcp]\n"
                "  --mtu BYTES         wire MTU                           [4096]\n"
                "  --flows N           NetApp-T flows                     [4]\n"
                "  --senders N         sender hosts (incast)              [1]\n"
@@ -71,7 +72,8 @@ namespace {
                "                      <kind>@<start_us>+<dur_us>[:<param>][:<target>]\n"
                "                      kinds: msr_stall msr_freeze msr_torn mba_fail\n"
                "                      mba_delay link_down link_degrade port_down\n"
-               "                      sampler_pause (dur 0 = until end of run)\n"
+               "                      sampler_pause pause_storm pfc_mute\n"
+               "                      (dur 0 = until end of run)\n"
                "  --no-invariants     disable the runtime invariant checker\n"
                "  --topology SPEC     rack-scale fabric run; SPEC is star:<n>,\n"
                "                      leaf-spine:<l>x<h>[x<s>], or fat-tree:<k>\n"
@@ -82,6 +84,10 @@ namespace {
                "  --pattern NAME      incast | all-to-all                [incast]\n"
                "  --flows-per-pair N  long flows per (sender, dest) pair [2]\n"
                "  --fabric-buffer N   switch shared-buffer size in KiB  [2048]\n"
+               "  --lossless          fabric mode: per-priority PFC on every\n"
+               "                      switch + NIC watermark backpressure\n"
+               "  --storm-breaker     lossless mode: force-XON detected pause\n"
+               "                      deadlock cycles instead of wedging\n"
                "  --signals           record and report I_S/B_S averages\n"
                "  --json              machine-readable output\n"
                "  --trace FILE        Chrome trace JSON: packet lifecycle\n"
@@ -214,14 +220,18 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const ExportPaths& pat
                   static_cast<unsigned long long>(fs.engine()->epochs_entered()));
       std::printf("    \"shard_wall_ms\": %.1f,\n", fs.engine()->max_cell_wall_ms());
     }
+    std::printf("    \"no_route_drops\": %llu,\n",
+                static_cast<unsigned long long>(r.fabric_no_route_drops));
     std::printf("    \"wall_ms\": %.1f,\n", wall_ms);
     std::printf("    \"sim_us\": %.1f,\n", fs.now().us());
     std::printf("    \"config\": {\"topology\": \"%s\", \"hosts\": %d, \"switches\": %d, "
                 "\"pattern\": \"%s\", \"flows_per_pair\": %d, \"degree\": %.2f, "
-                "\"hostcc\": %s, \"warmup_ms\": %.1f, \"measure_ms\": %.1f}\n",
+                "\"hostcc\": %s, \"lossless\": %s, \"cc\": \"%s\", "
+                "\"warmup_ms\": %.1f, \"measure_ms\": %.1f}\n",
                 cfg.topology.c_str(), fs.host_count(), fs.fabric().switch_count(),
                 cfg.traffic == exp::FabricTraffic::kIncast ? "incast" : "all-to-all",
                 cfg.flows_per_pair, cfg.mapp_degree, cfg.hostcc_enabled ? "true" : "false",
+                cfg.lossless ? "true" : "false", transport::cc_kind_name(cfg.transport.cc),
                 cfg.warmup.us() / 1000.0, cfg.measure.us() / 1000.0);
     std::printf("  },\n");
     std::printf("  \"net_tput_gbps\": %.4f,\n", r.net_tput_gbps);
@@ -242,6 +252,19 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const ExportPaths& pat
                 static_cast<unsigned long long>(r.sender_timeouts));
     std::printf("  \"invariant_violations\": %llu",
                 static_cast<unsigned long long>(r.invariant_violations));
+    if (cfg.lossless) {
+      std::printf(",\n  \"pfc_xoff_frames\": %llu,\n",
+                  static_cast<unsigned long long>(r.pfc_xoff_frames));
+      std::printf("  \"pfc_xon_frames\": %llu,\n",
+                  static_cast<unsigned long long>(r.pfc_xon_frames));
+      std::printf("  \"pfc_muted_xons\": %llu,\n",
+                  static_cast<unsigned long long>(r.pfc_muted_xons));
+      std::printf("  \"pause_outstanding\": %d,\n", r.pause_outstanding);
+      std::printf("  \"pause_max_outstanding\": %d,\n", r.pause_max_outstanding);
+      std::printf("  \"pause_last_all_clear_us\": %.3f,\n", r.pause_last_all_clear_us);
+      std::printf("  \"pause_tree_depth_peak\": %d,\n", r.pause_tree_depth_peak);
+      std::printf("  \"storm_breaks\": %llu", static_cast<unsigned long long>(r.storm_breaks));
+    }
     if (cfg.record_flow_stats) {
       std::ostringstream fct;
       fs.flow_stats().write_json_summary(fct);
@@ -262,6 +285,19 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const ExportPaths& pat
   t.add_row({"peak shared-buffer occupancy (KiB)",
              exp::fmt(static_cast<double>(r.fabric_occupancy_peak) / 1024.0, 1)});
   t.add_row({"avg I_S (cachelines)", exp::fmt(r.avg_iio_occupancy, 1)});
+  if (cfg.lossless) {
+    t.add_row({"PFC XOFF / XON frames", std::to_string(r.pfc_xoff_frames) + " / " +
+                                            std::to_string(r.pfc_xon_frames)});
+    t.add_row({"pause pairs outstanding / peak", std::to_string(r.pause_outstanding) + " / " +
+                                                     std::to_string(r.pause_max_outstanding)});
+    t.add_row({"pause tree depth peak", std::to_string(r.pause_tree_depth_peak)});
+    if (r.pfc_muted_xons > 0) {
+      t.add_row({"muted XONs (pfc_mute)", std::to_string(r.pfc_muted_xons)});
+    }
+    if (r.storm_breaks > 0) {
+      t.add_row({"storm-breaker interventions", std::to_string(r.storm_breaks)});
+    }
+  }
   if (cfg.record_flow_stats) {
     t.add_row({"flow episodes", std::to_string(r.flow_episodes)});
     t.add_row({"FCT p50/p99/p99.9 (us)", exp::fmt(r.fct_p50_us, 1) + " / " +
@@ -284,6 +320,8 @@ int run_cli(int argc, char** argv) {
   int fabric_shards = 0;
   int flows_per_pair = 2;
   int fabric_buffer_kib = 0;  // 0 = FabricSwitchConfig default
+  bool lossless = false;
+  bool storm_breaker = false;
   bool all_to_all = false;
   bool warmup_set = false, measure_set = false;
 
@@ -313,6 +351,8 @@ int run_cli(int argc, char** argv) {
         cfg.transport.cc = transport::CcKind::kReno;
       } else if (name == "swift") {
         cfg.transport.cc = transport::CcKind::kSwift;
+      } else if (name == "dcqcn") {
+        cfg.transport.cc = transport::CcKind::kDcqcn;
       } else {
         usage(argv[0]);
       }
@@ -354,6 +394,10 @@ int run_cli(int argc, char** argv) {
       flows_per_pair = static_cast<int>(num_arg(argc, argv, i));
     } else if (a == "--fabric-buffer") {
       fabric_buffer_kib = static_cast<int>(num_arg(argc, argv, i));
+    } else if (a == "--lossless") {
+      lossless = true;
+    } else if (a == "--storm-breaker") {
+      storm_breaker = true;
     } else if (a == "--seed") {
       cfg.host.seed = static_cast<std::uint64_t>(num_arg(argc, argv, i));
     } else if (a == "--fault") {
@@ -406,6 +450,8 @@ int run_cli(int argc, char** argv) {
     if (fabric_buffer_kib > 0) {
       fcfg.fabric.buffer_bytes = static_cast<sim::Bytes>(fabric_buffer_kib) * sim::kKiB;
     }
+    fcfg.lossless = lossless;
+    fcfg.storm_breaker = storm_breaker;
     fcfg.mapp_degree = cfg.mapp_degree;
     fcfg.hostcc_enabled = cfg.hostcc_enabled;
     fcfg.hostcc = cfg.hostcc;
@@ -467,9 +513,7 @@ int run_cli(int argc, char** argv) {
   }
 
   if (json) {
-    const char* cc_name = cfg.transport.cc == transport::CcKind::kDctcp  ? "dctcp"
-                          : cfg.transport.cc == transport::CcKind::kReno ? "reno"
-                                                                         : "swift";
+    const char* cc_name = transport::cc_kind_name(cfg.transport.cc);
     std::printf("{\n");
     std::printf("  \"meta\": {\n");
     std::printf("    \"seed\": %llu,\n", static_cast<unsigned long long>(cfg.host.seed));
