@@ -345,6 +345,42 @@ BENCHMARK(BM_FabricShardScaling)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Hybrid-fidelity scaling: the same warm incast with the host tier under
+// --fidelity control (args: hosts, fidelity; 0 = all-full baseline, 1 =
+// auto — senders flow-level analytic, the victim pinned to the full
+// packet-level tier). The victim's datapath is bit-for-bit the full model
+// in both modes, so items/sec (victim NIC arrivals per wall second) is
+// directly comparable; the hybrid rows show how much larger a fabric one
+// core sustains when only congested hosts pay packet-level prices.
+void BM_HybridFidelityScaling(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  const bool hybrid = state.range(1) != 0;
+  exp::FabricScenarioConfig cfg;
+  cfg.topology = hosts <= 64 ? "leaf-spine:8x8" : "leaf-spine:16x40";
+  cfg.hosts = hosts;
+  cfg.fidelity = hybrid ? exp::HostFidelity::kAuto : exp::HostFidelity::kFull;
+  cfg.mapp_degree = 0.0;
+  cfg.warmup = sim::Time::milliseconds(5);
+  exp::FabricScenario s(std::move(cfg));
+  s.run_warmup();
+  s.run_for(sim::Time::milliseconds(5));  // settle past slow start's tail
+  const auto arrived = [&s] {
+    return s.hybrid() ? s.slot(0).arrived_pkts() : s.host(0).nic().stats().arrived_pkts;
+  };
+  std::uint64_t pkts = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = arrived();
+    s.run_for(sim::Time::milliseconds(1));
+    pkts += arrived() - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pkts));
+}
+BENCHMARK(BM_HybridFidelityScaling)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({640, 1})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -57,6 +57,54 @@ std::vector<std::string> validate(const FabricScenarioConfig& cfg,
   if (cfg.storm_breaker && !cfg.lossless && !cfg.fabric.pfc_enabled) {
     errs.push_back("fabric_scenario.storm_breaker requires lossless mode (--lossless)");
   }
+  if (cfg.messages_per_flow > 0) {
+    if (cfg.fidelity == HostFidelity::kFull) {
+      errs.push_back("fabric_scenario.messages_per_flow is a hybrid-fidelity knob "
+                     "(--fidelity analytic|auto)");
+    }
+    if (cfg.flow_bytes <= 0) {
+      errs.push_back("fabric_scenario.messages_per_flow requires flow_bytes > 0 "
+                     "(closed-loop messages)");
+    }
+  }
+  if (cfg.promote_threshold <= 0) {
+    errs.push_back("fabric_scenario.promote_threshold must be > 0 bytes");
+  }
+  // The analytic tier models no MSR/MBA/sampler surface and cannot host a
+  // controller; faults and knobs that need one must name the tier so the
+  // failure is actionable (--fidelity auto keeps destinations full).
+  if (cfg.fidelity == HostFidelity::kAnalytic) {
+    if (cfg.hostcc_enabled) {
+      errs.push_back("fabric_scenario.hostcc_enabled needs a full-tier host for the "
+                     "controller, but every host is analytic-tier under --fidelity "
+                     "analytic (use --fidelity full or auto)");
+    }
+    for (const faults::FaultEvent& ev : cfg.faults.events) {
+      const char* surface = nullptr;
+      switch (ev.kind) {
+        case faults::FaultKind::kMsrStall:
+        case faults::FaultKind::kMsrFreeze:
+        case faults::FaultKind::kMsrTorn:
+          surface = "MSR bank";
+          break;
+        case faults::FaultKind::kMbaWriteFail:
+        case faults::FaultKind::kMbaWriteDelay:
+          surface = "MBA actuator";
+          break;
+        case faults::FaultKind::kSamplerPause:
+          surface = "signal sampler";
+          break;
+        default:
+          break;
+      }
+      if (surface) {
+        errs.push_back(std::string("fault ") + faults::fault_kind_name(ev.kind) +
+                       ": targets host h0's " + surface + ", but h0 is an analytic-tier "
+                       "host under --fidelity analytic (the flow-level tier has no " +
+                       surface + "; use --fidelity full or auto)");
+      }
+    }
+  }
   if (topo) {
     const int avail = topo->host_count();
     if (cfg.hosts < 0 || cfg.hosts > avail) {
@@ -92,6 +140,39 @@ std::vector<std::string> validate(const FabricScenarioConfig& cfg,
         errs.push_back(std::string("fault ") + faults::fault_kind_name(ev.kind) + ": edge '" +
                        ev.target_edge + "' does not exist in topology '" + cfg.topology +
                        "' (known edges: " + known + ")");
+      }
+    }
+    // A pause-class fault aimed at a host uplink needs a host that can be
+    // back-pressured: under --fidelity analytic there is nothing to pause
+    // (and no manager to promote), so the plan is rejected with the tier
+    // named; under auto the FidelityManager sees the forced pause on the
+    // uplink and promotes the host instead.
+    if (cfg.fidelity == HostFidelity::kAnalytic) {
+      const std::vector<int> hnodes = topo->host_nodes();
+      const int n = cfg.hosts > 0 ? cfg.hosts : static_cast<int>(hnodes.size());
+      for (const faults::FaultEvent& ev : cfg.faults.events) {
+        if (ev.target_edge.empty()) continue;
+        if (ev.kind != faults::FaultKind::kPauseStorm &&
+            ev.kind != faults::FaultKind::kPfcMute) {
+          continue;
+        }
+        std::string hit;
+        for (const fabric::TopoArc& a : topo->arcs()) {
+          if (a.link != ev.target_edge) continue;
+          for (int i = 0; i < n && hit.empty(); ++i) {
+            if (hnodes[i] == a.from || hnodes[i] == a.to) {
+              hit = topo->nodes()[hnodes[i]].name;
+            }
+          }
+          if (!hit.empty()) break;
+        }
+        if (!hit.empty()) {
+          errs.push_back(std::string("fault ") + faults::fault_kind_name(ev.kind) + ": edge '" +
+                         ev.target_edge + "' reaches host '" + hit +
+                         "', an analytic-tier host under --fidelity analytic — pause cannot "
+                         "back-pressure the flow-level tier (use --fidelity auto, where the "
+                         "storm forces promotion to the full tier)");
+        }
       }
     }
   }
@@ -177,6 +258,16 @@ void FabricScenario::build() {
       if (d == i) return true;
     return false;
   };
+  // kAuto pins the congested destinations — the hosts that carry MApps,
+  // controllers, and the signal sampler — to the full tier; every other
+  // host (senders and uncongested destinations alike) starts analytic and
+  // is promoted only when its leaf delivery port actually backs up.
+  const int pinned_n = std::min(cfg_.congested_hosts, static_cast<int>(destinations_.size()));
+  const auto is_pinned = [&](int i) {
+    for (int c = 0; c < pinned_n; ++c)
+      if (destinations_[c] == i) return true;
+    return false;
+  };
 
   // One shared FlowStats across every stack, attached before any
   // connection exists (the disabled path is the null pointer the stacks
@@ -193,7 +284,11 @@ void FabricScenario::build() {
     }
   }
 
-  // Hosts + stacks + fabric attachment, in HostId order.
+  // Hosts + fabric attachment, in HostId order. Hybrid modes build one
+  // HostSlot per host (flow-level AnalyticHost always, full kit lazily on
+  // promotion); the legacy kFull path keeps its HostModel + Stack per
+  // host. Both routes go through the HostPort seam, so the fabric wiring
+  // is identical either way.
   for (int i = 0; i < n_hosts; ++i) {
     const net::HostId id = static_cast<net::HostId>(i);
     host::HostConfig hc = cfg_.host;
@@ -203,6 +298,29 @@ void FabricScenario::build() {
     if (!is_destination(i)) hc.ddio_enabled = false;
     const std::string& name = topo->nodes()[host_nodes[i]].name;
     sim::Simulator& hsim = cell_sim(host_cell_[i]);
+    if (hybrid()) {
+      HostSlot::Config sc;
+      sc.id = id;
+      sc.name = name;
+      sc.host = hc;
+      sc.transport = cfg_.transport;
+      sc.lossless = cfg_.lossless;
+      sc.pinned_full = cfg_.fidelity == HostFidelity::kAuto && is_pinned(i);
+      sc.start_full = sc.pinned_full;
+      sc.check_invariants = cfg_.check_invariants;
+      sc.messages_per_flow = cfg_.messages_per_flow;
+      auto slot = std::make_unique<HostSlot>(hsim, std::move(sc));
+      HostSlot* sp = slot.get();
+      net::Link& up =
+          fabric_->attach_host(id, name, [sp](const net::PacketRef& p) { sp->deliver(p); });
+      up.set_on_dequeue([sp](const net::Packet& p) { sp->uplink_dequeued(p); });
+      slot->wire(fabric_.get(), &up, fabric_->host_switch_idx(id), fabric_->host_port_idx(id));
+      if (cfg_.record_flow_stats) {
+        slot->set_flow_stats(sharded() ? cell_flow_stats_[host_cell_[i]].get() : &flow_stats_);
+      }
+      slots_.push_back(std::move(slot));
+      continue;
+    }
     auto h = std::make_unique<host::HostModel>(hsim, hc, name);
     auto stack = std::make_unique<transport::Stack>(hsim, *h, id, cfg_.transport);
     if (cfg_.record_flow_stats) {
@@ -210,9 +328,11 @@ void FabricScenario::build() {
     }
 
     host::HostModel* hp = h.get();
-    net::Link& up = fabric_->attach_host(
-        id, name, [hp](const net::PacketRef& p) { hp->receive_from_wire(p); });
-    up.set_on_dequeue([hp](const net::Packet& p) { hp->wire_dequeued(p); });
+    full_ports_.push_back(std::make_unique<host::FullHostPort>(*hp));
+    host::HostPort* port = full_ports_.back().get();
+    net::Link& up =
+        fabric_->attach_host(id, name, [port](const net::PacketRef& p) { port->deliver(p); });
+    up.set_on_dequeue([port](const net::Packet& p) { port->uplink_dequeued(p); });
     hp->set_egress([lnk = &up](const net::PacketRef& p) { lnk->send(p); });
     if (cfg_.lossless) {
       // Watermark-driven host backpressure: ask the leaf to pause the
@@ -247,30 +367,65 @@ void FabricScenario::build() {
   }
 
   // Long flows: one ThroughputApp per (sender, destination) pair with
-  // globally unique flow ids.
+  // globally unique flow ids. Hybrid modes register the same flow layout
+  // on the slots instead (flows must outlive tier swaps, so the slot — not
+  // an app bound to one stack — owns them), then mirror ThroughputApp's
+  // staggered starts.
   {
     net::FlowId fid = 100;
-    for (int dst : destinations_) {
-      for (int src = 0; src < n_hosts; ++src) {
-        if (src == dst) continue;
-        tput_apps_.push_back(std::make_unique<apps::ThroughputApp>(
-            *stacks_[src], *stacks_[dst], cfg_.flows_per_pair, fid, cfg_.flow_stagger,
-            cfg_.flow_bytes));
-        fid += static_cast<net::FlowId>(cfg_.flows_per_pair);
+    if (hybrid()) {
+      struct Start {
+        int src;
+        net::FlowId flow;
+        int k;  // within-pair index; the stagger multiplier
+      };
+      std::vector<Start> starts;
+      for (int dst : destinations_) {
+        for (int src = 0; src < n_hosts; ++src) {
+          if (src == dst) continue;
+          for (int k = 0; k < cfg_.flows_per_pair; ++k) {
+            const net::FlowId f = fid + static_cast<net::FlowId>(k);
+            slots_[src]->add_sender(f, static_cast<net::HostId>(dst), cfg_.flow_bytes);
+            slots_[dst]->add_receiver(f, static_cast<net::HostId>(src));
+            starts.push_back({src, f, k});
+          }
+          fid += static_cast<net::FlowId>(cfg_.flows_per_pair);
+        }
+      }
+      for (auto& s : slots_) s->commit();
+      for (const Start& st : starts) {
+        HostSlot* sp = slots_[st.src].get();
+        cell_sim(host_cell_[st.src])
+            .after(cfg_.flow_stagger * st.k, [sp, f = st.flow] { sp->start_flow(f); });
+      }
+    } else {
+      for (int dst : destinations_) {
+        for (int src = 0; src < n_hosts; ++src) {
+          if (src == dst) continue;
+          tput_apps_.push_back(std::make_unique<apps::ThroughputApp>(
+              *stacks_[src], *stacks_[dst], cfg_.flows_per_pair, fid, cfg_.flow_stagger,
+              cfg_.flow_bytes));
+          fid += static_cast<net::FlowId>(cfg_.flows_per_pair);
+        }
       }
     }
   }
 
   // MApp interference + optional hostCC on the congested destinations.
+  // Hybrid modes hang both off the slot's full-tier HostModel: under kAuto
+  // every destination is pinned full, so it exists; under kAnalytic there
+  // is none — no memory subsystem to interfere with (and validation
+  // already rejected hostcc_enabled there).
   const int congested = std::min(cfg_.congested_hosts, static_cast<int>(destinations_.size()));
   for (int c = 0; c < congested; ++c) {
     const int hid = destinations_[c];
-    if (cfg_.mapp_degree > 0.0) {
+    host::HostModel* hm = hybrid() ? slots_[hid]->full_host() : hosts_[hid].get();
+    if (cfg_.mapp_degree > 0.0 && hm) {
       mapps_.push_back(std::make_unique<apps::MemApp>(
-          *hosts_[hid], host::mapp_cores_for_degree(cfg_.mapp_degree)));
+          *hm, host::mapp_cores_for_degree(cfg_.mapp_degree)));
     }
     if (cfg_.hostcc_enabled) {
-      auto ctl = std::make_unique<core::HostCcController>(*hosts_[hid], cfg_.hostcc);
+      auto ctl = std::make_unique<core::HostCcController>(*hm, cfg_.hostcc);
       if (cfg_.record_decisions) {
         if (sharded()) {
           // Controllers on different cells tick on different threads; each
@@ -287,12 +442,49 @@ void FabricScenario::build() {
     }
   }
   if (controllers_.empty()) {
-    passive_sampler_ = std::make_unique<core::SignalSampler>(*hosts_[0], cfg_.hostcc.signals);
-    passive_sampler_->start();
+    host::HostModel* h0 = hybrid() ? slots_[0]->full_host() : hosts_[0].get();
+    if (h0) {  // null only under kAnalytic — no full-tier host to sample
+      passive_sampler_ = std::make_unique<core::SignalSampler>(*h0, cfg_.hostcc.signals);
+      passive_sampler_->start();
+    }
+  }
+
+  // Congestion-triggered tier management (kAuto): one manager per cell,
+  // ticking on the cell's own loop at the telemetry lane's cadence over
+  // that cell's slots. A slot, its uplink, and its leaf switch are always
+  // co-located in one cell, so every swap stays on the owning thread.
+  if (cfg_.fidelity == HostFidelity::kAuto) {
+    FidelityConfig fc;
+    fc.promote_threshold = cfg_.promote_threshold;
+    fc.period = cfg_.telemetry_cfg.sample_period;
+    fc.demote_quiescence = cfg_.demote_quiescence;
+    for (int c = 0; c < ncells; ++c) {
+      std::vector<HostSlot*> cell_slots;
+      for (int i = 0; i < n_hosts; ++i) {
+        if (host_cell_[i] == c) cell_slots.push_back(slots_[i].get());
+      }
+      if (cell_slots.empty()) continue;
+      auto mgr = std::make_unique<FidelityManager>(cell_sim(c), fc, fabric_.get(),
+                                                   std::move(cell_slots));
+      if (cfg_.record_decisions) {
+        if (sharded()) {
+          // Same per-thread staging as the controllers' logs; merged
+          // time-ordered in run_measure().
+          mgr_decisions_.push_back(std::make_unique<obs::DecisionLog>());
+          mgr->set_decision_log(mgr_decisions_.back().get());
+        } else {
+          mgr->set_decision_log(&decisions_);
+        }
+      }
+      mgr->start();
+      managers_.push_back(std::move(mgr));
+    }
   }
 
   // Invariant audit: per-host conservation laws on every host, plus the
-  // fabric-wide shared-buffer ledger. Read-only either way.
+  // fabric-wide shared-buffer ledger. Read-only either way. Hybrid slots
+  // own a checker per full kit instead (built with the kit, audited on the
+  // active tier only).
   if (cfg_.check_invariants) {
     for (auto& h : hosts_) {
       host_checkers_.push_back(std::make_unique<faults::InvariantChecker>(*h));
@@ -337,8 +529,14 @@ void FabricScenario::build() {
       auto inj = std::make_unique<faults::FaultInjector>(cell_sim(c), cfg_.faults);
       if (sharded() && plan_.parallel()) inj->set_edge_cell_scope(c);
       if (host_cell_[0] == c) {
-        inj->attach_msrs(hosts_[0]->msrs());
-        inj->attach_mba(hosts_[0]->mba());
+        // Host 0's MSR/MBA surfaces exist only on a full-tier host;
+        // validation already rejected the fault kinds that need them when
+        // every host is analytic.
+        host::HostModel* h0 = hybrid() ? slots_[0]->full_host() : hosts_[0].get();
+        if (h0) {
+          inj->attach_msrs(h0->msrs());
+          inj->attach_mba(h0->mba());
+        }
       }
       for (int i = 0; i < n_hosts; ++i) {
         if (host_cell_[i] != c) continue;
@@ -348,8 +546,11 @@ void FabricScenario::build() {
       }
       inj->attach_fabric(*fabric_);
       if (host_cell_[sampler_host] == c) {
-        inj->attach_sampler(controllers_.empty() ? *passive_sampler_
-                                                 : controllers_[0]->sampler());
+        if (!controllers_.empty()) {
+          inj->attach_sampler(controllers_[0]->sampler());
+        } else if (passive_sampler_) {
+          inj->attach_sampler(*passive_sampler_);
+        }
       }
       inj->arm();
       injectors_.push_back(std::move(inj));
@@ -364,12 +565,24 @@ void FabricScenario::build() {
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
     stacks_[i]->register_metrics(metrics_, hosts_[i]->name() + "/transport");
   }
+  // Hybrid: full kits that exist at build time (the pinned destinations)
+  // export the legacy per-host series; kits built later by promotion are
+  // covered by the telemetry tier series instead (registration is a
+  // build-time affair).
+  for (auto& s : slots_) {
+    if (host::HostModel* hm = s->full_host()) {
+      hm->register_metrics(metrics_);
+      s->stack()->register_metrics(metrics_, s->name() + "/transport");
+    }
+  }
   for (std::size_t c = 0; c < controllers_.size(); ++c) {
-    controllers_[c]->register_metrics(metrics_,
-                                      hosts_[controller_host_[c]]->name() + "/hostcc");
+    const std::string& cn =
+        hybrid() ? slots_[controller_host_[c]]->name() : hosts_[controller_host_[c]]->name();
+    controllers_[c]->register_metrics(metrics_, cn + "/hostcc");
   }
   if (passive_sampler_) {
-    passive_sampler_->register_metrics(metrics_, hosts_[0]->name() + "/hostcc/signals");
+    const std::string& sn = hybrid() ? slots_[0]->name() : hosts_[0]->name();
+    passive_sampler_->register_metrics(metrics_, sn + "/hostcc/signals");
   }
   fabric_->register_metrics(metrics_, "fabric");
   for (std::size_t i = 0; i < host_checkers_.size(); ++i) {
@@ -471,6 +684,56 @@ void FabricScenario::build() {
         return static_cast<std::int64_t>(hp->iio().occupancy_bytes());
       });
     }
+    // Hybrid host groups: the tier flag plus the legacy series (zero while
+    // the host is analytic or the kit doesn't exist yet); the sampler
+    // lambdas run on the slot's owning cell thread.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      HostSlot* sp = slots_[i].get();
+      const int pid = telemetry_.add_group(sp->name(), sharded() ? host_cell_[i] : 0);
+      telemetry_.add_series(
+          pid, "tier", [sp] { return static_cast<std::int64_t>(sp->full_active() ? 1 : 0); });
+      telemetry_.add_series(pid, "nic_queued_bytes", [sp] {
+        host::HostModel* hm = sp->full_host();
+        return hm ? static_cast<std::int64_t>(hm->nic().queued_bytes()) : 0;
+      });
+      telemetry_.add_series(pid, "iio_occupancy_bytes", [sp] {
+        host::HostModel* hm = sp->full_host();
+        return hm ? static_cast<std::int64_t>(hm->iio().occupancy_bytes()) : 0;
+      });
+    }
+    // Per-cell tier census: every series reads only that cell's slots, so
+    // the group samples race-free in its own domain.
+    if (hybrid()) {
+      for (int c = 0; c < ncells; ++c) {
+        std::vector<HostSlot*> cs;
+        for (int i = 0; i < n_hosts; ++i) {
+          if (host_cell_[i] == c) cs.push_back(slots_[i].get());
+        }
+        if (cs.empty()) continue;
+        const int pid =
+            telemetry_.add_group("fidelity/cell" + std::to_string(c), sharded() ? c : 0);
+        telemetry_.add_series(pid, "hosts_full", [cs] {
+          std::int64_t n = 0;
+          for (HostSlot* s : cs) n += s->full_active() ? 1 : 0;
+          return n;
+        });
+        telemetry_.add_series(pid, "hosts_analytic", [cs] {
+          std::int64_t n = 0;
+          for (HostSlot* s : cs) n += s->full_active() ? 0 : 1;
+          return n;
+        });
+        telemetry_.add_series(pid, "promotions", [cs] {
+          std::int64_t n = 0;
+          for (HostSlot* s : cs) n += static_cast<std::int64_t>(s->promotions());
+          return n;
+        });
+        telemetry_.add_series(pid, "demotions", [cs] {
+          std::int64_t n = 0;
+          for (HostSlot* s : cs) n += static_cast<std::int64_t>(s->demotions());
+          return n;
+        });
+      }
+    }
     if (sharded()) {
       std::vector<sim::Simulator*> sims;
       for (int c = 0; c < ncells; ++c) sims.push_back(&engine_->cell(c));
@@ -497,6 +760,13 @@ void FabricScenario::attach_profiler(bool enable) {
       stacks_[i]->set_profiler(
           cell_profilers_[host_cell_[i]]->handle(hosts_[i]->name() + "/transport"));
     }
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (host::HostModel* hm = slots_[i]->full_host()) {
+        hm->set_profiler(cell_profilers_[host_cell_[i]].get());
+        slots_[i]->stack()->set_profiler(
+            cell_profilers_[host_cell_[i]]->handle(slots_[i]->name() + "/transport"));
+      }
+    }
     for (int s = 0; s < fabric_->switch_count(); ++s) {
       fabric::FabricSwitch& sw = fabric_->switch_at(s);
       sw.set_profiler(cell_profilers_[fabric_->cell_of_switch(s)]->handle(sw.name() + "/forward"));
@@ -513,6 +783,12 @@ void FabricScenario::attach_profiler(bool enable) {
   for (auto& h : hosts_) h->set_profiler(&profiler_);
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
     stacks_[i]->set_profiler(profiler_.handle(hosts_[i]->name() + "/transport"));
+  }
+  for (auto& s : slots_) {
+    if (host::HostModel* hm = s->full_host()) {
+      hm->set_profiler(&profiler_);
+      s->stack()->set_profiler(profiler_.handle(s->name() + "/transport"));
+    }
   }
   for (int s = 0; s < fabric_->switch_count(); ++s) {
     fabric::FabricSwitch& sw = fabric_->switch_at(s);
@@ -550,10 +826,18 @@ void FabricScenario::mark_measurement_start() {
   base_dst_arrived_ = 0;
   base_dst_dropped_ = 0;
   for (int d : destinations_) {
-    base_dst_arrived_ += hosts_[d]->nic().stats().arrived_pkts;
-    base_dst_dropped_ += hosts_[d]->nic().stats().dropped_pkts;
+    if (hybrid()) {
+      base_dst_arrived_ += slots_[d]->arrived_pkts();
+      base_dst_dropped_ += slots_[d]->dropped_pkts();
+    } else {
+      base_dst_arrived_ += hosts_[d]->nic().stats().arrived_pkts;
+      base_dst_dropped_ += hosts_[d]->nic().stats().dropped_pkts;
+    }
   }
   for (auto& app : tput_apps_) app->goodput_since_mark(mark);
+  if (hybrid()) {
+    for (int d : destinations_) slots_[d]->goodput_since_mark(mark);
+  }
   measure_start_ = mark;
   // FCT percentiles cover the measurement window only (per-flow lifetime
   // records and open episodes survive the reset).
@@ -573,10 +857,13 @@ FabricScenarioResults FabricScenario::run_measure() {
     flow_stats_ = obs::FlowStats(cfg_.flow_stats);
     for (auto& f : cell_flow_stats_) flow_stats_.merge_from(*f);
   }
-  if (!ctl_decisions_.empty()) {
+  if (!ctl_decisions_.empty() || !mgr_decisions_.empty()) {
     decisions_.clear();
     std::vector<obs::Decision> all;
     for (auto& log : ctl_decisions_) {
+      for (const obs::Decision& d : log->decisions()) all.push_back(d);
+    }
+    for (auto& log : mgr_decisions_) {
       for (const obs::Decision& d : log->decisions()) all.push_back(d);
     }
     std::stable_sort(all.begin(), all.end(),
@@ -588,12 +875,20 @@ FabricScenarioResults FabricScenario::run_measure() {
   FabricScenarioResults r;
   double tput = 0.0;
   for (auto& app : tput_apps_) tput += app->goodput_since_mark(end).as_gbps();
+  if (hybrid()) {
+    for (int d : destinations_) tput += slots_[d]->goodput_since_mark(end).as_gbps();
+  }
   r.net_tput_gbps = tput;
 
   std::uint64_t arrived = 0, dropped = 0;
   for (int d : destinations_) {
-    arrived += hosts_[d]->nic().stats().arrived_pkts;
-    dropped += hosts_[d]->nic().stats().dropped_pkts;
+    if (hybrid()) {
+      arrived += slots_[d]->arrived_pkts();
+      dropped += slots_[d]->dropped_pkts();
+    } else {
+      arrived += hosts_[d]->nic().stats().arrived_pkts;
+      dropped += hosts_[d]->nic().stats().dropped_pkts;
+    }
   }
   arrived -= base_dst_arrived_;
   dropped -= base_dst_dropped_;
@@ -618,11 +913,16 @@ FabricScenarioResults FabricScenario::run_measure() {
     r.sender_timeouts += s.timeouts;
     r.sender_fast_retransmits += s.fast_retransmits;
   }
+  for (auto& s : slots_) {
+    const auto st = s->sender_stats();
+    r.sender_timeouts += st.timeouts;
+    r.sender_fast_retransmits += st.fast_retransmits;
+  }
 
   if (!controllers_.empty()) {
     r.avg_iio_occupancy = controllers_[0]->sampler().is_value();
     r.avg_pcie_gbps = controllers_[0]->sampler().bs_value().as_gbps();
-  } else {
+  } else if (passive_sampler_) {
     r.avg_iio_occupancy = passive_sampler_->is_value();
     r.avg_pcie_gbps = passive_sampler_->bs_value().as_gbps();
   }
@@ -630,6 +930,14 @@ FabricScenarioResults FabricScenario::run_measure() {
   for (auto& c : host_checkers_) {
     c->check_now();  // final sweep at the measurement boundary
     r.invariant_violations += c->total_violations();
+  }
+  for (auto& s : slots_) {
+    if (faults::InvariantChecker* ck = s->checker()) {
+      // A parked kit's counters are frozen (audited once at demotion);
+      // sweep only the live ones.
+      if (s->full_active()) ck->check_now();
+      r.invariant_violations += ck->total_violations();
+    }
   }
   for (auto& c : fabric_checkers_) c->check_now();
   // Sharded parallel runs defer the whole-fabric deep sweeps (dangling
@@ -661,6 +969,14 @@ FabricScenarioResults FabricScenario::run_measure() {
     r.fct_p50_us = fs.p50.us();
     r.fct_p99_us = fs.p99.us();
     r.fct_p999_us = fs.p999.us();
+  }
+
+  if (hybrid()) {
+    for (auto& s : slots_) {
+      s->full_active() ? ++r.hosts_full : ++r.hosts_analytic;
+      r.promotions += s->promotions();
+      r.demotions += s->demotions();
+    }
   }
   // Capture the final telemetry frame at the measurement boundary so the
   // exported series always end exactly at run end (sample_now covers every

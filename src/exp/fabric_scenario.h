@@ -23,6 +23,7 @@
 
 #include "apps/mem_app.h"
 #include "apps/throughput_app.h"
+#include "exp/fidelity.h"
 #include "fabric/fabric.h"
 #include "fabric/partition.h"
 #include "fabric/pause_ledger.h"
@@ -110,6 +111,20 @@ struct FabricScenarioConfig {
   bool profile = false;                  // simulator self-profiler
 
   bool coalesced_drains = true;          // HOSTCC_DRAIN_MODE overrides
+
+  // Hybrid host fidelity (--fidelity full|analytic|auto). kFull keeps the
+  // legacy all-HostModel path byte-identical; kAnalytic runs every host as
+  // a flow-level AnalyticHost; kAuto pins the first `congested_hosts` flow
+  // destinations full (they carry the MApps, controllers, and signal
+  // sampler) and runs everyone else analytic with promotion/demotion
+  // driven by leaf delivery-port congestion. See src/exp/fidelity.h.
+  HostFidelity fidelity = HostFidelity::kFull;
+  sim::Bytes promote_threshold = 64 * 1024;  // leaf delivery-port queue bytes
+  sim::Time demote_quiescence = sim::Time::microseconds(100);
+  // Hybrid modes only: cap each closed-loop flow (flow_bytes > 0) at this
+  // many messages, so senders drain and the demotion path is reachable.
+  // 0 = endless back-to-back messages (the legacy ThroughputApp behavior).
+  std::uint64_t messages_per_flow = 0;
 };
 
 struct FabricScenarioResults {
@@ -148,6 +163,12 @@ struct FabricScenarioResults {
   double fct_p50_us = 0.0;
   double fct_p99_us = 0.0;
   double fct_p999_us = 0.0;
+
+  // Hybrid-fidelity tier accounting (fidelity != kFull; zero otherwise).
+  int hosts_full = 0;          // hosts on the packet-level tier at run end
+  int hosts_analytic = 0;      // hosts on the flow-level tier at run end
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
 };
 
 class FabricScenario {
@@ -177,9 +198,17 @@ class FabricScenario {
   sim::ShardedSimulator* engine() { return engine_.get(); }
   const fabric::ShardPlan& shard_plan() const { return plan_; }
   fabric::Fabric& fabric() { return *fabric_; }
-  int host_count() const { return static_cast<int>(hosts_.size()); }
+  int host_count() const {
+    return static_cast<int>(hybrid() ? slots_.size() : hosts_.size());
+  }
   host::HostModel& host(int i) { return *hosts_.at(i); }
   transport::Stack& stack(int i) { return *stacks_.at(i); }
+  // Hybrid-fidelity surface (fidelity != kFull; empty otherwise).
+  bool hybrid() const { return cfg_.fidelity != HostFidelity::kFull; }
+  HostSlot& slot(int i) { return *slots_.at(i); }
+  FidelityManager* fidelity_manager(int i = 0) {
+    return i < static_cast<int>(managers_.size()) ? managers_[i].get() : nullptr;
+  }
   core::HostCcController* controller(int i = 0);
   faults::FaultInjector* injector() {
     return injectors_.empty() ? nullptr : injectors_.front().get();
@@ -231,6 +260,12 @@ class FabricScenario {
   std::unique_ptr<fabric::Fabric> fabric_;
   std::vector<std::unique_ptr<host::HostModel>> hosts_;
   std::vector<std::unique_ptr<transport::Stack>> stacks_;
+  // kFull routes the fabric seam through FullHostPort (same calls, named
+  // seam); hybrid modes replace hosts_/stacks_/tput_apps_ with slots_.
+  std::vector<std::unique_ptr<host::FullHostPort>> full_ports_;
+  std::vector<std::unique_ptr<HostSlot>> slots_;
+  std::vector<std::unique_ptr<FidelityManager>> managers_;      // kAuto, per cell
+  std::vector<std::unique_ptr<obs::DecisionLog>> mgr_decisions_;  // per manager
   std::vector<std::unique_ptr<apps::ThroughputApp>> tput_apps_;
   std::vector<std::unique_ptr<apps::MemApp>> mapps_;
   std::vector<std::unique_ptr<core::HostCcController>> controllers_;

@@ -164,6 +164,11 @@ class Fabric {
   int host_cell(net::HostId id) const { return cell_of_switch_.at(hosts_.at(id).switch_idx); }
   sim::Simulator& switch_sim(int i) { return *sim_of_switch_.at(i); }
 
+  // Leaf placement of an attached host (hybrid-fidelity promotion watches
+  // the leaf's delivery-port occupancy toward the host).
+  int host_switch_idx(net::HostId id) const { return hosts_.at(id).switch_idx; }
+  int host_port_idx(net::HostId id) const { return hosts_.at(id).host_port; }
+
   // Aggregate drop/mark/occupancy totals across every switch.
   FabricSwitch::Totals totals() const;
 

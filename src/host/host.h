@@ -95,6 +95,27 @@ class HostModel {
   // --- host-local traffic (MApp etc.) ---
   void add_host_local_source(MemSource* src) { mc_->add_source(src, /*network_path=*/false); }
 
+  // --- hybrid-fidelity parking ---
+  // A demoted host is kept constructed (events may still reference it) but
+  // parked: the memory controller's 50ns quantum lane — the only always-on
+  // per-host periodic cost — stops until unpark(). Park only a quiescent
+  // host (empty NIC/IIO/TX pipeline); in-flight datapath work would stall.
+  void park() {
+    parked_ = true;
+    mc_->set_quantum_active(false);
+  }
+  void unpark() {
+    parked_ = false;
+    mc_->set_quantum_active(true);
+  }
+  bool parked() const { return parked_; }
+  // Quiescence probe for the demotion decision: no bytes anywhere in the
+  // rx pipeline or the egress queue.
+  bool pipeline_empty() const {
+    return nic_->queued_bytes() == 0 && iio_->occupancy_bytes() == 0 &&
+           cpu_->total_backlog() == 0 && tx_->queued_packets() == 0;
+  }
+
   // --- observability ---
   // Attaches (or detaches, with nullptr) a packet-lifecycle tracer to every
   // rx-datapath stage. The tracer decides whether it is enabled; attaching
@@ -159,6 +180,7 @@ class HostModel {
   net::PacketPool pool_;
   std::unordered_map<net::FlowId, sim::Bytes> tx_queued_;
   std::function<void(net::FlowId)> on_tx_drained_;
+  bool parked_ = false;
 };
 
 }  // namespace hostcc::host

@@ -1,0 +1,48 @@
+// HostPort: the seam between the fabric and whatever models a host behind
+// its uplink. fabric::Fabric only needs two entry points per host — deliver
+// a packet leaving the fabric toward the host, and notify that the uplink
+// finished serializing one of the host's packets (the TSQ drain signal).
+// tests/testbed.h and exp::FabricScenario both wired those two callbacks
+// straight into HostModel; this interface names the seam so a host can be
+// swapped between fidelity tiers (full packet-level HostModel vs the
+// flow-level AnalyticHost) behind a stable pair of fabric callbacks.
+#pragma once
+
+#include <string>
+
+#include "host/host.h"
+#include "net/packet.h"
+
+namespace hostcc::host {
+
+class HostPort {
+ public:
+  virtual ~HostPort() = default;
+
+  virtual const std::string& name() const = 0;
+  // A packet leaving the fabric toward this host (the leaf delivery port's
+  // sink).
+  virtual void deliver(const net::PacketRef& p) = 0;
+  // The host's uplink finished serializing `p` (TSQ-style egress refill).
+  virtual void uplink_dequeued(const net::Packet& p) = 0;
+  // True for the cheap flow-level tier (telemetry / tier accounting).
+  virtual bool analytic() const = 0;
+};
+
+// The packet-level tier: forwards the seam into an existing HostModel,
+// preserving the exact call sequence the scenarios used before the seam
+// was named (byte-identical event order).
+class FullHostPort final : public HostPort {
+ public:
+  explicit FullHostPort(HostModel& h) : host_(&h) {}
+
+  const std::string& name() const override { return host_->name(); }
+  void deliver(const net::PacketRef& p) override { host_->receive_from_wire(p); }
+  void uplink_dequeued(const net::Packet& p) override { host_->wire_dequeued(p); }
+  bool analytic() const override { return false; }
+
+ private:
+  HostModel* host_;
+};
+
+}  // namespace hostcc::host

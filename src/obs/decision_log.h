@@ -31,6 +31,8 @@ enum class DecisionReason : std::uint8_t {
   kRecovered,        // signals fresh again: watchdog released fallback
   kWriteRetry,       // MBA MSR write failed; retrying with backoff
   kActuationFailed,  // MBA MSR write retries exhausted; giving up
+  kPromote,          // hybrid fidelity: analytic host -> full HostModel
+  kDemote,           // hybrid fidelity: full HostModel -> analytic host
 };
 
 inline const char* reason_name(DecisionReason r) {
@@ -47,6 +49,8 @@ inline const char* reason_name(DecisionReason r) {
     case DecisionReason::kRecovered: return "recovered";
     case DecisionReason::kWriteRetry: return "write_retry";
     case DecisionReason::kActuationFailed: return "actuation_failed";
+    case DecisionReason::kPromote: return "promote";
+    case DecisionReason::kDemote: return "demote";
   }
   return "?";
 }

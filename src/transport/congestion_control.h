@@ -39,6 +39,15 @@ class CongestionControl {
 
   sim::Bytes cwnd() const { return static_cast<sim::Bytes>(cwnd_); }
 
+  // Tier-transfer hook (hybrid-fidelity hosts): seeds the window from the
+  // state exported by the other tier's controller. Controller-internal
+  // state (DCTCP alpha, DCQCN target) is deliberately not transferred —
+  // it reconverges within a few windows of data.
+  void restore_cwnd(double bytes) {
+    cwnd_ = bytes;
+    clamp_cwnd();
+  }
+
  protected:
   void clamp_cwnd() {
     const auto lo = static_cast<double>(cfg_.mss);

@@ -105,6 +105,59 @@ void TcpConnection::send_segment(net::SeqNum seq, sim::Bytes len, bool is_retx, 
   stack_.output(std::move(pr));
 }
 
+TcpConnection::TransferState TcpConnection::export_state() const {
+  TransferState st;
+  st.snd_una = snd_una_;
+  st.snd_nxt = snd_nxt_;
+  st.write_limit = write_limit_;
+  st.infinite_source = infinite_source_;
+  st.episode_open = episode_open_;
+  st.episode_base = episode_base_;
+  st.cwnd = static_cast<double>(cc_->cwnd());
+  st.srtt = srtt_;
+  st.rttvar = rttvar_;
+  st.rcv_nxt = rcv_nxt_;
+  st.ooo.assign(ooo_.begin(), ooo_.end());
+  st.delivered_bytes = delivered_bytes_;
+  return st;
+}
+
+void TcpConnection::restore(const TransferState& st) {
+  cancel_timers();
+  segs_.clear();
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  recovery_point_ = 0;
+  rto_backoff_ = 1;
+
+  // Go-back-N handoff: rewind to the cumulative ACK point and resend the
+  // unacked range. Packets the previous tier still has in flight will be
+  // discarded as duplicates at the receiver; ACKs for them may advance
+  // snd_una past snd_nxt, which process_ack clamps.
+  snd_una_ = st.snd_una;
+  snd_nxt_ = st.snd_una;
+  write_limit_ = st.write_limit;
+  infinite_source_ = st.infinite_source;
+  episode_open_ = st.episode_open;
+  episode_base_ = st.episode_base;
+  if (st.cwnd > 0.0) cc_->restore_cwnd(st.cwnd);
+  srtt_ = st.srtt;
+  rttvar_ = st.rttvar;
+  rto_ = srtt_ > sim::Time::zero() ? std::max(cfg_.min_rto, srtt_ + rttvar_ * 4.0)
+                                   : cfg_.min_rto;
+
+  rcv_nxt_ = st.rcv_nxt;
+  ooo_.clear();
+  ooo_bytes_ = 0;
+  for (const auto& [b, e] : st.ooo) {
+    ooo_.emplace(b, e);
+    ooo_bytes_ += e - b;
+  }
+  delivered_bytes_ = st.delivered_bytes;
+
+  try_send();  // resume transmission under the restored window
+}
+
 void TcpConnection::on_packet(const net::Packet& p) {
   if (p.payload > 0) {
     receive_data(p);
@@ -270,6 +323,9 @@ void TcpConnection::process_ack(const net::Packet& p) {
   if (p.ack > snd_una_) {
     const sim::Bytes newly = p.ack - snd_una_;
     snd_una_ = p.ack;
+    // After a tier-transfer restore() the previous tier's in-flight packets
+    // can be ACKed past our rewound send cursor; never let snd_nxt lag.
+    if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
     dup_acks_ = 0;
     rto_backoff_ = 1;
 

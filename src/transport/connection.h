@@ -102,6 +102,38 @@ class TcpConnection {
   }
   bool in_recovery() const { return in_recovery_; }
 
+  // --- tier transfer (hybrid-fidelity hosts) ---
+  // The flow state that survives a fidelity swap between an AnalyticHost
+  // endpoint and a full TcpConnection: stream cursors, episode bookkeeping,
+  // the congestion window, smoothed RTT, and the receive side's reassembly
+  // cursor. In-flight segments are NOT transferred: restore() rewinds
+  // snd_nxt to snd_una (go-back-N style) so the unacked range is resent —
+  // the receiver discards the duplicates and no byte is ever lost.
+  struct TransferState {
+    net::SeqNum snd_una = 0;
+    net::SeqNum snd_nxt = 0;
+    net::SeqNum write_limit = 0;
+    bool infinite_source = false;
+    bool episode_open = false;
+    net::SeqNum episode_base = 0;
+    double cwnd = 0.0;  // bytes; 0 = keep the endpoint's current window
+    sim::Time srtt = sim::Time::zero();
+    sim::Time rttvar = sim::Time::zero();
+    net::SeqNum rcv_nxt = 0;
+    std::vector<std::pair<net::SeqNum, net::SeqNum>> ooo;  // disjoint [b,e)
+    sim::Bytes delivered_bytes = 0;
+  };
+  TransferState export_state() const;
+  void restore(const TransferState& st);
+  // True when neither direction holds live state (nothing unacked, no
+  // pending app bytes, no reassembly holes) — the demotion precondition.
+  bool transfer_idle() const {
+    return snd_una_ == snd_nxt_ && snd_una_ == write_limit_ && !infinite_source_ &&
+           ooo_.empty();
+  }
+  // Disarms every retransmission timer (parking a demoted endpoint).
+  void quiesce_timers() { cancel_timers(); }
+
   struct Stats {
     std::uint64_t data_packets_sent = 0;
     std::uint64_t acks_sent = 0;

@@ -12,6 +12,7 @@
 #include "fabric/fabric.h"
 #include "fabric/topology.h"
 #include "host/host.h"
+#include "host/host_port.h"
 #include "sim/simulator.h"
 #include "transport/stack.h"
 
@@ -21,7 +22,10 @@ class Testbed {
  public:
   explicit Testbed(host::HostConfig host_cfg = {}, transport::TransportConfig tcfg = {},
                    sim::Time one_way = sim::Time::microseconds(5))
-      : a_host(sim, host_cfg, "a"), b_host(sim, sender_cfg(host_cfg), "b") {
+      : a_host(sim, host_cfg, "a"),
+        b_host(sim, sender_cfg(host_cfg), "b"),
+        a_port(a_host),
+        b_port(b_host) {
     a = std::make_unique<transport::Stack>(sim, a_host, 0, tcfg);
     b = std::make_unique<transport::Stack>(sim, b_host, 1, tcfg);
 
@@ -34,10 +38,10 @@ class Testbed {
     scfg.forward_jitter_max = sim::Time::zero();  // no RNG draw
     fabric = std::make_unique<fabric::Fabric>(
         sim, fabric::Topology::star(2, sim::Bandwidth::zero(), one_way), scfg);
-    fabric->attach_host_direct(
-        0, "h0", [this](const net::PacketRef& p) { a_host.receive_from_wire(p); });
-    fabric->attach_host_direct(
-        1, "h1", [this](const net::PacketRef& p) { b_host.receive_from_wire(p); });
+    fabric->attach_host_direct(0, "h0",
+                               [this](const net::PacketRef& p) { a_port.deliver(p); });
+    fabric->attach_host_direct(1, "h1",
+                               [this](const net::PacketRef& p) { b_port.deliver(p); });
     fabric->finalize();
 
     // Order matters: the fabric schedules this packet's delivery before we
@@ -45,11 +49,11 @@ class Testbed {
     // next packet); net::Link preserves the same ordering.
     a_host.set_egress([this](const net::PacketRef& p) {
       fabric->host_ingress(0, p);
-      a_host.wire_dequeued(*p);
+      a_port.uplink_dequeued(*p);
     });
     b_host.set_egress([this](const net::PacketRef& p) {
       fabric->host_ingress(1, p);
-      b_host.wire_dequeued(*p);
+      b_port.uplink_dequeued(*p);
     });
   }
 
@@ -65,6 +69,11 @@ class Testbed {
   sim::Simulator sim;
   host::HostModel a_host;
   host::HostModel b_host;
+  // The HostPort seam the hybrid-fidelity tier swaps behind; routing the
+  // testbed through it keeps the seam's contract covered by every
+  // transport test.
+  host::FullHostPort a_port;
+  host::FullHostPort b_port;
   std::unique_ptr<fabric::Fabric> fabric;
   std::unique_ptr<transport::Stack> a;
   std::unique_ptr<transport::Stack> b;

@@ -38,7 +38,7 @@ DEFAULT_FILTER = (
     "BM_EventQueuePushPop$|BM_EventCancellation|BM_EventQueuePushPopRefCapture|"
     "BM_SimulatorTimerChurn|BM_EwmaAdd|BM_HistogramRecord|BM_MemControllerQuantum|"
     "BM_ScenarioPacketsPerSecond|BM_FabricHostScaling|BM_FabricShardScaling|"
-    "BM_HostDatapathTracer|BM_ScenarioProfilerOverhead"
+    "BM_HybridFidelityScaling|BM_HostDatapathTracer|BM_ScenarioProfilerOverhead"
 )
 
 # In-process ratio gates: (probe, reference, floor). These acceptance
@@ -52,6 +52,10 @@ RATIO_GATES = [
     ("BM_ScenarioProfilerOverhead/1", "BM_ScenarioProfilerOverhead/0", 0.99),
     # Packet tracer attached-but-disabled vs no tracer: <= 2% overhead.
     ("BM_HostDatapathTracer/1", "BM_HostDatapathTracer/0", 0.98),
+    # Hybrid fidelity at 64 hosts vs all-full at 64 hosts: the flow-level
+    # tier must deliver >= 3x the packet throughput (measured ~15x; the
+    # floor leaves headroom for noisy CI machines).
+    ("BM_HybridFidelityScaling/64/1", "BM_HybridFidelityScaling/64/0", 3.0),
 ]
 
 

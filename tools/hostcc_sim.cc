@@ -88,6 +88,13 @@ namespace {
                "                      switch + NIC watermark backpressure\n"
                "  --storm-breaker     lossless mode: force-XON detected pause\n"
                "                      deadlock cycles instead of wedging\n"
+               "  --fidelity MODE     fabric mode: full | analytic | auto [full]\n"
+               "                      auto runs hosts flow-level and promotes\n"
+               "                      them to full HostModels on congestion\n"
+               "  --promote-threshold N  auto mode: leaf delivery-port queue\n"
+               "                      bytes that triggers promotion    [65536]\n"
+               "  --messages-per-flow N  hybrid modes: cap each closed-loop\n"
+               "                      flow at N messages (0 = endless)    [0]\n"
                "  --signals           record and report I_S/B_S averages\n"
                "  --json              machine-readable output\n"
                "  --trace FILE        Chrome trace JSON: packet lifecycle\n"
@@ -209,6 +216,14 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const ExportPaths& pat
       std::printf("    \"telemetry_frames\": %llu,\n",
                   static_cast<unsigned long long>(fs.telemetry().frames_sampled()));
     }
+    if (cfg.fidelity != exp::HostFidelity::kFull) {
+      // Hybrid-only meta: keeps --fidelity full output byte-identical.
+      std::printf("    \"fidelity\": \"%s\",\n", exp::host_fidelity_name(cfg.fidelity));
+      std::printf("    \"hosts_full\": %d,\n", r.hosts_full);
+      std::printf("    \"hosts_analytic\": %d,\n", r.hosts_analytic);
+      std::printf("    \"promotions\": %llu,\n", static_cast<unsigned long long>(r.promotions));
+      std::printf("    \"demotions\": %llu,\n", static_cast<unsigned long long>(r.demotions));
+    }
     if (fs.sharded()) {
       // Worker count and wall clocks vary run to run / machine to machine;
       // tools/run_diff.py skips these fields when diffing against an
@@ -304,6 +319,14 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const ExportPaths& pat
                                              exp::fmt(r.fct_p99_us, 1) + " / " +
                                              exp::fmt(r.fct_p999_us, 1)});
   }
+  if (cfg.fidelity != exp::HostFidelity::kFull) {
+    t.add_row({"fidelity (full / analytic hosts)", std::string(exp::host_fidelity_name(
+                                                       cfg.fidelity)) +
+                                                       ": " + std::to_string(r.hosts_full) +
+                                                       " / " + std::to_string(r.hosts_analytic)});
+    t.add_row({"promotions / demotions", std::to_string(r.promotions) + " / " +
+                                             std::to_string(r.demotions)});
+  }
   if (cfg.check_invariants) {
     t.add_row({"invariant violations", std::to_string(r.invariant_violations)});
   }
@@ -324,6 +347,9 @@ int run_cli(int argc, char** argv) {
   bool storm_breaker = false;
   bool all_to_all = false;
   bool warmup_set = false, measure_set = false;
+  exp::HostFidelity fidelity = exp::HostFidelity::kFull;
+  sim::Bytes promote_threshold = 0;  // 0 = FabricScenarioConfig default
+  std::uint64_t messages_per_flow = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -398,6 +424,21 @@ int run_cli(int argc, char** argv) {
       lossless = true;
     } else if (a == "--storm-breaker") {
       storm_breaker = true;
+    } else if (a == "--fidelity") {
+      const std::string name = str_arg(argc, argv, i);
+      if (name == "full") {
+        fidelity = exp::HostFidelity::kFull;
+      } else if (name == "analytic") {
+        fidelity = exp::HostFidelity::kAnalytic;
+      } else if (name == "auto") {
+        fidelity = exp::HostFidelity::kAuto;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (a == "--promote-threshold") {
+      promote_threshold = static_cast<sim::Bytes>(num_arg(argc, argv, i));
+    } else if (a == "--messages-per-flow") {
+      messages_per_flow = static_cast<std::uint64_t>(num_arg(argc, argv, i));
     } else if (a == "--seed") {
       cfg.host.seed = static_cast<std::uint64_t>(num_arg(argc, argv, i));
     } else if (a == "--fault") {
@@ -463,6 +504,9 @@ int run_cli(int argc, char** argv) {
     fcfg.flow_stats = cfg.flow_stats;
     fcfg.telemetry = !paths.telemetry.empty() || !paths.trace.empty();
     fcfg.profile = cfg.profile;
+    fcfg.fidelity = fidelity;
+    if (promote_threshold > 0) fcfg.promote_threshold = promote_threshold;
+    fcfg.messages_per_flow = messages_per_flow;
     // FabricScenario's own (much shorter) windows apply unless overridden.
     if (warmup_set) fcfg.warmup = cfg.warmup;
     if (measure_set) fcfg.measure = cfg.measure;

@@ -11,14 +11,22 @@ Sharded-execution policy fields (meta.shards/cells/lookahead_us/epochs)
 are skipped too — --shards N is pure execution policy, so a legacy run
 and a sharded run of the same config should diff clean on physics.
 
-By default only changed fields are printed; fields whose relative change
-exceeds --tolerance are flagged and make the exit status non-zero, so the
-tool doubles as an A/B gate in scripts:
+By default the comparison is **exact**: any numeric field that differs
+at all is flagged and makes the exit status non-zero. That is the right
+gate for determinism contracts (legacy vs --shards N, repeat runs,
+drain modes), where the physics must match bit for bit. `--tolerance F`
+switches to approximate mode — a field is flagged only when its
+relative change exceeds F — for comparisons where small divergence is
+the *expected* result being measured, e.g. a hybrid `--fidelity auto`
+run against its all-full reference:
 
-  build/tools/hostcc_sim --json > before.json
-  ... change something ...
-  build/tools/hostcc_sim --json > after.json
-  tools/run_diff.py before.json after.json --tolerance 0.05
+  build/tools/hostcc_sim --topology leaf-spine:8x8 --json > full.json
+  build/tools/hostcc_sim --topology leaf-spine:8x8 --fidelity auto --json > auto.json
+  tools/run_diff.py full.json auto.json --tolerance 0.10
+
+The hybrid tier census (meta.fidelity/hosts_full/hosts_analytic/
+promotions/demotions) is execution policy, not physics, and is skipped
+like the shard meta fields.
 
 Use --all to list unchanged fields too, and --filter REGEX to restrict
 the comparison to matching paths (e.g. --filter 'fct|tput').
@@ -45,8 +53,22 @@ def flatten(node, path=""):
         yield path, float(node)
 
 
-# Execution-policy metadata emitted only by sharded runs; not physics.
-SHARD_META_KEYS = {"meta.shards", "meta.cells", "meta.lookahead_us", "meta.epochs"}
+# Execution-policy metadata; not physics. Sharded runs add the engine
+# partition fields (and the legacy/sharded schedulers count executed
+# events differently for the same physics), hybrid-fidelity runs add
+# the tier census — a full and an auto run of the same config should
+# diff only on physics.
+SHARD_META_KEYS = {
+    "meta.shards",
+    "meta.cells",
+    "meta.lookahead_us",
+    "meta.epochs",
+    "meta.events_executed",
+    "meta.hosts_full",
+    "meta.hosts_analytic",
+    "meta.promotions",
+    "meta.demotions",
+}
 
 
 def load_fields(path, pattern):
@@ -68,8 +90,11 @@ def main():
     ap.add_argument(
         "--tolerance",
         type=float,
-        default=0.05,
-        help="max allowed fractional change before a field is flagged "
+        default=0.0,
+        help="max allowed fractional change before a field is flagged; "
+        "the default 0 demands an exact match (determinism gates), "
+        "positive values enable approximate A/B comparison, e.g. "
+        "hybrid --fidelity auto vs its all-full reference "
         "(default: %(default)s)",
     )
     ap.add_argument(
