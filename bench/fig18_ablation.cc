@@ -146,7 +146,8 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--timeseries")) timeseries = true;
     if (!std::strcmp(argv[i], "--ewma-sweep")) ewma = true;
   }
-  const exp::BenchOpts opts = exp::parse_bench_opts(argc, argv);
+  const exp::BenchOpts opts =
+      exp::parse_bench_opts_or_die(argc, argv, {"--timeseries", "--ewma-sweep"});
   const sim::SweepRunner runner(opts.jobs);
 
   std::printf("=== Figure 18: necessity of hostCC's mechanisms (3x congestion) ===\n\n");

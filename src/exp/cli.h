@@ -12,12 +12,23 @@
 //               --shards are active, pass opts.shards to SweepRunner's
 //               shards_per_task so jobs x shards stays within the
 //               hardware concurrency.
-// Binaries with extra flags (e.g. fig18) parse those themselves; unknown
-// flags here are ignored.
+//
+// Binaries with extra flags (fig18's --timeseries, fig24's --json) declare
+// them in `extra_flags`; they are accepted here and re-read by the caller.
+// Anything else is an error: every unknown flag in the invocation is
+// collected and reported in ONE std::invalid_argument that also lists the
+// full valid set (the same aggregated style as FaultPlan and the scenario
+// files), so a typo'd sweep invocation fails loudly instead of silently
+// running the default configuration.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "sim/sweep_runner.h"
 
@@ -29,15 +40,67 @@ struct BenchOpts {
   int shards = 0;  // 0 = unsharded (legacy single-simulator scenario)
 };
 
-inline BenchOpts parse_bench_opts(int argc, char** argv) {
+// Parses the shared flags; `extra_flags` names the binary-specific ones
+// (matched against the flag name, so "--foo", "--foo=v", and "--foo v" all
+// pass). Throws std::invalid_argument naming every unknown flag at once.
+inline BenchOpts parse_bench_opts(int argc, char** argv,
+                                  std::initializer_list<const char*> extra_flags = {}) {
   BenchOpts opts;
+  std::vector<std::string> unknown;
+  const auto is_extra = [&](const std::string& name) {
+    for (const char* e : extra_flags) {
+      if (name == e) return true;
+    }
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) opts.quick = true;
-    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) opts.shards = std::atoi(argv[i + 1]);
-    if (std::strncmp(argv[i], "--shards=", 9) == 0) opts.shards = std::atoi(argv[i] + 9);
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    const std::string name = arg.substr(0, eq);
+    std::string val = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    // "--flag=v" or "--flag v": a following token that is not itself a
+    // flag belongs to this one.
+    const auto take_value = [&]() -> const std::string& {
+      if (eq == std::string::npos && i + 1 < argc && argv[i + 1][0] != '-') {
+        val = argv[++i];
+      }
+      return val;
+    };
+    if (name == "--quick") {
+      opts.quick = true;
+    } else if (name == "--jobs") {
+      opts.jobs = std::atoi(take_value().c_str());
+    } else if (name == "--shards") {
+      opts.shards = std::atoi(take_value().c_str());
+    } else if (is_extra(name)) {
+      take_value();  // value (if any) is re-read by the binary itself
+    } else {
+      unknown.push_back(arg);
+    }
   }
-  opts.jobs = sim::SweepRunner::parse_jobs_flag(argc, argv);
+  if (!unknown.empty()) {
+    std::string msg = unknown.size() == 1 ? "unknown flag:" : "unknown flags:";
+    for (const std::string& u : unknown) msg += "\n  - " + u;
+    msg += "\nvalid flags: --quick, --jobs N, --shards N";
+    for (const char* e : extra_flags) {
+      msg += ", ";
+      msg += e;
+    }
+    throw std::invalid_argument(msg);
+  }
   return opts;
+}
+
+// The figure mains' one-liner: parse, or print the aggregated error and
+// exit 2 (the same exit code hostcc_sim uses for bad usage).
+inline BenchOpts parse_bench_opts_or_die(int argc, char** argv,
+                                         std::initializer_list<const char*> extra_flags = {}) {
+  try {
+    return parse_bench_opts(argc, argv, extra_flags);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    std::exit(2);
+  }
 }
 
 }  // namespace hostcc::exp

@@ -191,10 +191,29 @@ core::HostCcController* FabricScenario::controller(int i) {
 void FabricScenario::build() {
   std::string topo_err;
   std::optional<fabric::Topology> topo = fabric::Topology::parse(cfg_.topology, &topo_err);
-  if (auto errs = validate(cfg_, topo, topo_err); !errs.empty()) {
+  std::vector<std::string> errs = validate(cfg_, topo, topo_err);
+  if (cfg_.workload.enabled) {
+    for (auto& e : workload::validate(cfg_.workload)) errs.push_back(std::move(e));
+    workload_cdf_ = workload::SizeCdf::parse(cfg_.workload.size_dist, errs);
+    if (cfg_.fidelity == HostFidelity::kAnalytic) {
+      errs.push_back(
+          "fabric_scenario.workload: the flow-level tier cannot open or retire "
+          "connections, so the workload engine needs packet-level hosts (use "
+          "--fidelity full or auto; auto is coerced to full)");
+    }
+  }
+  if (!errs.empty()) {
     std::string joined = "invalid fabric scenario config:";
     for (const std::string& e : errs) joined += "\n  - " + e;
     throw std::invalid_argument(joined);
+  }
+  if (cfg_.workload.enabled) {
+    // Flow churn lives on pooled packet-level stacks; pin every host to the
+    // full tier (kAuto would otherwise start senders analytic, and an
+    // AnalyticHost cannot churn). FCT accounting is the workload's primary
+    // product, so it is always on here.
+    if (cfg_.fidelity == HostFidelity::kAuto) cfg_.fidelity = HostFidelity::kFull;
+    cfg_.record_flow_stats = true;
   }
 
   bool coalesced = cfg_.coalesced_drains;
@@ -248,9 +267,11 @@ void FabricScenario::build() {
   // every host a destination. MApps/hostCC ride the first
   // `congested_hosts` destinations.
   destinations_.clear();
-  if (cfg_.traffic == FabricTraffic::kIncast) {
+  if (cfg_.traffic == FabricTraffic::kIncast && !cfg_.workload.enabled) {
     destinations_.push_back(0);
   } else {
+    // All-to-all — and always under the workload engine, where every host
+    // is both sender and receiver regardless of the configured pattern.
     for (int i = 0; i < n_hosts; ++i) destinations_.push_back(i);
   }
   const auto is_destination = [this](int i) {
@@ -366,12 +387,29 @@ void FabricScenario::build() {
     }
   }
 
+  // Workload mode replaces the long flows entirely: open-loop churn through
+  // the pooled stacks, sized off the topology's host bisection bandwidth
+  // (sum of participating hosts' uplink rates / 2 — the load fraction then
+  // means the same pressure on any topology).
+  if (cfg_.workload.enabled) {
+    double uplink_bps = 0.0;
+    for (int i = 0; i < n_hosts; ++i) {
+      for (const fabric::TopoArc& a : topo->arcs()) {
+        if (a.from == host_nodes[i]) {
+          uplink_bps += a.rate.bits_per_sec();
+          break;
+        }
+      }
+    }
+    build_workload(n_hosts, uplink_bps / 8.0 / 2.0);
+  }
+
   // Long flows: one ThroughputApp per (sender, destination) pair with
   // globally unique flow ids. Hybrid modes register the same flow layout
   // on the slots instead (flows must outlive tier swaps, so the slot — not
   // an app bound to one stack — owns them), then mirror ThroughputApp's
   // staggered starts.
-  {
+  if (!cfg_.workload.enabled) {
     net::FlowId fid = 100;
     if (hybrid()) {
       struct Start {
@@ -585,6 +623,33 @@ void FabricScenario::build() {
     passive_sampler_->register_metrics(metrics_, sn + "/hostcc/signals");
   }
   fabric_->register_metrics(metrics_, "fabric");
+  if (cfg_.workload.enabled) {
+    metrics_.counter_fn("workload/flows_started", [this] {
+      std::uint64_t n = 0;
+      for (auto& w : workloads_) n += w->flows_started();
+      return n;
+    });
+    metrics_.counter_fn("workload/flows_completed", [this] {
+      std::uint64_t n = 0;
+      for (auto& w : workloads_) n += w->flows_completed();
+      return n;
+    });
+    metrics_.counter_fn("workload/flows_skipped", [this] {
+      std::uint64_t n = 0;
+      for (auto& w : workloads_) n += w->flows_skipped();
+      return n;
+    });
+    metrics_.counter_fn("workload/conn_pool_reuses", [this] {
+      std::uint64_t n = 0;
+      for (auto& st : stacks_) n += st->pool_reuses();
+      return n;
+    });
+    metrics_.counter_fn("workload/orphan_packets", [this] {
+      std::uint64_t n = 0;
+      for (auto& st : stacks_) n += st->orphan_packets();
+      return n;
+    });
+  }
   for (std::size_t i = 0; i < host_checkers_.size(); ++i) {
     host_checkers_[i]->register_metrics(metrics_, hosts_[i]->name() + "/invariants");
   }
@@ -746,6 +811,120 @@ void FabricScenario::build() {
   if (cfg_.profile) attach_profiler(true);
 }
 
+// The receiving side of the churn: the stack's accept hook fires on the
+// first data segment of an unknown flow in the churn id range, opens a
+// pooled endpoint (on the receiver's own cell thread), and retires it from
+// a deferred event once the FIN has been delivered and ACKed. Both lambdas
+// capture 16 bytes — within std::function's small-buffer optimization, so
+// the steady-state path stays allocation-free.
+void FabricScenario::workload_accept(transport::Stack& st, const net::Packet& p) {
+  if (!workload::HostWorkload::in_range(p.flow, kWorkloadFlowBase, workload_flow_end_)) return;
+  transport::TcpConnection& conn = st.open(p.flow, p.src);
+  transport::Stack* sp = &st;
+  const net::FlowId f = p.flow;
+  conn.set_on_fin([sp, f] { sp->simulator().after(sim::Time::zero(), [sp, f] { sp->close(f); }); });
+}
+
+void FabricScenario::build_workload(int n_hosts, double bisection_bytes_per_sec) {
+  const int spp = cfg_.workload.slots_per_pair;
+  workload_flow_end_ = kWorkloadFlowBase + static_cast<net::FlowId>(n_hosts) * n_hosts * spp;
+
+  // Receiver endpoints are created lazily by each stack's accept hook.
+  for (int i = 0; i < n_hosts; ++i) {
+    transport::Stack* st = stacks_[i].get();
+    st->set_accept([this, st](const net::Packet& p) { workload_accept(*st, p); });
+  }
+
+  // Prewarm: open, then retire, every (src, dst, slot) endpoint on both
+  // sides, so connection pools and flow-table buckets reach their
+  // worst-case concurrent footprint before the first arrival — the
+  // zero-steady-state-allocation contract then holds from t=0, not just
+  // after the pools have organically filled.
+  if (cfg_.workload.prewarm_pools) {
+    const auto flow_of = [&](int s, int d, int k) {
+      return kWorkloadFlowBase + (static_cast<net::FlowId>(s) * n_hosts + d) * spp + k;
+    };
+    const auto stats_of = [&](int i) {
+      return sharded() ? cell_flow_stats_[host_cell_[i]].get() : &flow_stats_;
+    };
+    for (int i = 0; i < n_hosts; ++i) hosts_[i]->prewarm_rx_queues();
+    for (int s = 0; s < n_hosts; ++s) {
+      for (int d = 0; d < n_hosts; ++d) {
+        if (s == d) continue;
+        for (int k = 0; k < spp; ++k) {
+          const net::FlowId f = flow_of(s, d, k);
+          stacks_[s]->open(f, static_cast<net::HostId>(d));
+          stacks_[d]->open(f, static_cast<net::HostId>(s));
+          // Per-flow accounting maps outside the stacks fill lazily on a
+          // flow id's first packet; touch them all now so a rarely-used
+          // slot's first real use mid-run stays heap-free. Data and ACKs
+          // both carry the flow id, so both hosts see it on both paths.
+          hosts_[s]->prewarm_flow(f);
+          hosts_[d]->prewarm_flow(f);
+          stats_of(s)->preregister(f, static_cast<net::HostId>(s));
+          stats_of(d)->preregister(f, static_cast<net::HostId>(s));
+        }
+      }
+    }
+    for (int s = 0; s < n_hosts; ++s) {
+      for (int d = 0; d < n_hosts; ++d) {
+        if (s == d) continue;
+        for (int k = 0; k < spp; ++k) {
+          stacks_[s]->close(flow_of(s, d, k));
+          stacks_[d]->close(flow_of(s, d, k));
+        }
+      }
+    }
+  }
+
+  // lambda_host = load * bisection / mean_size / hosts (see workload.h).
+  if (bisection_bytes_per_sec <= 0.0) {
+    throw std::invalid_argument(
+        "invalid fabric scenario config:\n  - workload: topology has ideal "
+        "(rate-free) host uplinks; the load fraction needs finite rates");
+  }
+  const double rate_hz =
+      cfg_.workload.load * bisection_bytes_per_sec / workload_cdf_.mean_bytes() / n_hosts;
+
+  for (int i = 0; i < n_hosts; ++i) {
+    workload::HostWorkload::Params wp;
+    wp.self = static_cast<net::HostId>(i);
+    wp.n_hosts = n_hosts;
+    wp.flow_base = kWorkloadFlowBase;
+    wp.rate_hz = rate_hz;
+    wp.cfg = &cfg_.workload;
+    wp.cdf = &workload_cdf_;
+    wp.seed = mix_host_seed(cfg_.workload.seed, static_cast<std::uint64_t>(i));
+    workloads_.push_back(std::make_unique<workload::HostWorkload>(
+        cell_sim(host_cell_[i]), *stacks_[i], wp));
+    workloads_.back()->start(sim::Time::zero());
+  }
+
+  // RPC fan-out/fan-in trees: every host roots one tree over persistent
+  // connections to the next `fanout` hosts (rpc_app's server half answers
+  // each request); ids sit below the churn range so the accept hook never
+  // claims them.
+  if (cfg_.workload.rpc.enabled) {
+    const int fanout = std::min(cfg_.workload.rpc.fanout, n_hosts - 1);
+    net::FlowId fid = kRpcFlowBase;
+    for (int root = 0; root < n_hosts; ++root) {
+      std::vector<transport::TcpConnection*> kids;
+      for (int j = 0; j < fanout; ++j) {
+        const int child = (root + 1 + j) % n_hosts;
+        kids.push_back(&stacks_[root]->connect(fid, static_cast<net::HostId>(child)));
+        rpc_servers_.push_back(std::make_unique<apps::RpcServer>(
+            *stacks_[child], fid, static_cast<net::HostId>(root),
+            cfg_.workload.rpc.response_bytes));
+        ++fid;
+      }
+      rpc_roots_.push_back(std::make_unique<workload::RpcTreeRoot>(
+          cell_sim(host_cell_[root]), std::move(kids), cfg_.workload.rpc,
+          mix_host_seed(cfg_.workload.seed ^ 0x5bd1e995ull, static_cast<std::uint64_t>(root))));
+      rpc_roots_.back()->start(sim::Time::zero());
+    }
+  }
+}
+
 void FabricScenario::attach_profiler(bool enable) {
   if (sharded()) {
     // One profiler per cell (scope enter/exit and the self-time stack are
@@ -840,9 +1019,11 @@ void FabricScenario::mark_measurement_start() {
   }
   measure_start_ = mark;
   // FCT percentiles cover the measurement window only (per-flow lifetime
-  // records and open episodes survive the reset).
+  // records and open episodes survive the reset). RPC fan-in latency
+  // follows the same window convention.
   flow_stats_.reset_window();
   for (auto& f : cell_flow_stats_) f->reset_window();
+  for (auto& rt : rpc_roots_) rt->reset_window();
 }
 
 FabricScenarioResults FabricScenario::run_measure() {
@@ -879,6 +1060,12 @@ FabricScenarioResults FabricScenario::run_measure() {
     for (int d : destinations_) tput += slots_[d]->goodput_since_mark(end).as_gbps();
   }
   r.net_tput_gbps = tput;
+  if (cfg_.workload.enabled && end > measure_start_) {
+    // Workload goodput: bytes of flow episodes completed inside the window
+    // (flow_stats_ is already the merged aggregate at this point).
+    r.net_tput_gbps =
+        sim::Bandwidth::over(flow_stats_.window_bytes(), end - measure_start_).as_gbps();
+  }
 
   std::uint64_t arrived = 0, dropped = 0;
   for (int d : destinations_) {
@@ -917,6 +1104,35 @@ FabricScenarioResults FabricScenario::run_measure() {
     const auto st = s->sender_stats();
     r.sender_timeouts += st.timeouts;
     r.sender_fast_retransmits += st.fast_retransmits;
+  }
+  if (cfg_.workload.enabled) {
+    // Every host both sends and receives; total_stats folds the retired
+    // (pooled) endpoints' counters in with the live ones.
+    for (auto& st : stacks_) {
+      const auto s = st->total_stats();
+      r.sender_timeouts += s.timeouts;
+      r.sender_fast_retransmits += s.fast_retransmits;
+      r.conn_pool_opens += st->opens();
+      r.conn_pool_reuses += st->pool_reuses();
+      r.orphan_packets += st->orphan_packets();
+    }
+    for (auto& w : workloads_) {
+      r.flows_started += w->flows_started();
+      r.flows_completed += w->flows_completed();
+      r.flows_skipped += w->flows_skipped();
+    }
+    if (!rpc_roots_.empty()) {
+      sim::Histogram lat;
+      for (auto& rt : rpc_roots_) {
+        r.rpc_trees_started += rt->trees_started();
+        r.rpc_trees_completed += rt->trees_completed();
+        r.rpc_trees_skipped += rt->trees_skipped();
+        lat.merge(rt->latency());
+      }
+      r.rpc_p50_us = lat.percentile_time(0.50).us();
+      r.rpc_p99_us = lat.percentile_time(0.99).us();
+      r.rpc_p999_us = lat.percentile_time(0.999).us();
+    }
   }
 
   if (!controllers_.empty()) {

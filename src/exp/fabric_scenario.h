@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "apps/mem_app.h"
+#include "apps/rpc_app.h"
 #include "apps/throughput_app.h"
 #include "exp/fidelity.h"
 #include "fabric/fabric.h"
@@ -43,6 +44,9 @@
 #include "sim/sharded_sim.h"
 #include "sim/simulator.h"
 #include "transport/stack.h"
+#include "workload/cdf.h"
+#include "workload/engine.h"
+#include "workload/workload.h"
 
 namespace hostcc::exp {
 
@@ -85,6 +89,15 @@ struct FabricScenarioConfig {
 
   faults::FaultPlan faults;              // link/port faults by edge name
   bool check_invariants = true;          // per-host checkers + fabric ledger audit
+
+  // Production workload engine (src/workload): open-loop flow churn with
+  // empirical sizes driven through the pooled transport stacks. When
+  // enabled it replaces the long-flow ThroughputApps: every host is both
+  // sender and receiver, per-flow FCT accounting turns on automatically,
+  // and `traffic`/`flows_per_pair`/`flow_bytes` are ignored. Churn pins
+  // every host to the packet-level tier (the analytic tier cannot open or
+  // retire connections), so --fidelity auto is coerced to full here.
+  workload::WorkloadConfig workload;
 
   // Lossless fabric mode: enables per-priority PFC on every switch
   // (cfg.fabric.pfc_* thresholds + headroom), NIC watermark backpressure
@@ -164,6 +177,21 @@ struct FabricScenarioResults {
   double fct_p99_us = 0.0;
   double fct_p999_us = 0.0;
 
+  // Workload-engine accounting (cfg.workload.enabled; zero otherwise).
+  // Flow counts are whole-run; the FCT fields above cover the window.
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t flows_skipped = 0;       // arrivals dropped: all slots busy
+  std::uint64_t conn_pool_opens = 0;     // stack open() calls (incl. prewarm)
+  std::uint64_t conn_pool_reuses = 0;    // opens served from the free pool
+  std::uint64_t orphan_packets = 0;      // arrivals for no/retired connection
+  std::uint64_t rpc_trees_started = 0;   // RPC fan-out/fan-in invocations
+  std::uint64_t rpc_trees_completed = 0;
+  std::uint64_t rpc_trees_skipped = 0;   // invocation while one outstanding
+  double rpc_p50_us = 0.0;               // fan-in latency, measurement window
+  double rpc_p99_us = 0.0;
+  double rpc_p999_us = 0.0;
+
   // Hybrid-fidelity tier accounting (fidelity != kFull; zero otherwise).
   int hosts_full = 0;          // hosts on the packet-level tier at run end
   int hosts_analytic = 0;      // hosts on the flow-level tier at run end
@@ -237,9 +265,16 @@ class FabricScenario {
   obs::SimProfiler& profiler() { return profiler_; }
   void attach_profiler(bool enable);
   const FabricScenarioConfig& config() const { return cfg_; }
+  // Workload-engine surface (cfg.workload.enabled; empty otherwise).
+  workload::HostWorkload* host_workload(int i) {
+    return i < static_cast<int>(workloads_.size()) ? workloads_[i].get() : nullptr;
+  }
+  const workload::SizeCdf& workload_cdf() const { return workload_cdf_; }
 
  private:
   void build();
+  void build_workload(int n_hosts, double bisection_bytes_per_sec);
+  void workload_accept(transport::Stack& st, const net::Packet& p);
   void mark_measurement_start();
   // The simulator a cell's components schedule on: the engine's per-cell
   // loop when sharded, the single legacy loop otherwise.
@@ -267,6 +302,16 @@ class FabricScenario {
   std::vector<std::unique_ptr<FidelityManager>> managers_;      // kAuto, per cell
   std::vector<std::unique_ptr<obs::DecisionLog>> mgr_decisions_;  // per manager
   std::vector<std::unique_ptr<apps::ThroughputApp>> tput_apps_;
+  // Workload engine (cfg.workload.enabled): one churn generator per host,
+  // plus the RPC fan-out/fan-in trees and their server halves. The churn
+  // flow-id range is [kWorkloadFlowBase, workload_flow_end_).
+  static constexpr net::FlowId kWorkloadFlowBase = 1 << 20;
+  static constexpr net::FlowId kRpcFlowBase = 1000;
+  std::vector<std::unique_ptr<workload::HostWorkload>> workloads_;
+  std::vector<std::unique_ptr<workload::RpcTreeRoot>> rpc_roots_;
+  std::vector<std::unique_ptr<apps::RpcServer>> rpc_servers_;
+  workload::SizeCdf workload_cdf_;
+  net::FlowId workload_flow_end_ = 0;
   std::vector<std::unique_ptr<apps::MemApp>> mapps_;
   std::vector<std::unique_ptr<core::HostCcController>> controllers_;
   std::vector<int> controller_host_;  // parallel: which host each controls

@@ -1,0 +1,48 @@
+// Scenario config files (--scenario FILE): a small INI-style grammar that
+// builds a FabricScenarioConfig, so a whole experiment — topology, traffic
+// pattern or workload engine, hostCC, faults — lives in one reviewable,
+// committable text file instead of a shell line of flags.
+//
+// Grammar (see docs/WORKLOADS.md for the full key tables):
+//
+//   # comment (also after values)
+//   [fabric]
+//   topology = leaf-spine:2x8
+//   pattern  = all-to-all
+//   hostcc   = true
+//   fault    = link_down@2000+500:leaf0-spine0     # repeatable
+//
+//   [workload]              # presence alone enables the workload engine
+//   arrival  = poisson
+//   load     = 0.6          # fraction of host bisection bandwidth
+//   size_cdf = websearch
+//
+//   [rpc]                   # presence alone enables the RPC trees
+//   fanout   = 4
+//
+// Errors are aggregated FaultPlan-style: every unknown section, unknown
+// key, and unparseable value in the file is collected (with its line
+// number) and thrown as one std::invalid_argument, so a broken file is
+// fixable from a single run.
+//
+// The parser only checks the file's own syntax; semantic validation (load
+// ranges, topology graph checks, ...) happens in FabricScenario::build(),
+// which aggregates in the same style.
+#pragma once
+
+#include <string>
+
+#include "exp/fabric_scenario.h"
+
+namespace hostcc::exp {
+
+// Parses scenario-file text into a config. `origin` names the source in
+// error messages (the file path, or "<inline>" in tests). Throws one
+// aggregated std::invalid_argument listing every problem.
+FabricScenarioConfig parse_scenario_text(const std::string& text,
+                                         const std::string& origin = "<inline>");
+
+// Reads `path` and parses it; unreadable files throw std::invalid_argument.
+FabricScenarioConfig load_scenario_file(const std::string& path);
+
+}  // namespace hostcc::exp

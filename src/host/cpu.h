@@ -66,6 +66,20 @@ class CpuComplex : public MemSource {
   }
   sim::Bytes total_backlog() const { return total_backlog_; }
 
+  // Pre-creates the backlog entry for a churn flow id so its first
+  // delivered packet never inserts a hash-map node (see HostModel's
+  // prewarm_flow). A zero entry reads the same as an absent one.
+  void prewarm_flow(net::FlowId flow) { flow_backlog_.emplace(flow, 0); }
+
+  // Reserves every per-core work ring for `depth` packets up front. The
+  // rings normally double organically to their high-water mark, but bursty
+  // churn workloads can set a new depth record long after warmup; callers
+  // that need a heap-free steady state pass the hard bound (the NIC rx
+  // descriptor count caps in-flight rx packets per host).
+  void prewarm_depth(std::size_t depth) {
+    for (auto& c : cores_) c.q.reserve(depth);
+  }
+
   // MemSource: copy traffic of the receive path.
   std::string name() const override { return "net_copy"; }
   Offer mem_offer(sim::Time now, sim::Time quantum) override;

@@ -74,6 +74,22 @@ class HostModel {
     auto it = tx_queued_.find(flow);
     return it != tx_queued_.end() ? it->second : 0;
   }
+  // Pre-creates the per-flow accounting entries (egress bytes here, receive
+  // backlog in the CPU complex) so a flow id's first real packet never
+  // inserts a hash-map node. The workload engine calls this for every churn
+  // flow id at build time; entries start and idle at zero, which is
+  // indistinguishable from "absent" everywhere they are read.
+  void prewarm_flow(net::FlowId flow) {
+    tx_queued_.emplace(flow, 0);
+    cpu_->prewarm_flow(flow);
+  }
+  // Reserves the CPU work rings to the rx-descriptor bound (the most
+  // packets that can ever be queued between NIC arrival and protocol
+  // processing). Churn workloads call this once at build; steady-state
+  // sims skip it and let the rings double to their organic high-water.
+  void prewarm_rx_queues() {
+    cpu_->prewarm_depth(static_cast<std::size_t>(cfg_.rx_descriptors));
+  }
   void set_on_tx_drained(std::function<void(net::FlowId)> fn) {
     on_tx_drained_ = std::move(fn);
   }

@@ -150,20 +150,22 @@ void FlowStats::write_json_summary(std::ostream& os) const {
   std::snprintf(line, sizeof(line),
                 "{\"episodes\":%" PRIu64 ",\"flows\":%zu,\"fct_p50_us\":%s,\"fct_p99_us\":%s,"
                 "\"fct_p999_us\":%s,\"fct_max_us\":%s,\"slowdown_p50\":%" PRId64
-                ",\"slowdown_p99\":%" PRId64 ",\"by_size\":[",
+                ",\"slowdown_p99\":%" PRId64 ",\"slowdown_p999\":%" PRId64 ",\"by_size\":[",
                 completed_, flows_.size(), p50, p99, p999, mx, slowdown_.percentile(0.50),
-                slowdown_.percentile(0.99));
+                slowdown_.percentile(0.99), slowdown_.percentile(0.999));
   os << line;
   bool first = true;
   for (const auto& [lg, sb] : by_size_) {
-    char b50[40], b99[40];
+    char b50[40], b99[40], b999[40];
     ps_to_us(b50, sizeof(b50), sb.fct.percentile(0.50));
     ps_to_us(b99, sizeof(b99), sb.fct.percentile(0.99));
+    ps_to_us(b999, sizeof(b999), sb.fct.percentile(0.999));
     std::snprintf(line, sizeof(line),
                   "%s{\"log2_bytes\":%d,\"episodes\":%" PRIu64 ",\"bytes\":%" PRId64
-                  ",\"fct_p50_us\":%s,\"fct_p99_us\":%s,\"slowdown_p99\":%" PRId64 "}",
-                  first ? "" : ",", lg, sb.episodes, sb.bytes, b50, b99,
-                  sb.slowdown_milli.percentile(0.99));
+                  ",\"fct_p50_us\":%s,\"fct_p99_us\":%s,\"fct_p999_us\":%s,"
+                  "\"slowdown_p99\":%" PRId64 ",\"slowdown_p999\":%" PRId64 "}",
+                  first ? "" : ",", lg, sb.episodes, sb.bytes, b50, b99, b999,
+                  sb.slowdown_milli.percentile(0.99), sb.slowdown_milli.percentile(0.999));
     os << line;
     first = false;
   }

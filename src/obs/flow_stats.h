@@ -50,6 +50,12 @@ class FlowStats {
   // toggled on mid-episode).
   void episode_abandoned(net::FlowId flow, net::HostId src);
 
+  // Pre-creates the lifetime record for a (flow, src) key without recording
+  // anything, so a churn flow's first real episode lands in a warm hash-map
+  // slot instead of inserting one (see the datapath allocation test). The
+  // record is all-zero until the flow is actually used.
+  void preregister(net::FlowId flow, net::HostId src) { rec(flow, src); }
+
   // Clears the FCT/slowdown histograms and window counters while keeping
   // per-flow lifetime records and open episodes; called at measurement
   // start so percentiles cover only the measurement window.
@@ -61,6 +67,13 @@ class FlowStats {
   const sim::Histogram& fct() const { return fct_; }
   const sim::Histogram& slowdown_milli() const { return slowdown_; }
   sim::LatencySummary fct_summary() const { return sim::summarize(fct_); }
+  // Total bytes of episodes completed in the current window (sum over the
+  // size buckets) — the workload engine's goodput numerator.
+  sim::Bytes window_bytes() const {
+    sim::Bytes n = 0;
+    for (const auto& [log2, b] : by_size_) n += b.bytes;
+    return n;
+  }
 
   // Per-flow lifetime record (survives reset_window()).
   struct Record {

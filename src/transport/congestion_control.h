@@ -48,6 +48,15 @@ class CongestionControl {
     clamp_cwnd();
   }
 
+  // Returns the controller to its freshly-constructed state. Pooled
+  // connection reuse (Stack::open) hands a recycled TcpConnection to a
+  // brand-new flow, which must not inherit the previous flow's window or
+  // internal estimators. Subclasses extend this for their own state.
+  virtual void reset() {
+    cwnd_ = static_cast<double>(cfg_.mss * cfg_.init_cwnd_segments);
+    clamp_cwnd();
+  }
+
  protected:
   void clamp_cwnd() {
     const auto lo = static_cast<double>(cfg_.mss);
@@ -88,6 +97,11 @@ class RenoCc : public CongestionControl {
   void on_timeout() override {
     ssthresh_ = cwnd_ / 2.0;
     cwnd_ = static_cast<double>(cfg_.mss);
+  }
+
+  void reset() override {
+    CongestionControl::reset();
+    ssthresh_ = 1e18;
   }
 
  protected:
@@ -146,6 +160,14 @@ class DctcpCc : public CongestionControl {
   void on_timeout() override {
     ssthresh_ = cwnd_ / 2.0;
     cwnd_ = static_cast<double>(cfg_.mss);
+    acked_bytes_ = marked_bytes_ = 0;
+    window_left_ = cwnd();
+  }
+
+  void reset() override {
+    CongestionControl::reset();
+    alpha_ = 1.0;
+    ssthresh_ = 1e18;
     acked_bytes_ = marked_bytes_ = 0;
     window_left_ = cwnd();
   }
@@ -241,6 +263,15 @@ class DcqcnCc : public CongestionControl {
   void on_timeout() override {
     target_ = cwnd_;
     cwnd_ = static_cast<double>(cfg_.mss);
+    clean_windows_ = 0;
+    acked_bytes_ = marked_bytes_ = 0;
+    window_left_ = cwnd();
+  }
+
+  void reset() override {
+    CongestionControl::reset();
+    alpha_ = 1.0;
+    target_ = cwnd_;
     clean_windows_ = 0;
     acked_bytes_ = marked_bytes_ = 0;
     window_left_ = cwnd();

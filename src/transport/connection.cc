@@ -84,6 +84,10 @@ void TcpConnection::send_segment(net::SeqNum seq, sim::Bytes len, bool is_retx, 
   p.sent_at = sim_.now();
   p.retransmit = is_retx;
   p.tlp_probe = is_tlp;
+  // Flow-churn mode: the final segment of the message carries FIN so the
+  // receiver can retire its endpoint once the stream is complete. A
+  // retransmit or TLP of the tail recomputes it identically.
+  p.fin = fin_on_complete_ && !infinite_source_ && seq + len == write_limit_;
 
   auto it = segs_.find(seq);
   if (it == segs_.end()) {
@@ -158,6 +162,50 @@ void TcpConnection::restore(const TransferState& st) {
   try_send();  // resume transmission under the restored window
 }
 
+// Pooled reuse (Stack::open): every field returns to its constructed value
+// while the allocated capacity — map_mem_ pool chunks, scratch buffers, the
+// cc object — is retained, so churning flows through a warmed pool never
+// touches the allocator. Stats reset too: Stack::close folded the previous
+// incarnation's counters into the stack-wide retired totals.
+void TcpConnection::reopen(net::FlowId flow, net::HostId peer) {
+  cancel_timers();
+  flow_ = flow;
+  peer_ = peer;
+  cc_->reset();
+
+  snd_una_ = 0;
+  snd_nxt_ = 0;
+  write_limit_ = 0;
+  infinite_source_ = false;
+  episode_open_ = false;
+  episode_base_ = 0;
+  fs_ = nullptr;
+  peer_rwnd_ = cfg_.max_cwnd;
+  segs_.clear();
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  recovery_point_ = 0;
+  recovery_epoch_ = 0;
+
+  srtt_ = sim::Time::zero();
+  rttvar_ = sim::Time::zero();
+  rto_ = cfg_.min_rto;
+  rto_backoff_ = 1;
+
+  fin_on_complete_ = false;
+  on_fin_ = nullptr;
+
+  rcv_nxt_ = 0;
+  fin_seq_ = -1;
+  ooo_.clear();
+  ooo_bytes_ = 0;
+  delivered_bytes_ = 0;
+
+  on_delivered_ = nullptr;
+  on_send_complete_ = nullptr;
+  stats_ = {};
+}
+
 void TcpConnection::on_packet(const net::Packet& p) {
   if (p.payload > 0) {
     receive_data(p);
@@ -170,6 +218,7 @@ void TcpConnection::on_packet(const net::Packet& p) {
 
 void TcpConnection::receive_data(const net::Packet& p) {
   if (p.ecn == net::Ecn::kCe) ++stats_.ce_received;
+  if (p.fin) fin_seq_ = p.end_seq();  // message boundary (possibly out of order)
 
   const net::SeqNum begin = p.seq;
   const net::SeqNum end = p.end_seq();
@@ -213,6 +262,13 @@ void TcpConnection::receive_data(const net::Packet& p) {
     }
   }
   send_ack(p);
+  // The stream has advanced through the FIN and its ACK is on the wire:
+  // the message is complete and this endpoint can be retired. Fire last —
+  // the callback typically schedules a close of this connection.
+  if (fin_seq_ >= 0 && rcv_nxt_ >= fin_seq_) {
+    fin_seq_ = -1;
+    if (on_fin_) on_fin_();
+  }
 }
 
 void TcpConnection::send_ack(const net::Packet& trigger) {
@@ -316,6 +372,12 @@ void TcpConnection::retransmit_next_hole() {
 }
 
 void TcpConnection::process_ack(const net::Packet& p) {
+  // Churn guard: after a close/reopen, a duplicate ACK from the flow id's
+  // previous incarnation can still straggle in carrying an ack beyond
+  // anything this incarnation sent; real TCP discards such ACKs. Gated on
+  // fin_on_complete_ — tier-transfer restores legitimately receive ACKs
+  // past the rewound snd_nxt and rely on the clamp below instead.
+  if (fin_on_complete_ && p.ack > snd_nxt_) return;
   peer_rwnd_ = p.rwnd;
   if (p.ece) ++stats_.ece_received;
   apply_sack(p);

@@ -67,6 +67,24 @@ class TcpConnection {
   // Per-flow lifecycle accounting; null (default) disables the hooks.
   void set_flow_stats(obs::FlowStats* fs) { fs_ = fs; }
 
+  // --- flow churn (workload engine) ---
+  // Marks the final segment of each discrete message with FIN so the
+  // receiving endpoint learns the message boundary and can be retired the
+  // moment the last byte is delivered. Workload-managed senders only;
+  // persistent app connections never FIN.
+  void set_fin_on_complete(bool on) { fin_on_complete_ = on; }
+  // Receiver side: fires once the stream has advanced through a received
+  // FIN (its ACK has just been sent). The callback must not destroy the
+  // connection synchronously — defer the close to an immediate event.
+  void set_on_fin(std::function<void()> fn) { on_fin_ = std::move(fn); }
+
+  // Rebinds this endpoint to a new flow (pooled reuse via Stack::open):
+  // stream cursors, congestion control, RTT estimators, reassembly state,
+  // callbacks, and stats all return to freshly-constructed values. Pending
+  // lazy timer events from the previous incarnation no-op harmlessly
+  // (their deadlines are cleared to Time::max()).
+  void reopen(net::FlowId flow, net::HostId peer);
+
   // --- stack interface ---
   void on_packet(const net::Packet& p);
   // TSQ wakeup: egress queue for this flow drained below the limit.
@@ -143,6 +161,17 @@ class TcpConnection {
     std::uint64_t ce_received = 0;    // CE-marked data packets seen
     std::uint64_t ece_received = 0;   // ECE-flagged ACKs processed
     sim::Bytes retransmitted_bytes = 0;
+
+    void add(const Stats& o) {
+      data_packets_sent += o.data_packets_sent;
+      acks_sent += o.acks_sent;
+      fast_retransmits += o.fast_retransmits;
+      timeouts += o.timeouts;
+      tlp_probes += o.tlp_probes;
+      ce_received += o.ce_received;
+      ece_received += o.ece_received;
+      retransmitted_bytes += o.retransmitted_bytes;
+    }
   };
   const Stats& stats() const { return stats_; }
 
@@ -228,8 +257,13 @@ class TcpConnection {
   sim::EventHandle tlp_timer_;
   sim::EventHandle rack_timer_;  // recovery self-clock (RFC 8985-style)
 
+  // --- flow churn state ---
+  bool fin_on_complete_ = false;
+  std::function<void()> on_fin_;
+
   // --- receiver state ---
   net::SeqNum rcv_nxt_ = 0;
+  net::SeqNum fin_seq_ = -1;  // end_seq of a received FIN; -1 = none seen
   // Disjoint [begin,end) intervals; nodes recycled via map_mem_.
   std::pmr::map<net::SeqNum, net::SeqNum> ooo_{&map_mem_};
   sim::Bytes ooo_bytes_ = 0;

@@ -5,8 +5,11 @@
 #pragma once
 
 #include <cassert>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "host/host.h"
 #include "net/packet.h"
@@ -37,6 +40,60 @@ class Stack {
     auto [it, inserted] = conns_.emplace(flow, std::move(conn));
     assert(inserted && "duplicate flow id on this host");
     return *it->second;
+  }
+
+  // --- flow churn (workload engine) ---
+  // Pooled open: reuses a retired connection's map node and TcpConnection
+  // object when one is free (zero allocation at churn steady state), else
+  // falls back to connect(). The recycled endpoint is fully reset.
+  TcpConnection& open(net::FlowId flow, net::HostId peer) {
+    ++opens_;
+    if (free_.empty()) return connect(flow, peer);
+    ++pool_reuses_;
+    auto nh = std::move(free_.back());
+    free_.pop_back();
+    nh.key() = flow;
+    TcpConnection* conn = nh.mapped().get();
+    conn->reopen(flow, peer);
+    conn->set_flow_stats(flow_stats_);
+    const auto res = conns_.insert(std::move(nh));
+    assert(res.inserted && "duplicate flow id on this host");
+    (void)res;
+    return *conn;
+  }
+
+  // Retires a connection into the reuse pool. Its cumulative Stats are
+  // folded into the stack-wide retired totals first, so register_metrics
+  // counters never move backwards across a close.
+  void close(net::FlowId flow) {
+    auto nh = conns_.extract(flow);
+    assert(!nh.empty() && "close() of unknown flow");
+    ++closes_;
+    retired_.add(nh.mapped()->stats());
+    nh.mapped()->quiesce_timers();
+    free_.push_back(std::move(nh));
+  }
+
+  // Passive-open hook: a data packet for an unknown flow whose segment
+  // starts the stream (seq 0) is offered to the hook, which may open the
+  // receiving endpoint; the packet is then re-dispatched to it. The
+  // workload engine uses this so receiver endpoints come into existence
+  // only when a message actually arrives.
+  void set_accept(std::function<void(const net::Packet&)> fn) { accept_ = std::move(fn); }
+
+  std::uint64_t opens() const { return opens_; }
+  std::uint64_t closes() const { return closes_; }
+  std::uint64_t pool_reuses() const { return pool_reuses_; }
+  std::uint64_t orphan_packets() const { return orphan_packets_; }
+  std::size_t pooled_connections() const { return free_.size(); }
+  std::size_t live_connections() const { return conns_.size(); }
+
+  // Live + retired transport counters (workload runs retire thousands of
+  // connections; their history must not vanish from results).
+  TcpConnection::Stats total_stats() const {
+    TcpConnection::Stats t = retired_;
+    for (const auto& [flow, conn] : conns_) t.add(conn->stats());
+    return t;
   }
 
   // Per-flow lifecycle accounting shared across this stack's connections;
@@ -89,7 +146,7 @@ class Stack {
   // still covered.
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) {
     auto sum = [this](std::uint64_t TcpConnection::Stats::* field) {
-      std::uint64_t total = 0;
+      std::uint64_t total = retired_.*field;
       for (const auto& [flow, conn] : conns_) total += conn->stats().*field;
       return total;
     };
@@ -106,7 +163,7 @@ class Stack {
     reg.counter_fn(prefix + "/ece_received",
                    [sum] { return sum(&TcpConnection::Stats::ece_received); });
     reg.counter_fn(prefix + "/retransmitted_bytes", [this] {
-      std::uint64_t total = 0;
+      auto total = static_cast<std::uint64_t>(retired_.retransmitted_bytes);
       for (const auto& [flow, conn] : conns_)
         total += static_cast<std::uint64_t>(conn->stats().retransmitted_bytes);
       return total;
@@ -120,14 +177,54 @@ class Stack {
     if (p.dst != id_) return;  // mis-delivered; fabric bug guard
     obs::ProfScope scope(prof_);
     auto it = conns_.find(p.flow);
-    if (it != conns_.end()) it->second->on_packet(p);
+    if (it == conns_.end() && accept_ && p.payload > 0 && p.seq == 0) {
+      accept_(p);  // passive open; may insert the flow
+      it = conns_.find(p.flow);
+    }
+    if (it != conns_.end()) {
+      it->second->on_packet(p);
+      return;
+    }
+    ++orphan_packets_;
+    // A straggling FIN retransmit for a retired flow means the sender
+    // never saw the final ACK (it was lost). Re-ACK it so the sender's
+    // episode completes instead of RTO-looping against a closed endpoint
+    // — TCP's re-ACK of old segments, minus the TIME-WAIT state.
+    if (accept_ && p.payload > 0 && p.fin) orphan_fin_ack(p);
+  }
+
+  void orphan_fin_ack(const net::Packet& p) {
+    net::PacketRef ar = packet_pool().make();
+    net::Packet& a = *ar;
+    a.id = next_packet_id();
+    a.flow = p.flow;
+    a.src = id_;
+    a.dst = p.src;
+    a.payload = 0;
+    a.size = net::kHeaderBytes;
+    a.has_ack = true;
+    a.ack = p.end_seq();
+    a.rwnd = cfg_.max_cwnd;
+    a.sent_at = sim_.now();
+    output(std::move(ar));
   }
 
   sim::Simulator& sim_;
   host::HostModel& host_;
   net::HostId id_;
   TransportConfig cfg_;
-  std::unordered_map<net::FlowId, std::unique_ptr<TcpConnection>> conns_;
+  using ConnMap = std::unordered_map<net::FlowId, std::unique_ptr<TcpConnection>>;
+  ConnMap conns_;
+  // Retired-connection pool: extracted map nodes (object + node in one),
+  // so open/close churn recycles both without touching the allocator once
+  // the pool reaches its high-water mark.
+  std::vector<ConnMap::node_type> free_;
+  TcpConnection::Stats retired_;
+  std::function<void(const net::Packet&)> accept_;
+  std::uint64_t opens_ = 0;
+  std::uint64_t closes_ = 0;
+  std::uint64_t pool_reuses_ = 0;
+  std::uint64_t orphan_packets_ = 0;
   std::uint64_t pkt_seq_ = 0;
   obs::FlowStats* flow_stats_ = nullptr;
   obs::ProfHandle prof_;

@@ -66,6 +66,12 @@ class SwiftCc : public CongestionControl {
     decrease_window_left_ = cwnd();
   }
 
+  void reset() override {
+    CongestionControl::reset();
+    last_delay_ = sim::Time();
+    decrease_window_left_ = 0;
+  }
+
   sim::Time last_delay() const { return last_delay_; }
   const SwiftParams& params() const { return p_; }
 

@@ -1,0 +1,143 @@
+#include "workload/cdf.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hostcc::workload {
+
+SizeCdf SizeCdf::from_points(const std::string& name, std::vector<Point> pts) {
+  SizeCdf c;
+  c.name_ = name;
+  c.points_ = std::move(pts);
+  return c;
+}
+
+// Websearch-style distribution (DCTCP's query/search mix): mostly tens of
+// kilobytes with a multi-megabyte background tail. Mean ~= 1.66 MB.
+SizeCdf SizeCdf::websearch() {
+  return from_points("websearch", {
+                                      {6'000, 0.0},
+                                      {10'000, 0.15},
+                                      {13'000, 0.20},
+                                      {19'000, 0.30},
+                                      {33'000, 0.40},
+                                      {53'000, 0.53},
+                                      {133'000, 0.60},
+                                      {667'000, 0.70},
+                                      {1'333'000, 0.80},
+                                      {3'333'000, 0.90},
+                                      {6'667'000, 0.97},
+                                      {20'000'000, 1.0},
+                                  });
+}
+
+// Hadoop/data-mining-style distribution: dominated by tiny control and
+// shuffle chunks, with rare large spills. Mean ~= 1.0 MB.
+SizeCdf SizeCdf::hadoop() {
+  return from_points("hadoop", {
+                                   {1'024, 0.0},
+                                   {10'240, 0.50},
+                                   {102'400, 0.75},
+                                   {1'048'576, 0.90},
+                                   {10'485'760, 0.975},
+                                   {31'457'280, 1.0},
+                               });
+}
+
+SizeCdf SizeCdf::fixed(sim::Bytes bytes) {
+  return from_points("fixed", {{static_cast<double>(bytes), 1.0}});
+}
+
+SizeCdf SizeCdf::parse(const std::string& spec, std::vector<std::string>& errs) {
+  if (spec == "websearch") return websearch();
+  if (spec == "hadoop") return hadoop();
+  if (spec.rfind("fixed:", 0) == 0) {
+    char* end = nullptr;
+    const double v = std::strtod(spec.c_str() + 6, &end);
+    if (end == nullptr || *end != '\0' || v < 1.0) {
+      errs.push_back("size_cdf: bad fixed size '" + spec + "' (want fixed:<bytes>, bytes >= 1)");
+      return SizeCdf{};
+    }
+    return fixed(static_cast<sim::Bytes>(v));
+  }
+  if (spec.rfind("cdf:", 0) == 0) return from_file(spec.substr(4), errs);
+  errs.push_back("size_cdf: unknown distribution '" + spec +
+                 "' (want websearch | hadoop | fixed:<bytes> | cdf:<file>)");
+  return SizeCdf{};
+}
+
+SizeCdf SizeCdf::from_file(const std::string& path, std::vector<std::string>& errs) {
+  std::ifstream in(path);
+  if (!in) {
+    errs.push_back("size_cdf: cannot open '" + path + "'");
+    return SizeCdf{};
+  }
+  std::vector<Point> pts;
+  std::string line;
+  int lineno = 0;
+  const std::size_t first_err = errs.size();
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    double bytes = 0.0, cum = 0.0;
+    if (!(ls >> bytes)) continue;  // blank/comment line
+    std::string trailing;
+    if (!(ls >> cum) || (ls >> trailing)) {
+      errs.push_back("size_cdf: " + path + ":" + std::to_string(lineno) +
+                     ": want '<bytes> <cum_prob>'");
+      continue;
+    }
+    if (bytes < 1.0) {
+      errs.push_back("size_cdf: " + path + ":" + std::to_string(lineno) +
+                     ": bytes must be >= 1");
+    }
+    if (cum < 0.0 || cum > 1.0) {
+      errs.push_back("size_cdf: " + path + ":" + std::to_string(lineno) +
+                     ": cum_prob must be in [0, 1]");
+    }
+    if (!pts.empty() && (bytes < pts.back().bytes || cum < pts.back().cum)) {
+      errs.push_back("size_cdf: " + path + ":" + std::to_string(lineno) +
+                     ": table must be nondecreasing in both columns");
+    }
+    pts.push_back({bytes, cum});
+  }
+  if (pts.empty()) {
+    errs.push_back("size_cdf: " + path + ": no data points");
+  } else if (pts.back().cum != 1.0) {
+    errs.push_back("size_cdf: " + path + ": last cum_prob must be 1.0 (got " +
+                   std::to_string(pts.back().cum) + ")");
+  }
+  if (errs.size() != first_err) return SizeCdf{};
+  return from_points(path, std::move(pts));
+}
+
+sim::Bytes SizeCdf::sample(double u) const {
+  const auto& p = points_;
+  if (p.empty()) return 1;
+  if (u <= p.front().cum) return static_cast<sim::Bytes>(p.front().bytes);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    if (u <= p[i].cum) {
+      const double span = p[i].cum - p[i - 1].cum;
+      const double frac = span > 0.0 ? (u - p[i - 1].cum) / span : 1.0;
+      const double bytes = p[i - 1].bytes + frac * (p[i].bytes - p[i - 1].bytes);
+      return bytes < 1.0 ? 1 : static_cast<sim::Bytes>(bytes);
+    }
+  }
+  return static_cast<sim::Bytes>(p.back().bytes);
+}
+
+double SizeCdf::mean_bytes() const {
+  const auto& p = points_;
+  if (p.empty()) return 0.0;
+  double mean = p.front().cum * p.front().bytes;  // atom below the first point
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    mean += (p[i].cum - p[i - 1].cum) * 0.5 * (p[i].bytes + p[i - 1].bytes);
+  }
+  return mean;
+}
+
+}  // namespace hostcc::workload

@@ -1,0 +1,59 @@
+// Empirical flow-size distributions for the workload engine.
+//
+// A SizeCdf is a piecewise-linear inverse CDF over (bytes, cumulative
+// probability) points — the representation datacenter traffic studies
+// publish (websearch/DCTCP, hadoop/data-mining style tables) and the one
+// external traces load from disk. Sampling is inverse-transform with
+// linear interpolation between points, so a single uniform draw per flow
+// keeps per-host RNG streams aligned across shard counts. The analytic
+// mean (no sampling) calibrates Poisson arrival rates from a target load
+// fraction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace hostcc::workload {
+
+class SizeCdf {
+ public:
+  struct Point {
+    double bytes = 0.0;
+    double cum = 0.0;  // cumulative probability in [0, 1]
+  };
+
+  // Bundled distributions (see docs/WORKLOADS.md for the tables).
+  static SizeCdf websearch();
+  static SizeCdf hadoop();
+  static SizeCdf fixed(sim::Bytes bytes);
+  // Builds directly from a validated point table (tests, custom mixes).
+  static SizeCdf from_points(const std::string& name, std::vector<Point> pts);
+
+  // Parses a distribution spec: "websearch" | "hadoop" | "fixed:<bytes>" |
+  // "cdf:<file>". Appends one message per problem to `errs` (aggregated-
+  // error style) and returns an invalid placeholder on failure.
+  static SizeCdf parse(const std::string& spec, std::vector<std::string>& errs);
+
+  // Loads "<bytes> <cum_prob>" lines ('#' starts a comment). The table
+  // must be nondecreasing in both columns and end at cum == 1.
+  static SizeCdf from_file(const std::string& path, std::vector<std::string>& errs);
+
+  // Inverse-transform sample: u in [0,1) -> flow size in bytes (>= 1).
+  sim::Bytes sample(double u) const;
+
+  // Mean of the piecewise-linear distribution, computed from the table
+  // (probability mass below the first point is an atom at that point).
+  double mean_bytes() const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+  bool valid() const { return !points_.empty(); }
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+}  // namespace hostcc::workload

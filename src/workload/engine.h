@@ -1,0 +1,128 @@
+// The per-host workload engine: open-loop flow arrivals and RPC trees.
+//
+// One HostWorkload per sender host. All of a host's events — arrival
+// draws, message writes, deferred closes — run on that host's own shard
+// cell with an RNG stream derived from (workload seed, host index), so the
+// schedule is independent of how hosts are partitioned across shards and a
+// run is byte-identical under any --shards N. Receiver endpoints are
+// created lazily by the owning stack's accept hook when the first segment
+// arrives (on the receiver's cell), and retired when the FIN is delivered.
+//
+// Flow-id plan: each (src, dst) host pair owns `slots_per_pair` slot ids;
+// slot k of pair (s, d) maps to
+//   flow = flow_base + (s * n_hosts + d) * slots_per_pair + k
+// A retired slot observes a reuse cooldown (TIME_WAIT analogue) before its
+// flow id can carry a new message. Arrivals finding every slot for the
+// drawn destination busy or cooling down are counted and skipped — the
+// open-loop process never blocks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "transport/stack.h"
+#include "workload/cdf.h"
+#include "workload/workload.h"
+
+namespace hostcc::workload {
+
+class HostWorkload {
+ public:
+  struct Params {
+    net::HostId self = 0;
+    int n_hosts = 0;                 // participating hosts are ids [0, n_hosts)
+    net::FlowId flow_base = 0;       // base of the whole churn flow-id range
+    double rate_hz = 0.0;            // this host's mean arrival rate
+    const WorkloadConfig* cfg = nullptr;
+    const SizeCdf* cdf = nullptr;
+    std::uint64_t seed = 0;          // this host's derived RNG seed
+  };
+
+  HostWorkload(sim::Simulator& sim, transport::Stack& stack, const Params& p);
+
+  // Schedules the first arrival (gap drawn from `at`).
+  void start(sim::Time at);
+
+  // True when `flow` belongs to this engine's churn range (any host).
+  static bool in_range(net::FlowId flow, net::FlowId base, net::FlowId end) {
+    return flow >= base && flow < end;
+  }
+
+  std::uint64_t flows_started() const { return started_; }
+  std::uint64_t flows_completed() const { return completed_; }
+  std::uint64_t flows_skipped() const { return skipped_; }
+  sim::Bytes bytes_offered() const { return bytes_offered_; }
+
+ private:
+  void schedule_next();
+  void on_arrival();
+  void on_flow_complete(int slot);
+  double rate_multiplier_now() const;
+  net::FlowId flow_of_slot(int slot) const {
+    return p_.flow_base +
+           (static_cast<net::FlowId>(p_.self) * p_.n_hosts + slot / p_.cfg->slots_per_pair) *
+               p_.cfg->slots_per_pair +
+           slot % p_.cfg->slots_per_pair;
+  }
+
+  struct Slot {
+    bool in_use = false;
+    sim::Time free_at = sim::Time::zero();  // cooldown expiry after a close
+  };
+
+  sim::Simulator& sim_;
+  transport::Stack& stack_;
+  Params p_;
+  sim::Rng rng_;
+  std::vector<Slot> slots_;  // indexed dst * slots_per_pair + k
+  bool burst_on_ = false;    // MMPP modulation state
+  sim::Time burst_until_ = sim::Time::zero();
+  double rate_on_hz_ = 0.0;  // normalized MMPP state rates
+  double rate_off_hz_ = 0.0;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t skipped_ = 0;
+  sim::Bytes bytes_offered_ = 0;
+};
+
+// One RPC fan-out/fan-in tree root: every invocation writes a request to
+// each child over persistent connections (rpc_app's server half answers
+// with response_bytes) and records the fan-in completion latency — request
+// issue until the slowest child's full response is delivered.
+class RpcTreeRoot {
+ public:
+  RpcTreeRoot(sim::Simulator& sim, std::vector<transport::TcpConnection*> children,
+              const RpcTreeConfig& cfg, std::uint64_t seed);
+
+  void start(sim::Time at);
+  void reset_window() { latency_.reset(); }
+
+  std::uint64_t trees_started() const { return started_; }
+  std::uint64_t trees_completed() const { return completed_; }
+  std::uint64_t trees_skipped() const { return skipped_; }
+  const sim::Histogram& latency() const { return latency_; }
+
+ private:
+  void schedule_next();
+  void on_arrival();
+  void on_child_bytes(int child, sim::Bytes n);
+
+  sim::Simulator& sim_;
+  std::vector<transport::TcpConnection*> children_;
+  RpcTreeConfig cfg_;
+  sim::Rng rng_;
+  std::vector<sim::Bytes> received_;  // per-child response bytes this round
+  int pending_children_ = 0;          // 0 = no tree outstanding
+  sim::Time issued_at_ = sim::Time::zero();
+  sim::Histogram latency_;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace hostcc::workload

@@ -1,0 +1,80 @@
+#include "workload/workload.h"
+
+namespace hostcc::workload {
+
+std::vector<std::string> validate(const WorkloadConfig& cfg) {
+  std::vector<std::string> errs;
+  if (!cfg.enabled) return errs;
+  if (cfg.load <= 0.0 || cfg.load > 2.0) {
+    errs.push_back("workload.load must be in (0, 2] (fraction of bisection bandwidth), got " +
+                   std::to_string(cfg.load));
+  }
+  if (cfg.slots_per_pair < 1 || cfg.slots_per_pair > 1024) {
+    errs.push_back("workload.slots_per_pair must be in [1, 1024], got " +
+                   std::to_string(cfg.slots_per_pair));
+  }
+  if (cfg.reuse_cooldown <= sim::Time::zero()) {
+    // Strictly positive: a same-instant reuse would collide with the
+    // deferred close of the slot's previous incarnation.
+    errs.push_back("workload.reuse_cooldown_us must be > 0");
+  }
+  if (cfg.arrival == ArrivalKind::kMmpp) {
+    if (cfg.burst_factor < 1.0) {
+      errs.push_back("workload.burst_factor must be >= 1, got " +
+                     std::to_string(cfg.burst_factor));
+    }
+    if (cfg.burst_on <= sim::Time::zero() || cfg.burst_off <= sim::Time::zero()) {
+      errs.push_back("workload.burst_on_us and burst_off_us must be > 0");
+    }
+  }
+  for (std::size_t i = 0; i < cfg.profile.size(); ++i) {
+    const auto& [at, mult] = cfg.profile[i];
+    if (at < sim::Time::zero()) {
+      errs.push_back("workload.profile[" + std::to_string(i) + "]: offset must be >= 0");
+    }
+    if (i > 0 && at < cfg.profile[i - 1].first) {
+      errs.push_back("workload.profile[" + std::to_string(i) +
+                     "]: offsets must be nondecreasing");
+    }
+    if (mult <= 0.0) {
+      errs.push_back("workload.profile[" + std::to_string(i) +
+                     "]: multiplier must be > 0, got " + std::to_string(mult));
+    }
+  }
+  if (cfg.rpc.enabled) {
+    if (cfg.rpc.fanout < 1 || cfg.rpc.fanout > 256) {
+      errs.push_back("rpc.fanout must be in [1, 256], got " + std::to_string(cfg.rpc.fanout));
+    }
+    if (cfg.rpc.response_bytes < 1) {
+      errs.push_back("rpc.response_bytes must be >= 1");
+    }
+    if (cfg.rpc.rate_hz <= 0.0) {
+      errs.push_back("rpc.rate_hz must be > 0, got " + std::to_string(cfg.rpc.rate_hz));
+    }
+  }
+  return errs;
+}
+
+const char* arrival_kind_name(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kMmpp:
+      return "mmpp";
+  }
+  return "?";
+}
+
+bool parse_arrival_kind(const std::string& s, ArrivalKind& out) {
+  if (s == "poisson") {
+    out = ArrivalKind::kPoisson;
+    return true;
+  }
+  if (s == "mmpp") {
+    out = ArrivalKind::kMmpp;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hostcc::workload

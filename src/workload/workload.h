@@ -1,0 +1,79 @@
+// Workload-engine configuration: open-loop flow churn with empirical
+// sizes, optional MMPP burstiness, piecewise diurnal load profiles, and
+// RPC fan-out/fan-in trees.
+//
+// Load semantics: `load` is a fraction of the fabric's host bisection
+// bandwidth (sum of participating hosts' uplink rates / 2), so a scenario
+// file ports across topologies — 0.6 means the same relative pressure on
+// a star:4 and a fat-tree:8. The per-host Poisson arrival rate follows
+// from the distribution's analytic mean:
+//
+//   lambda_host = load * bisection_bytes_per_sec / mean_flow_bytes / hosts
+//
+// Determinism: each sender host owns an independent RNG stream seeded
+// from (seed, host index), and every event it schedules runs on its own
+// shard cell, so runs are byte-identical under any --shards N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+#include "sim/units.h"
+
+namespace hostcc::workload {
+
+enum class ArrivalKind { kPoisson, kMmpp };
+
+struct RpcTreeConfig {
+  bool enabled = false;
+  int fanout = 4;                          // children per root
+  sim::Bytes response_bytes = 32 * sim::kKiB;  // per-child response
+  double rate_hz = 2000.0;                 // tree invocations per root per second
+};
+
+struct WorkloadConfig {
+  bool enabled = false;
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  double load = 0.6;                 // fraction of host bisection bandwidth
+  std::string size_dist = "websearch";
+  int slots_per_pair = 8;            // max concurrent flows per (src, dst) pair
+  // A retired (src, dst, slot) flow id may be reused only after this long —
+  // the TIME_WAIT analogue that keeps stragglers from a previous
+  // incarnation from being misread as new-flow traffic.
+  sim::Time reuse_cooldown = sim::Time::milliseconds(1);
+  std::uint64_t seed = 1;            // root of the per-host sub-RNG streams
+
+  // MMPP (arrival=mmpp): two-state modulated Poisson. The ON state runs at
+  // burst_factor times the OFF rate; dwell times are exponential with the
+  // given means, and rates are normalized so the long-run average still
+  // meets `load`.
+  double burst_factor = 4.0;
+  sim::Time burst_on = sim::Time::milliseconds(1);
+  sim::Time burst_off = sim::Time::milliseconds(4);
+
+  // Piecewise-constant diurnal profile: (start offset, load multiplier),
+  // nondecreasing offsets; empty = flat 1.0. The multiplier in force when
+  // a gap is drawn applies to that whole gap.
+  std::vector<std::pair<sim::Time, double>> profile;
+
+  // Opens and immediately retires every (src, dst, slot) endpoint pair at
+  // build time, so connection pools and flow-id maps reach their high-water
+  // footprint before traffic starts (the zero-steady-state-alloc contract
+  // then holds from the first arrival, not just after warmup).
+  bool prewarm_pools = true;
+
+  RpcTreeConfig rpc;
+};
+
+// Aggregated validation (FaultPlan style): one message per problem, empty
+// when the config is usable.
+std::vector<std::string> validate(const WorkloadConfig& cfg);
+
+// ArrivalKind <-> text (scenario files, results meta).
+const char* arrival_kind_name(ArrivalKind k);
+bool parse_arrival_kind(const std::string& s, ArrivalKind& out);
+
+}  // namespace hostcc::workload

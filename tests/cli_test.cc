@@ -1,0 +1,77 @@
+// Bench CLI parsing: shared flags in both forms, binary-specific extras,
+// and the aggregated unknown-flag error naming every typo plus the full
+// valid set.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/cli.h"
+
+namespace hostcc::exp {
+namespace {
+
+BenchOpts parse(std::vector<const char*> args,
+                std::initializer_list<const char*> extra = {}) {
+  args.insert(args.begin(), "bench");
+  return parse_bench_opts(static_cast<int>(args.size()),
+                          const_cast<char**>(args.data()), extra);
+}
+
+TEST(BenchCliTest, ParsesSharedFlagsInBothForms) {
+  const BenchOpts a = parse({"--quick", "--jobs", "4", "--shards", "2"});
+  EXPECT_TRUE(a.quick);
+  EXPECT_EQ(a.jobs, 4);
+  EXPECT_EQ(a.shards, 2);
+  const BenchOpts b = parse({"--jobs=0", "--shards=8"});
+  EXPECT_FALSE(b.quick);
+  EXPECT_EQ(b.jobs, 0);
+  EXPECT_EQ(b.shards, 8);
+  const BenchOpts c = parse({});
+  EXPECT_EQ(c.jobs, 1);
+  EXPECT_EQ(c.shards, 0);
+}
+
+TEST(BenchCliTest, ExtraFlagsAreAcceptedWithAndWithoutValues) {
+  const BenchOpts o =
+      parse({"--timeseries", "--bins", "32", "--out=x.csv", "--quick"},
+            {"--timeseries", "--bins", "--out"});
+  EXPECT_TRUE(o.quick);
+}
+
+TEST(BenchCliTest, UnknownFlagsAggregateIntoOneError) {
+  try {
+    parse({"--qiuck", "--jobs", "2", "--shard", "1", "--bogus=7"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    // Every unknown flag is named...
+    EXPECT_NE(msg.find("--qiuck"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--shard\n"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--bogus=7"), std::string::npos) << msg;
+    // ...and the full valid set is listed.
+    EXPECT_NE(msg.find("--quick, --jobs N, --shards N"), std::string::npos) << msg;
+  }
+}
+
+TEST(BenchCliTest, ErrorListsDeclaredExtraFlagsAsValid) {
+  try {
+    parse({"--nope"}, {"--timeseries", "--ewma-sweep"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--timeseries"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--ewma-sweep"), std::string::npos) << msg;
+  }
+}
+
+TEST(BenchCliTest, ValueAttachmentDoesNotSwallowFlags) {
+  // "--quick" after "--jobs" must stay a flag, not become jobs' value.
+  const BenchOpts o = parse({"--jobs", "--quick"});
+  EXPECT_TRUE(o.quick);
+  EXPECT_EQ(o.jobs, 0);  // atoi("") — explicit value absent
+}
+
+}  // namespace
+}  // namespace hostcc::exp

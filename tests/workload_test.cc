@@ -1,0 +1,276 @@
+// Workload engine: empirical size CDFs (bundled tables, fixed sizes,
+// cdf:file loader), aggregated config validation, MMPP long-run rate
+// normalization, diurnal profiles, and schedule determinism through a real
+// fabric run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/fabric_scenario.h"
+#include "workload/cdf.h"
+#include "workload/workload.h"
+
+namespace hostcc::workload {
+namespace {
+
+TEST(SizeCdfTest, FixedDistributionIsAnAtom) {
+  std::vector<std::string> errs;
+  const SizeCdf c = SizeCdf::parse("fixed:16384", errs);
+  EXPECT_TRUE(errs.empty());
+  EXPECT_TRUE(c.valid());
+  EXPECT_DOUBLE_EQ(c.mean_bytes(), 16384.0);
+  EXPECT_EQ(c.sample(0.0), 16384);
+  EXPECT_EQ(c.sample(0.5), 16384);
+  EXPECT_EQ(c.sample(0.999999), 16384);
+}
+
+TEST(SizeCdfTest, InverseTransformInterpolatesAndIsMonotone) {
+  const SizeCdf c = SizeCdf::from_points("t", {{1000, 0.0}, {2000, 0.5}, {10000, 1.0}});
+  // Below the first point's mass: the atom at the first point.
+  EXPECT_EQ(c.sample(0.0), 1000);
+  // Midpoint of the first segment.
+  EXPECT_EQ(c.sample(0.25), 1500);
+  EXPECT_EQ(c.sample(0.5), 2000);
+  // Midpoint of the second segment.
+  EXPECT_EQ(c.sample(0.75), 6000);
+  sim::Bytes prev = 0;
+  for (double u = 0.0; u < 1.0; u += 0.01) {
+    const sim::Bytes b = c.sample(u);
+    EXPECT_GE(b, prev) << "sample() must be nondecreasing in u";
+    prev = b;
+  }
+}
+
+TEST(SizeCdfTest, MeanMatchesTrapezoidRule) {
+  const SizeCdf c = SizeCdf::from_points("t", {{1000, 0.0}, {2000, 0.5}, {10000, 1.0}});
+  // 0.5 * avg(1000,2000) + 0.5 * avg(2000,10000) = 750 + 3000.
+  EXPECT_DOUBLE_EQ(c.mean_bytes(), 3750.0);
+}
+
+TEST(SizeCdfTest, BundledDistributionsAreSane) {
+  const SizeCdf ws = SizeCdf::websearch();
+  const SizeCdf hd = SizeCdf::hadoop();
+  EXPECT_TRUE(ws.valid());
+  EXPECT_TRUE(hd.valid());
+  // Websearch mean ~1.66 MB, hadoop ~1.0 MB (see cdf.cc tables).
+  EXPECT_GT(ws.mean_bytes(), 1.0e6);
+  EXPECT_LT(ws.mean_bytes(), 3.0e6);
+  EXPECT_GT(hd.mean_bytes(), 0.3e6);
+  EXPECT_LT(hd.mean_bytes(), 2.0e6);
+  EXPECT_EQ(ws.name(), "websearch");
+  EXPECT_EQ(ws.points().back().cum, 1.0);
+  EXPECT_EQ(hd.points().back().cum, 1.0);
+}
+
+TEST(SizeCdfTest, ParseAggregatesErrors) {
+  std::vector<std::string> errs;
+  SizeCdf::parse("fixed:zero", errs);
+  SizeCdf::parse("nope", errs);
+  ASSERT_EQ(errs.size(), 2u);
+  EXPECT_NE(errs[0].find("fixed:zero"), std::string::npos);
+  EXPECT_NE(errs[1].find("nope"), std::string::npos);
+}
+
+TEST(SizeCdfTest, LoadsExternalCdfFile) {
+  const std::string path = ::testing::TempDir() + "wl_cdf_ok.txt";
+  {
+    std::ofstream out(path);
+    out << "# bytes cum_prob\n";
+    out << "1000 0.0\n";
+    out << "2000 0.5  # median\n";
+    out << "10000 1.0\n";
+  }
+  std::vector<std::string> errs;
+  const SizeCdf c = SizeCdf::parse("cdf:" + path, errs);
+  EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs.front());
+  ASSERT_TRUE(c.valid());
+  EXPECT_DOUBLE_EQ(c.mean_bytes(), 3750.0);
+  std::remove(path.c_str());
+}
+
+TEST(SizeCdfTest, ExternalCdfFileErrorsAreAggregatedWithLineNumbers) {
+  const std::string path = ::testing::TempDir() + "wl_cdf_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "1000 0.5\n";
+    out << "500 0.25\n";   // both columns decrease
+    out << "2000 0.9\n";   // last cum != 1.0
+  }
+  std::vector<std::string> errs;
+  const SizeCdf c = SizeCdf::parse("cdf:" + path, errs);
+  EXPECT_FALSE(c.valid());
+  ASSERT_GE(errs.size(), 2u);
+  EXPECT_NE(errs[0].find(":2:"), std::string::npos) << errs[0];
+  EXPECT_NE(errs.back().find("1.0"), std::string::npos) << errs.back();
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadValidateTest, CollectsEveryProblemAtOnce) {
+  WorkloadConfig cfg;
+  cfg.enabled = true;
+  cfg.load = 5.0;
+  cfg.slots_per_pair = 0;
+  cfg.reuse_cooldown = sim::Time::zero();
+  cfg.rpc.enabled = true;
+  cfg.rpc.fanout = 0;
+  cfg.rpc.rate_hz = -1.0;
+  const std::vector<std::string> errs = validate(cfg);
+  ASSERT_EQ(errs.size(), 5u);
+  EXPECT_NE(errs[0].find("load"), std::string::npos);
+  EXPECT_NE(errs[1].find("slots_per_pair"), std::string::npos);
+  EXPECT_NE(errs[2].find("reuse_cooldown"), std::string::npos);
+  EXPECT_NE(errs[3].find("fanout"), std::string::npos);
+  EXPECT_NE(errs[4].find("rate_hz"), std::string::npos);
+}
+
+TEST(WorkloadValidateTest, DisabledConfigIsAlwaysValid) {
+  WorkloadConfig cfg;
+  cfg.load = -3.0;  // nonsense, but the engine is off
+  EXPECT_TRUE(validate(cfg).empty());
+}
+
+TEST(WorkloadValidateTest, ProfileOrderingAndRangesChecked) {
+  WorkloadConfig cfg;
+  cfg.enabled = true;
+  cfg.profile = {{sim::Time::microseconds(100), 1.0},
+                 {sim::Time::microseconds(50), 0.0}};  // out of order + zero mult
+  const std::vector<std::string> errs = validate(cfg);
+  ASSERT_EQ(errs.size(), 2u);
+  EXPECT_NE(errs[0].find("nondecreasing"), std::string::npos);
+  EXPECT_NE(errs[1].find("multiplier"), std::string::npos);
+}
+
+TEST(WorkloadValidateTest, ArrivalKindNamesRoundTrip) {
+  ArrivalKind k = ArrivalKind::kPoisson;
+  EXPECT_TRUE(parse_arrival_kind("mmpp", k));
+  EXPECT_EQ(k, ArrivalKind::kMmpp);
+  EXPECT_STREQ(arrival_kind_name(k), "mmpp");
+  EXPECT_TRUE(parse_arrival_kind("poisson", k));
+  EXPECT_STREQ(arrival_kind_name(k), "poisson");
+  EXPECT_FALSE(parse_arrival_kind("burst", k));
+}
+
+// --- engine behavior through a real fabric ---
+
+exp::FabricScenarioConfig churn_cfg() {
+  exp::FabricScenarioConfig cfg;
+  cfg.topology = "leaf-spine:2x2";
+  cfg.warmup = sim::Time::milliseconds(1);
+  cfg.measure = sim::Time::milliseconds(4);
+  cfg.workload.enabled = true;
+  cfg.workload.load = 0.4;
+  cfg.workload.size_dist = "fixed:32768";
+  cfg.workload.slots_per_pair = 8;
+  cfg.workload.reuse_cooldown = sim::Time::microseconds(100);
+  return cfg;
+}
+
+TEST(WorkloadEngineTest, SameSeedSameSchedule) {
+  exp::FabricScenario a(churn_cfg());
+  exp::FabricScenario b(churn_cfg());
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.flows_started, rb.flows_started);
+  EXPECT_EQ(ra.flows_completed, rb.flows_completed);
+  EXPECT_EQ(ra.flows_skipped, rb.flows_skipped);
+  EXPECT_EQ(ra.conn_pool_reuses, rb.conn_pool_reuses);
+  EXPECT_DOUBLE_EQ(ra.net_tput_gbps, rb.net_tput_gbps);
+  EXPECT_DOUBLE_EQ(ra.fct_p99_us, rb.fct_p99_us);
+  EXPECT_GT(ra.flows_completed, 100u);
+  EXPECT_EQ(ra.invariant_violations, 0u);
+}
+
+TEST(WorkloadEngineTest, DifferentSeedDifferentSchedule) {
+  exp::FabricScenarioConfig cfg = churn_cfg();
+  cfg.workload.seed = 99;
+  exp::FabricScenario a(churn_cfg());
+  exp::FabricScenario b(std::move(cfg));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  // Arrival gaps are redrawn under the new seed; with hundreds of flows the
+  // FCT distribution cannot coincide.
+  EXPECT_TRUE(ra.flows_started != rb.flows_started || ra.fct_p50_us != rb.fct_p50_us);
+}
+
+TEST(WorkloadEngineTest, MmppNormalizationMeetsTheSameAverageLoad) {
+  exp::FabricScenarioConfig pois = churn_cfg();
+  exp::FabricScenarioConfig mmpp = churn_cfg();
+  mmpp.workload.arrival = ArrivalKind::kMmpp;
+  mmpp.workload.burst_factor = 4.0;
+  mmpp.workload.burst_on = sim::Time::microseconds(200);
+  mmpp.workload.burst_off = sim::Time::microseconds(800);
+  exp::FabricScenario a(std::move(pois));
+  exp::FabricScenario b(std::move(mmpp));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  // The MMPP state rates are normalized so the long-run mean equals the
+  // Poisson rate; over ~5 ms the totals agree within burst noise.
+  EXPECT_GT(rb.flows_started, ra.flows_started / 2);
+  EXPECT_LT(rb.flows_started, ra.flows_started * 2);
+  EXPECT_EQ(rb.invariant_violations, 0u);
+}
+
+TEST(WorkloadEngineTest, DiurnalProfileScalesTheArrivalRate) {
+  exp::FabricScenarioConfig quiet = churn_cfg();
+  quiet.workload.profile = {{sim::Time::zero(), 0.1}};
+  exp::FabricScenario a(churn_cfg());
+  exp::FabricScenario b(std::move(quiet));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_LT(rb.flows_started, ra.flows_started / 3)
+      << "a 0.1x profile multiplier must slash the arrival rate";
+  EXPECT_GT(rb.flows_started, 0u);
+}
+
+TEST(WorkloadEngineTest, ShardedRunMatchesSingleShard) {
+  exp::FabricScenarioConfig one = churn_cfg();
+  one.shards = 1;
+  exp::FabricScenarioConfig two = churn_cfg();
+  two.shards = 2;
+  exp::FabricScenario a(std::move(one));
+  exp::FabricScenario b(std::move(two));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.flows_started, rb.flows_started);
+  EXPECT_EQ(ra.flows_completed, rb.flows_completed);
+  EXPECT_EQ(ra.flows_skipped, rb.flows_skipped);
+  EXPECT_DOUBLE_EQ(ra.fct_p50_us, rb.fct_p50_us);
+  EXPECT_DOUBLE_EQ(ra.fct_p999_us, rb.fct_p999_us);
+  EXPECT_DOUBLE_EQ(ra.net_tput_gbps, rb.net_tput_gbps);
+}
+
+TEST(WorkloadEngineTest, RpcTreesCompleteAndMeasureFanInLatency) {
+  exp::FabricScenarioConfig cfg = churn_cfg();
+  cfg.workload.rpc.enabled = true;
+  cfg.workload.rpc.fanout = 2;
+  cfg.workload.rpc.response_bytes = 8 * sim::kKiB;
+  cfg.workload.rpc.rate_hz = 5000.0;
+  exp::FabricScenario s(std::move(cfg));
+  const auto r = s.run();
+  EXPECT_GT(r.rpc_trees_started, 10u);
+  EXPECT_GT(r.rpc_trees_completed, 10u);
+  EXPECT_GT(r.rpc_p50_us, 0.0);
+  EXPECT_GE(r.rpc_p99_us, r.rpc_p50_us);
+  EXPECT_EQ(r.invariant_violations, 0u);
+}
+
+TEST(WorkloadEngineTest, AnalyticFidelityIsRejectedAutoCoercesToFull) {
+  exp::FabricScenarioConfig bad = churn_cfg();
+  bad.fidelity = exp::HostFidelity::kAnalytic;
+  EXPECT_THROW(exp::FabricScenario{std::move(bad)}, std::invalid_argument);
+
+  exp::FabricScenarioConfig aut = churn_cfg();
+  aut.fidelity = exp::HostFidelity::kAuto;
+  exp::FabricScenario a(std::move(aut));
+  exp::FabricScenario b(churn_cfg());
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.flows_started, rb.flows_started);
+  EXPECT_DOUBLE_EQ(ra.fct_p50_us, rb.fct_p50_us);
+}
+
+}  // namespace
+}  // namespace hostcc::workload

@@ -38,7 +38,8 @@ DEFAULT_FILTER = (
     "BM_EventQueuePushPop$|BM_EventCancellation|BM_EventQueuePushPopRefCapture|"
     "BM_SimulatorTimerChurn|BM_EwmaAdd|BM_HistogramRecord|BM_MemControllerQuantum|"
     "BM_ScenarioPacketsPerSecond|BM_FabricHostScaling|BM_FabricShardScaling|"
-    "BM_HybridFidelityScaling|BM_HostDatapathTracer|BM_ScenarioProfilerOverhead"
+    "BM_HybridFidelityScaling|BM_HostDatapathTracer|BM_ScenarioProfilerOverhead|"
+    "BM_WorkloadChurn"
 )
 
 # In-process ratio gates: (probe, reference, floor). These acceptance

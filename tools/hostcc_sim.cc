@@ -41,6 +41,7 @@
 
 #include "exp/fabric_scenario.h"
 #include "exp/scenario.h"
+#include "exp/scenario_file.h"
 #include "exp/table.h"
 #include "obs/log.h"
 
@@ -77,6 +78,11 @@ namespace {
                "  --no-invariants     disable the runtime invariant checker\n"
                "  --topology SPEC     rack-scale fabric run; SPEC is star:<n>,\n"
                "                      leaf-spine:<l>x<h>[x<s>], or fat-tree:<k>\n"
+               "  --scenario FILE     fabric run driven by a scenario config file\n"
+               "                      ([fabric]/[workload]/[rpc] sections; see\n"
+               "                      docs/WORKLOADS.md). --shards/--seed/\n"
+               "                      --fidelity/--warmup/--measure override the\n"
+               "                      file; other fabric flags are ignored\n"
                "  --hosts N           participating hosts (0 = all in topology)\n"
                "  --shards N          fabric mode: sharded parallel run on N\n"
                "                      worker threads (0 = classic single loop;\n"
@@ -280,6 +286,28 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const ExportPaths& pat
       std::printf("  \"pause_tree_depth_peak\": %d,\n", r.pause_tree_depth_peak);
       std::printf("  \"storm_breaks\": %llu", static_cast<unsigned long long>(r.storm_breaks));
     }
+    if (cfg.workload.enabled) {
+      std::printf(
+          ",\n  \"workload\": {\"arrival\": \"%s\", \"load\": %.3f, \"size_cdf\": \"%s\", "
+          "\"flows_started\": %llu, \"flows_completed\": %llu, \"flows_skipped\": %llu, "
+          "\"conn_pool_opens\": %llu, \"conn_pool_reuses\": %llu, \"orphan_packets\": %llu}",
+          workload::arrival_kind_name(cfg.workload.arrival), cfg.workload.load,
+          fs.workload_cdf().name().c_str(), static_cast<unsigned long long>(r.flows_started),
+          static_cast<unsigned long long>(r.flows_completed),
+          static_cast<unsigned long long>(r.flows_skipped),
+          static_cast<unsigned long long>(r.conn_pool_opens),
+          static_cast<unsigned long long>(r.conn_pool_reuses),
+          static_cast<unsigned long long>(r.orphan_packets));
+      if (cfg.workload.rpc.enabled) {
+        std::printf(
+            ",\n  \"rpc\": {\"trees_started\": %llu, \"trees_completed\": %llu, "
+            "\"trees_skipped\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f}",
+            static_cast<unsigned long long>(r.rpc_trees_started),
+            static_cast<unsigned long long>(r.rpc_trees_completed),
+            static_cast<unsigned long long>(r.rpc_trees_skipped), r.rpc_p50_us, r.rpc_p99_us,
+            r.rpc_p999_us);
+      }
+    }
     if (cfg.record_flow_stats) {
       std::ostringstream fct;
       fs.flow_stats().write_json_summary(fct);
@@ -313,6 +341,24 @@ int run_fabric(exp::FabricScenarioConfig fcfg, bool json, const ExportPaths& pat
       t.add_row({"storm-breaker interventions", std::to_string(r.storm_breaks)});
     }
   }
+  if (cfg.workload.enabled) {
+    t.add_row({"workload (" + std::string(workload::arrival_kind_name(cfg.workload.arrival)) +
+                   ", " + fs.workload_cdf().name() + ")",
+               "load " + exp::fmt(cfg.workload.load, 2)});
+    t.add_row({"flows started/completed/skipped",
+               std::to_string(r.flows_started) + " / " + std::to_string(r.flows_completed) +
+                   " / " + std::to_string(r.flows_skipped)});
+    t.add_row({"conn pool opens/reuses", std::to_string(r.conn_pool_opens) + " / " +
+                                             std::to_string(r.conn_pool_reuses)});
+    t.add_row({"orphan packets", std::to_string(r.orphan_packets)});
+    if (cfg.workload.rpc.enabled) {
+      t.add_row({"RPC trees completed/skipped", std::to_string(r.rpc_trees_completed) + " / " +
+                                                    std::to_string(r.rpc_trees_skipped)});
+      t.add_row({"RPC fan-in p50/p99/p99.9 (us)", exp::fmt(r.rpc_p50_us, 1) + " / " +
+                                                      exp::fmt(r.rpc_p99_us, 1) + " / " +
+                                                      exp::fmt(r.rpc_p999_us, 1)});
+    }
+  }
   if (cfg.record_flow_stats) {
     t.add_row({"flow episodes", std::to_string(r.flow_episodes)});
     t.add_row({"FCT p50/p99/p99.9 (us)", exp::fmt(r.fct_p50_us, 1) + " / " +
@@ -339,6 +385,8 @@ int run_cli(int argc, char** argv) {
   bool json = false;
   ExportPaths paths;
   std::string topology;
+  std::string scenario_path;
+  bool shards_set = false, seed_set = false, fidelity_set = false;
   int fabric_hosts = 0;
   int fabric_shards = 0;
   int flows_per_pair = 2;
@@ -403,10 +451,13 @@ int run_cli(int argc, char** argv) {
       measure_set = true;
     } else if (a == "--topology") {
       topology = str_arg(argc, argv, i);
+    } else if (a == "--scenario") {
+      scenario_path = str_arg(argc, argv, i);
     } else if (a == "--hosts") {
       fabric_hosts = static_cast<int>(num_arg(argc, argv, i));
     } else if (a == "--shards") {
       fabric_shards = static_cast<int>(num_arg(argc, argv, i));
+      shards_set = true;
     } else if (a == "--pattern") {
       const std::string name = str_arg(argc, argv, i);
       if (name == "incast") {
@@ -435,12 +486,14 @@ int run_cli(int argc, char** argv) {
       } else {
         usage(argv[0]);
       }
+      fidelity_set = true;
     } else if (a == "--promote-threshold") {
       promote_threshold = static_cast<sim::Bytes>(num_arg(argc, argv, i));
     } else if (a == "--messages-per-flow") {
       messages_per_flow = static_cast<std::uint64_t>(num_arg(argc, argv, i));
     } else if (a == "--seed") {
       cfg.host.seed = static_cast<std::uint64_t>(num_arg(argc, argv, i));
+      seed_set = true;
     } else if (a == "--fault") {
       if (auto err = cfg.faults.add_spec(str_arg(argc, argv, i))) {
         std::fprintf(stderr, "%s\n", err->c_str());
@@ -477,6 +530,22 @@ int run_cli(int argc, char** argv) {
     } else {
       usage(argv[0]);
     }
+  }
+
+  if (!scenario_path.empty()) {
+    // Scenario-file mode: the file is the source of truth; only the
+    // execution-policy and window flags override it (so CI can cmp
+    // --shards 1 vs --shards 2 of the same committed file).
+    exp::FabricScenarioConfig fcfg = exp::load_scenario_file(scenario_path);
+    if (shards_set) fcfg.shards = fabric_shards;
+    if (seed_set) fcfg.host.seed = cfg.host.seed;
+    if (fidelity_set) fcfg.fidelity = fidelity;
+    if (warmup_set) fcfg.warmup = cfg.warmup;
+    if (measure_set) fcfg.measure = cfg.measure;
+    if (!paths.flow_stats.empty()) fcfg.record_flow_stats = true;
+    fcfg.telemetry = fcfg.telemetry || !paths.telemetry.empty() || !paths.trace.empty();
+    if (cfg.profile) fcfg.profile = true;
+    return run_fabric(std::move(fcfg), json, paths);
   }
 
   if (!topology.empty()) {

@@ -46,7 +46,13 @@ def flatten(node, path=""):
             yield from flatten(v, f"{path}.{k}" if path else k)
     elif isinstance(node, list):
         for i, v in enumerate(node):
-            yield from flatten(v, f"{path}[{i}]")
+            # Workload flow-size buckets carry their own key: align A and B
+            # by log2(bytes), not list position, so a run that populates an
+            # extra small-flow bucket shifts nothing else out of register.
+            if isinstance(v, dict) and "log2_bytes" in v:
+                yield from flatten(v, f"{path}[log2={v['log2_bytes']}]")
+            else:
+                yield from flatten(v, f"{path}[{i}]")
     elif isinstance(node, bool):
         return  # bool is an int subclass; config flags aren't metrics
     elif isinstance(node, (int, float)):
